@@ -1,0 +1,108 @@
+// E5 — indicator (iii), compromised ratio c(t): "the number of
+// compromised components at time t with respect to the total number of
+// components". Mean step curves from the node-level campaign simulator
+// for monoculture / partial / full diversity. Expected shape: the
+// monoculture curve rises fast and saturates high; diversity flattens and
+// caps it.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/indicators.h"
+#include "core/optimizer.h"
+#include "net/epidemic.h"
+
+namespace {
+
+using namespace divsec;
+
+struct Setup {
+  divers::VariantCatalog cat = divers::VariantCatalog::standard(2013);
+  core::SystemDescription desc = core::make_scope_description(cat);
+  attack::ThreatProfile stuxnet = attack::ThreatProfile::stuxnet();
+  core::MeasurementOptions mo;
+  Setup() {
+    mo.engine = core::Engine::kCampaign;
+    mo.replications = 200;
+    mo.seed = 51;
+  }
+};
+
+void print_curves() {
+  Setup s;
+  std::vector<double> grid;
+  for (double t = 0.0; t <= 2160.0; t += 120.0) grid.push_back(t);
+
+  const core::Configuration mono = s.desc.baseline_configuration();
+  stats::Rng rng(1);
+  const core::Configuration partial = core::place_resilient_components(
+      s.desc, 2, core::PlacementStrategy::kStrategic, s.stuxnet, s.mo, rng);
+  const core::Configuration full = core::place_resilient_components(
+      s.desc, 7, core::PlacementStrategy::kStrategic, s.stuxnet, s.mo, rng);
+
+  const auto c_mono =
+      core::mean_compromised_ratio_curve(s.desc, mono, s.stuxnet, s.mo, grid);
+  const auto c_part =
+      core::mean_compromised_ratio_curve(s.desc, partial, s.stuxnet, s.mo, grid);
+  const auto c_full =
+      core::mean_compromised_ratio_curve(s.desc, full, s.stuxnet, s.mo, grid);
+
+  // Mean-field SI baseline over the same reachability graph (no exploit
+  // failure, no detection): the upper envelope a pure worm model gives.
+  const attack::Scenario base = s.desc.instantiate(mono);
+  net::MeanFieldEpidemic epidemic(
+      base.topology, base.firewall,
+      {net::Channel::kUsb, net::Channel::kSmbShare, net::Channel::kPrintSpooler},
+      base.entry_nodes, {0.02, 0.5});
+  const auto c_mf = epidemic.ratio_curve(grid);
+
+  bench::section("E5: mean compromised ratio c(t), 200 campaigns each");
+  bench::row({"t (h)", "monoculture", "2 diversified", "7 diversified",
+              "mean-field SI"},
+             16);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    bench::row({bench::fmt(grid[i], 0), bench::fmt(c_mono[i]),
+                bench::fmt(c_part[i]), bench::fmt(c_full[i]),
+                bench::fmt(c_mf[i])},
+               16);
+  }
+  std::printf(
+      "\nShape check: monoculture saturates high and early, tracking the\n"
+      "mean-field SI envelope; each diversity step lowers both the growth\n"
+      "rate and the plateau of c(t) far below what a topology-only worm\n"
+      "model can explain — the reduction is the diversity effect.\n");
+}
+
+void BM_OneCampaign(benchmark::State& state) {
+  Setup s;
+  const attack::CampaignSimulator sim(
+      s.desc.instantiate(s.desc.baseline_configuration()), s.stuxnet, s.cat);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    stats::Rng rng(9, seed++);
+    auto r = sim.run(rng);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_OneCampaign)->Unit(benchmark::kMicrosecond);
+
+void BM_MeanRatioCurve(benchmark::State& state) {
+  Setup s;
+  s.mo.replications = 50;
+  std::vector<double> grid{0, 500, 1000, 1500, 2000};
+  for (auto _ : state) {
+    auto c = core::mean_compromised_ratio_curve(
+        s.desc, s.desc.baseline_configuration(), s.stuxnet, s.mo, grid);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_MeanRatioCurve)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_curves();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,108 @@
+// E9 — the Stuxnet stealth narrative: "it is able to fool the SCADA
+// system by emulating regular monitoring signals" and "can remain
+// undetected for many months". Measures, on the physical cooling-system
+// simulator, the detection latency of a PLC compromise under each
+// reporting mode (honest / frozen constant / Stuxnet-style replay), with
+// and without a diverse redundant sensing path.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "scada/cooling_system.h"
+
+namespace {
+
+using namespace divsec;
+using scada::CoolingSystem;
+using scada::SpoofMode;
+
+CoolingSystem::Options sys_options(bool redundant) {
+  CoolingSystem::Options o;
+  o.plc_scan_s = 1.0;
+  o.poll_interval_s = 5.0;
+  o.anomaly_check_interval_s = 60.0;
+  o.redundant_sensor_path = redundant;
+  return o;
+}
+
+struct Outcome {
+  double impairment_s = -1.0;
+  double detection_s = -1.0;
+};
+
+Outcome run_attack(SpoofMode mode, bool redundant, std::uint64_t seed) {
+  CoolingSystem sys(sys_options(redundant), seed);
+  constexpr double kCompromiseAt = 1800.0;
+  constexpr double kHorizon = 8.0 * 3600.0;
+  sys.advance(kCompromiseAt);
+  sys.compromise_crac_plc(mode);
+  sys.advance(kHorizon - kCompromiseAt);
+  Outcome o;
+  if (sys.impairment_time_s()) o.impairment_s = *sys.impairment_time_s() - kCompromiseAt;
+  if (sys.first_detection_time_s())
+    o.detection_s = *sys.first_detection_time_s() - kCompromiseAt;
+  return o;
+}
+
+const char* mode_name(SpoofMode m) {
+  switch (m) {
+    case SpoofMode::kNone: return "honest";
+    case SpoofMode::kConstant: return "frozen-constant";
+    case SpoofMode::kReplay: return "replay (Stuxnet)";
+  }
+  return "?";
+}
+
+void print_table() {
+  bench::section(
+      "E9: detection latency after PLC compromise (physical plant, s after "
+      "compromise; -1 = never within 8 h)");
+  bench::row({"reporting mode", "redundant path", "impaired after s",
+              "detected after s", "detected before impaired"},
+             24);
+  for (bool redundant : {false, true}) {
+    for (SpoofMode mode :
+         {SpoofMode::kNone, SpoofMode::kConstant, SpoofMode::kReplay}) {
+      const Outcome o = run_attack(mode, redundant, 2013);
+      const bool saved = o.detection_s >= 0 &&
+                         (o.impairment_s < 0 || o.detection_s < o.impairment_s);
+      bench::row({mode_name(mode), redundant ? "yes" : "no",
+                  bench::fmt(o.impairment_s, 0), bench::fmt(o.detection_s, 0),
+                  saved ? "yes" : "NO"},
+                 24);
+    }
+  }
+  std::printf(
+      "\nShape check: honest reporting is caught in minutes; a frozen value\n"
+      "is caught by the stuck-signal test only after its window; replayed\n"
+      "recordings are NEVER caught on the spoofed channel alone — only the\n"
+      "diverse (redundant) sensing path catches them. Detection latency\n"
+      "ordering: honest < frozen < replay, reproducing the months-undetected\n"
+      "narrative and the diversity remedy.\n");
+}
+
+void BM_PlantHour(benchmark::State& state) {
+  for (auto _ : state) {
+    CoolingSystem sys(sys_options(false), 7);
+    sys.advance(3600.0);
+    benchmark::DoNotOptimize(sys.room_temp_c());
+  }
+}
+BENCHMARK(BM_PlantHour)->Unit(benchmark::kMillisecond);
+
+void BM_AttackScenarioEightHours(benchmark::State& state) {
+  for (auto _ : state) {
+    auto o = run_attack(SpoofMode::kReplay, true, 7);
+    benchmark::DoNotOptimize(o);
+  }
+}
+BENCHMARK(BM_AttackScenarioEightHours)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

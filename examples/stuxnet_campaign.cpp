@@ -1,0 +1,71 @@
+// stuxnet_campaign.cpp — a single Stuxnet-like campaign traced event by
+// event over the SCoPE network, monoculture vs diversified deployment.
+//
+// Shows the paper's attack stages (initial -> activated -> root access ->
+// network propagation -> device impairment) playing out on a concrete
+// topology, and how the same worm stalls when the components it targets
+// are diverse.
+//
+//   ./stuxnet_campaign [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "attack/campaign.h"
+#include "core/configuration.h"
+
+using namespace divsec;
+
+namespace {
+
+void trace_campaign(const char* title, const attack::Scenario& scenario,
+                    const divers::VariantCatalog& catalog, std::uint64_t seed) {
+  std::printf("\n--- %s ---\n", title);
+  attack::CampaignOptions opts;
+  opts.record_events = true;
+  const attack::CampaignSimulator sim(scenario, attack::ThreatProfile::stuxnet(),
+                                      catalog, {}, opts);
+  stats::Rng rng(seed);
+  const attack::CampaignResult r = sim.run(rng);
+
+  for (const auto& e : r.events) {
+    std::printf("  t=%8.1f h  %-18s %s\n", e.time,
+                scenario.topology.node(e.node).name.c_str(), e.what.c_str());
+  }
+  std::printf("  outcome: %s\n", r.attack_succeeded()
+                                     ? "ATTACK SUCCEEDED (device impaired)"
+                                 : r.detected() ? "attack detected and halted"
+                                                : "attack incomplete at horizon");
+  if (r.time_to_attack)
+    std::printf("  Time-To-Attack: %.1f h\n", *r.time_to_attack);
+  if (r.time_to_detection)
+    std::printf("  Time-To-Security-Failure: %.1f h\n", *r.time_to_detection);
+  std::printf("  hosts compromised: %zu, PLCs compromised: %zu\n",
+              r.hosts_compromised, r.plcs_compromised);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 5;
+  const divers::VariantCatalog catalog = divers::VariantCatalog::standard(2013);
+  const core::SystemDescription desc = core::make_scope_description(catalog);
+
+  std::printf("== One Stuxnet-like campaign, traced (seed %llu) ==\n",
+              static_cast<unsigned long long>(seed));
+
+  trace_campaign("monoculture deployment",
+                 desc.instantiate(desc.baseline_configuration()), catalog, seed);
+
+  core::Configuration diverse = desc.baseline_configuration();
+  diverse.variant[1] = 2;  // control-zone OS -> linux
+  diverse.variant[2] = 3;  // PLC firmware -> abb
+  diverse.variant[4] = 1;  // firewall -> ngfw
+  trace_campaign("diversified deployment (control OS, PLC firmware, firewall)",
+                 desc.instantiate(diverse), catalog, seed);
+
+  std::printf(
+      "\nSame worm, same seed: on the monoculture every exploit ports\n"
+      "unchanged; on the diversified system the attacker burns attempts on\n"
+      "components its exploits were not developed against.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// attack_tree.h — AND/OR attack trees.
+//
+// One of the three modeling formalisms the paper names ("Bayesian
+// networks, Petri-nets, or attack trees"). Leaves are basic attack steps
+// with a success probability, an expected time and a resource cost;
+// internal nodes combine children with AND (all required, sequential) or
+// OR (any one suffices). The tree answers the paper's "effort it takes to
+// conduct a successful attack (in terms of attack resources and time)":
+// success probability, cheapest cut, fastest cut, and the enumeration of
+// minimal attack scenarios (cut sets).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace divsec::attack {
+
+class AttackTree {
+ public:
+  using NodeId = std::size_t;
+
+  enum class GateKind : std::uint8_t { kLeaf, kAnd, kOr };
+
+  /// Add a basic attack step.
+  NodeId add_leaf(std::string name, double probability, double time_hours,
+                  double cost);
+
+  /// Add an AND gate over existing children (all must succeed; times and
+  /// costs add).
+  NodeId add_and(std::string name, std::vector<NodeId> children);
+
+  /// Add an OR gate over existing children (any suffices; attacker picks
+  /// the best child).
+  NodeId add_or(std::string name, std::vector<NodeId> children);
+
+  void set_root(NodeId id);
+  [[nodiscard]] NodeId root() const;
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] const std::string& name(NodeId id) const { return nodes_.at(id).name; }
+  [[nodiscard]] GateKind kind(NodeId id) const { return nodes_.at(id).kind; }
+
+  /// Success probability assuming independent leaves: AND multiplies,
+  /// OR complements (1 - prod(1 - p)).
+  [[nodiscard]] double success_probability() const;
+
+  /// Minimum total cost of a successful scenario (OR: min child; AND: sum).
+  [[nodiscard]] double min_cost() const;
+
+  /// Minimum total time of a successful scenario (sequential attacker:
+  /// AND sums, OR takes the fastest child).
+  [[nodiscard]] double min_time() const;
+
+  /// All minimal attack scenarios (cut sets) as lists of leaf ids.
+  /// Throws std::length_error if more than `limit` scenarios exist.
+  [[nodiscard]] std::vector<std::vector<NodeId>> attack_scenarios(
+      std::size_t limit = 10000) const;
+
+  /// Multiply the probability of every leaf whose name contains
+  /// `name_substring` by `factor` (clamped to [0,1]): the hook used to
+  /// model swapping in a more resilient component variant.
+  void scale_leaf_probabilities(const std::string& name_substring, double factor);
+
+ private:
+  struct Node {
+    std::string name;
+    GateKind kind = GateKind::kLeaf;
+    double probability = 0.0;  // leaves
+    double time_hours = 0.0;   // leaves
+    double cost = 0.0;         // leaves
+    std::vector<NodeId> children;
+  };
+
+  [[nodiscard]] double probability_of(NodeId id) const;
+  [[nodiscard]] double cost_of(NodeId id) const;
+  [[nodiscard]] double time_of(NodeId id) const;
+  void scenarios_of(NodeId id, std::vector<std::vector<NodeId>>& out,
+                    std::size_t limit) const;
+  void check_acyclic() const;
+
+  std::vector<Node> nodes_;
+  NodeId root_ = static_cast<NodeId>(-1);
+};
+
+/// The canonical Stuxnet-shaped tree over the paper's five stages, with
+/// per-stage leaf probabilities supplied by the caller (typically from
+/// VariantCatalog::exploit_success for a given configuration).
+[[nodiscard]] AttackTree make_staged_attack_tree(double p_delivery, double p_activation,
+                                                 double p_privesc, double p_propagation,
+                                                 double p_plc_payload);
+
+}  // namespace divsec::attack

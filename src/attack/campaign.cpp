@@ -1,0 +1,406 @@
+#include "attack/campaign.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "net/reachability.h"
+#include "sim/simulator.h"
+
+namespace divsec::attack {
+
+using divers::ComponentKind;
+using net::NodeId;
+
+void Scenario::validate(const divers::VariantCatalog& catalog) const {
+  if (software.size() != topology.node_count())
+    throw std::invalid_argument("Scenario: software size != node count");
+  if (entry_nodes.empty()) throw std::invalid_argument("Scenario: no entry nodes");
+  if (firewall_variant >= catalog.count(ComponentKind::kFirewallFirmware))
+    throw std::out_of_range("Scenario: firewall variant out of range");
+  for (NodeId n = 0; n < topology.node_count(); ++n) {
+    const auto& sw = software[n];
+    if (sw.os >= catalog.count(ComponentKind::kOs))
+      throw std::out_of_range("Scenario: OS variant out of range");
+    if (sw.protocol >= catalog.count(ComponentKind::kProtocolStack))
+      throw std::out_of_range("Scenario: protocol variant out of range");
+    if (sw.plc_firmware &&
+        *sw.plc_firmware >= catalog.count(ComponentKind::kPlcFirmware))
+      throw std::out_of_range("Scenario: PLC firmware variant out of range");
+    if (sw.hmi && *sw.hmi >= catalog.count(ComponentKind::kHmiSoftware))
+      throw std::out_of_range("Scenario: HMI variant out of range");
+    if (sw.historian && *sw.historian >= catalog.count(ComponentKind::kHistorianDb))
+      throw std::out_of_range("Scenario: historian variant out of range");
+    if (topology.node(n).role == net::Role::kPlc && !sw.plc_firmware)
+      throw std::invalid_argument("Scenario: PLC node without firmware variant");
+  }
+  for (NodeId n : entry_nodes)
+    if (n >= topology.node_count())
+      throw std::out_of_range("Scenario: entry node out of range");
+  for (NodeId n : target_plcs) {
+    if (n >= topology.node_count())
+      throw std::out_of_range("Scenario: target PLC out of range");
+    if (topology.node(n).role != net::Role::kPlc)
+      throw std::invalid_argument("Scenario: sabotage target is not a PLC");
+  }
+}
+
+double CampaignResult::ratio_at(double t) const noexcept {
+  double r = 0.0;
+  for (const auto& [time, ratio] : compromised_ratio) {
+    if (time > t) break;
+    r = ratio;
+  }
+  return r;
+}
+
+CampaignSimulator::CampaignSimulator(Scenario scenario, ThreatProfile profile,
+                                     const divers::VariantCatalog& catalog,
+                                     DetectionModel detection, CampaignOptions options)
+    : scenario_(std::move(scenario)),
+      profile_(std::move(profile)),
+      catalog_(catalog),
+      detection_(detection),
+      options_(options) {
+  profile_.validate();
+  detection_.validate();
+  scenario_.validate(catalog_);
+  if (!(options_.t_max_hours > 0.0))
+    throw std::invalid_argument("CampaignOptions: t_max_hours must be > 0");
+}
+
+namespace {
+
+/// Mutable campaign state shared by the event handlers of one run().
+struct RunState {
+  const Scenario& sc;
+  const ThreatProfile& pr;
+  const divers::VariantCatalog& cat;
+  const DetectionModel& det;
+  const CampaignOptions& opt;
+  sim::Simulator sim;
+  stats::Rng& rng;
+  CampaignResult result;
+
+  std::vector<NodeState> state;
+  std::vector<bool> plc_owned;
+  bool halted = false;  // incident response froze the attacker
+
+  RunState(const Scenario& s, const ThreatProfile& p, const divers::VariantCatalog& c,
+           const DetectionModel& d, const CampaignOptions& o, stats::Rng& r)
+      : sc(s), pr(p), cat(c), det(d), opt(o), rng(r) {
+    state.assign(sc.topology.node_count(), NodeState::kClean);
+    plc_owned.assign(sc.topology.node_count(), false);
+    result.compromised_ratio.emplace_back(0.0, 0.0);
+  }
+
+  void note(NodeId n, const char* what) {
+    if (opt.record_events) result.events.push_back({sim.now(), n, what});
+  }
+
+  [[nodiscard]] double exp_delay(double rate) {
+    return -std::log(1.0 - rng.uniform()) / rate;
+  }
+
+  [[nodiscard]] std::size_t compromised_count() const {
+    std::size_t c = 0;
+    for (NodeId n = 0; n < state.size(); ++n) {
+      if (sc.topology.node(n).role == net::Role::kPlc) {
+        if (plc_owned[n]) ++c;
+      } else if (state[n] >= NodeState::kActivated) {
+        ++c;
+      }
+    }
+    return c;
+  }
+
+  void record_ratio() {
+    const double r = static_cast<double>(compromised_count()) /
+                     static_cast<double>(sc.topology.node_count());
+    result.compromised_ratio.emplace_back(sim.now(), r);
+  }
+
+  void record_detection(const char* what) {
+    if (result.time_to_detection) return;
+    result.time_to_detection = sim.now();
+    note(0, what);
+    if (opt.detection_halts_attack) halted = true;
+    maybe_finish();
+  }
+
+  /// A failed exploitation attempt may trip crash reporting / AV / IDS.
+  /// Deliberately not stealth-discounted: crashes are loud.
+  void failed_attempt() {
+    const double p = det.failed_attempt_detection;
+    if (p > 0.0 && rng.bernoulli(p)) record_detection("failed-exploit-detected");
+  }
+
+  void maybe_finish() {
+    // Once both terminal indicators are known (or the attack is frozen
+    // and can make no further progress), stop simulating.
+    const bool tta_settled = result.time_to_attack.has_value() || halted;
+    if (tta_settled && result.time_to_detection.has_value()) sim.stop();
+  }
+
+  // --- Attack processes ------------------------------------------------
+
+  [[nodiscard]] bool effective_reach(NodeId from, NodeId to, net::Channel ch) {
+    // Physical / policy reachability; a denied-by-policy hop can still be
+    // attempted through a firewall exploit (tunnelling).
+    if (net::can_reach(sc.topology, sc.firewall, from, to, ch)) return true;
+    if (ch == net::Channel::kUsb) return false;
+    if (!sc.topology.linked(from, to)) return false;
+    const double bypass =
+        cat.exploit_success(pr.firewall_exploit, sc.firewall_variant);
+    return rng.bernoulli(bypass);
+  }
+
+  void schedule_entry() {
+    sim.schedule_in(exp_delay(pr.entry_rate), [this] {
+      if (!halted) {
+        const NodeId n = sc.entry_nodes[rng.below(sc.entry_nodes.size())];
+        if (state[n] == NodeState::kClean) {
+          state[n] = NodeState::kDelivered;
+          if (!result.time_of_entry) result.time_of_entry = sim.now();
+          note(n, "delivered");
+          schedule_activation(n);
+        }
+      }
+      schedule_entry();  // operators keep plugging media in
+    });
+  }
+
+  void schedule_activation(NodeId n) {
+    const double wf = cat.exploit_work_factor(pr.activation_exploit, sc.software[n].os);
+    sim.schedule_in(exp_delay(pr.activation_rate / wf), [this, n] {
+      if (halted || state[n] != NodeState::kDelivered) return;
+      const double p = cat.exploit_success(pr.activation_exploit, sc.software[n].os);
+      if (rng.bernoulli(p)) {
+        state[n] = NodeState::kActivated;
+        note(n, "activated");
+        record_ratio();
+        schedule_privesc(n);
+        schedule_host_detection(n);
+      } else {
+        failed_attempt();
+        schedule_activation(n);
+      }
+    });
+  }
+
+  void schedule_privesc(NodeId n) {
+    const double wf = cat.exploit_work_factor(pr.privesc_exploit, sc.software[n].os);
+    sim.schedule_in(exp_delay(pr.privesc_rate / wf), [this, n] {
+      if (halted || state[n] != NodeState::kActivated) return;
+      const double p = cat.exploit_success(pr.privesc_exploit, sc.software[n].os);
+      if (rng.bernoulli(p)) {
+        state[n] = NodeState::kRoot;
+        if (!result.first_root) result.first_root = sim.now();
+        note(n, "root");
+        schedule_propagation(n);
+        if (can_deliver_payload(n)) schedule_payload(n);
+      } else {
+        failed_attempt();
+        schedule_privesc(n);
+      }
+    });
+  }
+
+  void schedule_propagation(NodeId n) {
+    sim.schedule_in(exp_delay(pr.propagation_rate), [this, n] {
+      if (halted || state[n] != NodeState::kRoot) return;
+      // Pick a random victim and channel; most attempts fizzle, which is
+      // exactly how scanning worms behave.
+      const NodeId v = static_cast<NodeId>(rng.below(sc.topology.node_count()));
+      const net::Channel ch = pr.channels[rng.below(pr.channels.size())];
+      const bool host_target = sc.topology.node(v).role != net::Role::kPlc &&
+                               sc.topology.node(v).role != net::Role::kSensorGateway;
+      if (v != n && host_target && state[v] == NodeState::kClean &&
+          effective_reach(n, v, ch)) {
+        const double p = cat.exploit_success(pr.lateral_exploit, sc.software[v].os);
+        if (rng.bernoulli(p)) {
+          state[v] = NodeState::kDelivered;
+          note(v, "delivered-lateral");
+          schedule_activation(v);
+        } else {
+          failed_attempt();
+        }
+      }
+      schedule_propagation(n);
+    });
+  }
+
+  [[nodiscard]] bool can_deliver_payload(NodeId n) const {
+    const net::Role r = sc.topology.node(n).role;
+    return pr.has_sabotage_payload &&
+           (r == net::Role::kEngineering || r == net::Role::kScadaServer);
+  }
+
+  void schedule_payload(NodeId n) {
+    sim.schedule_in(exp_delay(pr.payload_rate), [this, n] {
+      if (halted || state[n] != NodeState::kRoot) return;
+      // Choose an unowned target PLC reachable over an engineering or
+      // fieldbus channel.
+      std::vector<NodeId> candidates;
+      for (NodeId plc : sc.target_plcs)
+        if (!plc_owned[plc]) candidates.push_back(plc);
+      if (!candidates.empty()) {
+        const NodeId plc = candidates[rng.below(candidates.size())];
+        const bool via_project = effective_reach(n, plc, net::Channel::kProjectFile);
+        const bool via_modbus =
+            !via_project && effective_reach(n, plc, net::Channel::kModbus);
+        if (via_project || via_modbus) {
+          double p = cat.exploit_success(pr.plc_exploit, *sc.software[plc].plc_firmware);
+          if (via_modbus)  // fieldbus route also has to abuse the stack
+            p *= cat.exploit_success(pr.protocol_exploit, sc.software[plc].protocol);
+          if (rng.bernoulli(p)) {
+            plc_owned[plc] = true;
+            if (!result.first_plc_compromise) result.first_plc_compromise = sim.now();
+            note(plc, "plc-compromised");
+            record_ratio();
+            schedule_sabotage(plc);
+            schedule_alarm_detection();
+          } else {
+            failed_attempt();
+          }
+        }
+      }
+      schedule_payload(n);
+    });
+  }
+
+  void schedule_sabotage(NodeId plc) {
+    sim.schedule_in(exp_delay(1.0 / pr.sabotage_mean_hours), [this, plc] {
+      if (halted || !plc_owned[plc]) return;
+      if (!result.time_to_attack) {
+        result.time_to_attack = sim.now();
+        note(plc, "device-impaired");
+        maybe_finish();
+      }
+    });
+  }
+
+  // --- Detection processes ----------------------------------------------
+
+  void schedule_host_detection(NodeId n) {
+    const double rate = det.host_detection_rate * (1.0 - pr.stealth);
+    if (rate <= 0.0) return;
+    sim.schedule_in(exp_delay(rate), [this, n] {
+      if (result.time_to_detection) return;
+      if (state[n] >= NodeState::kActivated) {
+        record_detection("host-ids-detection");
+        return;
+      }
+      schedule_host_detection(n);
+    });
+  }
+
+  [[nodiscard]] double effective_spoof() const {
+    // Full-strength spoofing needs an owned monitoring view (HMI, SCADA
+    // server, or the engineering station running the vendor tools, where
+    // Stuxnet actually hooked the s7otbxdx DLL); otherwise replaying
+    // recorded signals is only half effective.
+    bool view_owned = false;
+    for (NodeId n = 0; n < state.size(); ++n) {
+      const net::Role r = sc.topology.node(n).role;
+      if ((r == net::Role::kHmi || r == net::Role::kScadaServer ||
+           r == net::Role::kEngineering) &&
+          state[n] == NodeState::kRoot) {
+        view_owned = true;
+        break;
+      }
+    }
+    return pr.spoof_effectiveness * (view_owned ? 1.0 : 0.5);
+  }
+
+  void schedule_alarm_detection() {
+    // Thinning: poll at the undefended alarm rate, accept with the
+    // current spoof-adjusted probability.
+    if (det.alarm_detection_rate <= 0.0) return;
+    sim.schedule_in(exp_delay(det.alarm_detection_rate), [this] {
+      if (result.time_to_detection) return;
+      bool any_owned = false;
+      for (NodeId n = 0; n < plc_owned.size(); ++n)
+        if (plc_owned[n]) any_owned = true;
+      if (!any_owned) return;
+      if (rng.bernoulli(1.0 - effective_spoof())) {
+        record_detection("plant-alarm-detection");
+        return;
+      }
+      schedule_alarm_detection();
+    });
+  }
+};
+
+}  // namespace
+
+CampaignResult CampaignSimulator::run(stats::Rng& rng) const {
+  RunState st(scenario_, profile_, catalog_, detection_, options_, rng);
+  st.schedule_entry();
+  st.sim.run_until(options_.t_max_hours);
+  st.result.hosts_compromised = 0;
+  st.result.plcs_compromised = 0;
+  for (NodeId n = 0; n < st.state.size(); ++n) {
+    if (st.sc.topology.node(n).role == net::Role::kPlc) {
+      if (st.plc_owned[n]) ++st.result.plcs_compromised;
+    } else if (st.state[n] >= NodeState::kActivated) {
+      ++st.result.hosts_compromised;
+    }
+  }
+  return std::move(st.result);
+}
+
+Scenario make_scope_cooling_scenario() {
+  Scenario sc;
+  auto& t = sc.topology;
+  using net::Role;
+  using net::Zone;
+  // Corporate
+  const auto ws1 = t.add_node("corp.ws1", Zone::kCorporate, Role::kWorkstation, true);
+  const auto ws2 = t.add_node("corp.ws2", Zone::kCorporate, Role::kWorkstation, true);
+  const auto mail = t.add_node("corp.server", Zone::kCorporate, Role::kServer, false);
+  // DMZ
+  const auto mirror = t.add_node("dmz.hist-mirror", Zone::kDmz, Role::kHistorian, false);
+  // Control
+  const auto scada = t.add_node("ctl.scada", Zone::kControl, Role::kScadaServer, false);
+  const auto eng = t.add_node("ctl.eng", Zone::kControl, Role::kEngineering, true);
+  const auto hmi = t.add_node("ctl.hmi", Zone::kControl, Role::kHmi, false);
+  const auto hist = t.add_node("ctl.historian", Zone::kControl, Role::kHistorian, false);
+  // Field
+  const auto plc1 = t.add_node("fld.plc-chiller", Zone::kField, Role::kPlc, false);
+  const auto plc2 = t.add_node("fld.plc-crac", Zone::kField, Role::kPlc, false);
+  const auto gw = t.add_node("fld.sensor-gw", Zone::kField, Role::kSensorGateway, false);
+
+  // Corporate LAN
+  t.connect(ws1, ws2);
+  t.connect(ws1, mail);
+  t.connect(ws2, mail);
+  // Corporate <-> DMZ <-> control
+  t.connect(mail, mirror);
+  t.connect(mirror, hist);
+  // Control LAN
+  t.connect(scada, eng);
+  t.connect(scada, hmi);
+  t.connect(scada, hist);
+  t.connect(eng, hmi);
+  // Control <-> field
+  t.connect(scada, plc1);
+  t.connect(scada, plc2);
+  t.connect(eng, plc1);
+  t.connect(eng, plc2);
+  t.connect(scada, gw);
+
+  sc.firewall = net::Firewall::segmented_ics();
+  sc.firewall_variant = 0;
+  sc.software.assign(t.node_count(), NodeSoftware{});
+  sc.software[plc1].plc_firmware = 0;
+  sc.software[plc2].plc_firmware = 0;
+  sc.software[hmi].hmi = 0;
+  sc.software[mirror].historian = 0;
+  sc.software[hist].historian = 0;
+  sc.entry_nodes = {ws1, ws2, eng};
+  sc.target_plcs = {plc1, plc2};
+  return sc;
+}
+
+}  // namespace divsec::attack

@@ -1,0 +1,121 @@
+// campaign.h — network-level attack campaign simulation.
+//
+// Where san_model.h abstracts the whole system into one staged token,
+// the campaign simulator plays the attack out node by node over the real
+// topology: delivery through entry channels, per-node activation and
+// privilege escalation (success probabilities derived from each node's
+// deployed variants), worm-style lateral movement constrained by the
+// firewall policy, PLC payload delivery from engineering/SCADA footholds,
+// slow physical sabotage, and two detection channels (host IDS vs plant
+// alarms, the latter suppressed by Stuxnet-style monitoring spoofing).
+//
+// It produces the paper's three indicators directly:
+//   * Time-To-Attack            — sabotage completed,
+//   * Time-To-Security-Failure  — first perceived manifestation,
+//   * compromised ratio c(t)    — step curve of owned nodes over time.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "attack/threat.h"
+#include "divers/variants.h"
+#include "net/firewall.h"
+#include "net/topology.h"
+#include "stats/rng.h"
+
+namespace divsec::attack {
+
+/// Variant assignment for the software running on one node. Indices refer
+/// to VariantCatalog entries of the respective kind.
+struct NodeSoftware {
+  std::size_t os = 0;
+  std::size_t protocol = 0;
+  std::optional<std::size_t> plc_firmware;  // PLC nodes
+  std::optional<std::size_t> hmi;           // HMI nodes
+  std::optional<std::size_t> historian;     // historian nodes
+};
+
+/// A concrete system under attack: topology + policy + deployed variants.
+struct Scenario {
+  net::Topology topology;
+  net::Firewall firewall;
+  std::size_t firewall_variant = 0;  // zone firewall's firmware variant
+  std::vector<NodeSoftware> software;  // one entry per node
+  std::vector<net::NodeId> entry_nodes;  // where initial delivery can land
+  std::vector<net::NodeId> target_plcs;  // sabotage targets
+
+  void validate(const divers::VariantCatalog& catalog) const;
+};
+
+enum class NodeState : std::uint8_t { kClean, kDelivered, kActivated, kRoot };
+
+struct CampaignEvent {
+  double time = 0.0;
+  net::NodeId node = 0;
+  std::string what;
+};
+
+struct CampaignResult {
+  std::optional<double> time_of_entry;
+  std::optional<double> first_root;
+  std::optional<double> first_plc_compromise;
+  std::optional<double> time_to_attack;     // TTA: sabotage completed
+  std::optional<double> time_to_detection;  // TTSF: perceived manifestation
+  /// Step curve (time, compromised ratio); starts at (0, 0).
+  std::vector<std::pair<double, double>> compromised_ratio;
+  std::vector<CampaignEvent> events;  // only when record_events
+  std::size_t hosts_compromised = 0;  // final count (>= activated)
+  std::size_t plcs_compromised = 0;
+
+  /// The attack completed sabotage before being detected and within the
+  /// horizon — the paper's "successful attack".
+  [[nodiscard]] bool attack_succeeded() const noexcept {
+    return time_to_attack.has_value() &&
+           (!time_to_detection.has_value() ||
+            *time_to_attack <= *time_to_detection);
+  }
+  [[nodiscard]] bool detected() const noexcept {
+    return time_to_detection.has_value();
+  }
+  /// Compromised ratio at time t (step interpolation).
+  [[nodiscard]] double ratio_at(double t) const noexcept;
+};
+
+struct CampaignOptions {
+  double t_max_hours = 2160.0;  // 90-day horizon
+  bool record_events = false;
+  /// Detection freezes attacker progress (incident response).
+  bool detection_halts_attack = true;
+};
+
+class CampaignSimulator {
+ public:
+  CampaignSimulator(Scenario scenario, ThreatProfile profile,
+                    const divers::VariantCatalog& catalog,
+                    DetectionModel detection = {}, CampaignOptions options = {});
+
+  /// Run one stochastic campaign; deterministic in `rng`.
+  [[nodiscard]] CampaignResult run(stats::Rng& rng) const;
+
+  [[nodiscard]] const Scenario& scenario() const noexcept { return scenario_; }
+  [[nodiscard]] const ThreatProfile& profile() const noexcept { return profile_; }
+
+ private:
+  Scenario scenario_;
+  ThreatProfile profile_;
+  const divers::VariantCatalog& catalog_;
+  DetectionModel detection_;
+  CampaignOptions options_;
+};
+
+/// The SCoPE-like data-center cooling scenario used throughout the paper
+/// reproduction: corporate zone (2 workstations), DMZ (historian mirror),
+/// control zone (SCADA server, engineering workstation, HMI, historian),
+/// field zone (2 cooling PLCs + sensor gateway); segmented firewall; USB
+/// exposure on workstations and the engineering station. All components
+/// start at the baseline (index 0) variants: the monoculture.
+[[nodiscard]] Scenario make_scope_cooling_scenario();
+
+}  // namespace divsec::attack

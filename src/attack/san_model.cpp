@@ -1,0 +1,146 @@
+#include "attack/san_model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace divsec::attack {
+
+namespace {
+
+san::Predicate token_at(san::PlaceId p) {
+  return [p](const san::Marking& m) { return m[p] >= 1; };
+}
+
+}  // namespace
+
+san::Predicate AttackSan::success_predicate() const { return token_at(success_place); }
+san::Predicate AttackSan::detected_predicate() const { return token_at(detected_place); }
+
+san::Predicate AttackSan::terminal_predicate() const {
+  const san::PlaceId s = success_place;
+  const san::PlaceId d = detected_place;
+  return [s, d](const san::Marking& m) { return m[s] >= 1 || m[d] >= 1; };
+}
+
+AttackSan build_attack_san(const StagedAttackModel& model) {
+  model.validate();
+  AttackSan out;
+  auto& san = out.model;
+  for (std::size_t i = 0; i < kStageCount; ++i)
+    out.stage_place[i] =
+        san.add_place(std::string("stage.") + to_string(static_cast<Stage>(i)),
+                      i == 0 ? 1 : 0);
+  out.success_place = san.add_place("attack.succeeded", 0);
+  out.detected_place = san.add_place("attack.detected", 0);
+
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    const StageTransition& tr = model.transitions[i];
+    const auto advance = san.add_timed_activity(
+        std::string("advance.") + to_string(static_cast<Stage>(i)),
+        stats::Exponential{tr.attempt_rate});
+    san.add_input_arc(advance, out.stage_place[i]);
+    const std::size_t ok = san.add_case(advance, tr.success_probability);
+    const std::size_t fail = san.add_case(advance, 1.0 - tr.success_probability);
+    const san::PlaceId next =
+        (i + 1 < kStageCount) ? out.stage_place[i + 1] : out.success_place;
+    san.add_output_arc(advance, next, 1, ok);
+    san.add_output_arc(advance, out.stage_place[i], 1, fail);
+
+    if (tr.detection_rate > 0.0) {
+      const auto detect = san.add_timed_activity(
+          std::string("detect.") + to_string(static_cast<Stage>(i)),
+          stats::Exponential{tr.detection_rate});
+      san.add_input_arc(detect, out.stage_place[i]);
+      san.add_output_arc(detect, out.detected_place);
+    }
+  }
+  if (model.impairment_detection_rate > 0.0) {
+    const auto alarm = san.add_timed_activity(
+        "detect.plant-alarms", stats::Exponential{model.impairment_detection_rate});
+    san.add_input_arc(alarm, out.stage_place[kStageCount - 1]);
+    san.add_output_arc(alarm, out.detected_place);
+  }
+  san.validate();
+  return out;
+}
+
+san::Predicate TwoMachineSan::both_owned_predicate() const {
+  const san::PlaceId a = m1_owned;
+  const san::PlaceId b = m2_owned;
+  return [a, b](const san::Marking& m) { return m[a] >= 1 && m[b] >= 1; };
+}
+
+TwoMachineSan build_two_machine_san(double attempt_rate, double p1, double p2,
+                                    double reuse_probability) {
+  if (!(attempt_rate > 0.0))
+    throw std::invalid_argument("build_two_machine_san: attempt_rate must be > 0");
+  for (double p : {p1, p2, reuse_probability})
+    if (p < 0.0 || p > 1.0)
+      throw std::invalid_argument("build_two_machine_san: probabilities in [0,1]");
+
+  TwoMachineSan out;
+  auto& san = out.model;
+  const auto m1_clean = san.add_place("m1.clean", 1);
+  out.m1_owned = san.add_place("m1.owned", 0);
+  const auto m2_clean = san.add_place("m2.clean", 1);
+  out.m2_owned = san.add_place("m2.owned", 0);
+
+  const auto a1 = san.add_timed_activity("attack.m1", stats::Exponential{attempt_rate});
+  san.add_input_arc(a1, m1_clean);
+  {
+    const auto ok = san.add_case(a1, p1);
+    const auto fail = san.add_case(a1, 1.0 - p1);
+    san.add_output_arc(a1, out.m1_owned, 1, ok);
+    san.add_output_arc(a1, m1_clean, 1, fail);
+  }
+
+  const san::PlaceId m1_owned = out.m1_owned;
+  // Machine 2 before machine 1 falls: independent exploitation.
+  const auto a2_pre =
+      san.add_timed_activity("attack.m2.fresh", stats::Exponential{attempt_rate});
+  san.add_input_arc(a2_pre, m2_clean);
+  san.add_input_gate(a2_pre,
+                     [m1_owned](const san::Marking& m) { return m[m1_owned] == 0; });
+  {
+    const auto ok = san.add_case(a2_pre, p2);
+    const auto fail = san.add_case(a2_pre, 1.0 - p2);
+    san.add_output_arc(a2_pre, out.m2_owned, 1, ok);
+    san.add_output_arc(a2_pre, m2_clean, 1, fail);
+  }
+
+  // Machine 2 after machine 1 falls: the attacker replays the working
+  // exploit; on identical machines (reuse=1) it lands immediately.
+  const double q = std::max(p2, reuse_probability);
+  const auto a2_post =
+      san.add_timed_activity("attack.m2.replay", stats::Exponential{attempt_rate});
+  san.add_input_arc(a2_post, m2_clean);
+  san.add_input_gate(a2_post,
+                     [m1_owned](const san::Marking& m) { return m[m1_owned] >= 1; });
+  {
+    const auto ok = san.add_case(a2_post, q);
+    const auto fail = san.add_case(a2_post, 1.0 - q);
+    san.add_output_arc(a2_post, out.m2_owned, 1, ok);
+    san.add_output_arc(a2_post, m2_clean, 1, fail);
+  }
+
+  san.validate();
+  return out;
+}
+
+double two_machine_success_probability(double attempt_rate, double p1, double p2,
+                                       double reuse_probability, double t) {
+  if (!(attempt_rate > 0.0) || t < 0.0)
+    throw std::invalid_argument("two_machine_success_probability: bad arguments");
+  const double l1 = attempt_rate * p1;
+  const double l2a = attempt_rate * p2;
+  const double l2b = attempt_rate * std::max(p2, reuse_probability);
+  if (l1 <= 0.0 || l2b <= 0.0) return 0.0;
+  // P = (1 - e^{-l1 t}) - e^{-l2b t} * l1/(l1+l2a-l2b) * (1 - e^{-(l1+l2a-l2b) t})
+  const double d = l1 + l2a - l2b;
+  const double head = -std::expm1(-l1 * t);
+  if (std::fabs(d) < 1e-12)
+    return head - std::exp(-l2b * t) * l1 * t;
+  return head - std::exp(-l2b * t) * (l1 / d) * (-std::expm1(-d * t));
+}
+
+}  // namespace divsec::attack

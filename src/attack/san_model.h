@@ -1,0 +1,65 @@
+// san_model.h — compile attack models into stochastic activity networks.
+//
+// Bridges the attack formalization (stages.h) to the SAN engine (san/):
+// each stage transition becomes a timed activity with a success/fail case
+// pair; detection becomes competing timed activities into an absorbing
+// Detected place. Time-To-Attack and Time-To-Security-Failure are first
+// passage times of the resulting SAN (san::first_passage).
+#pragma once
+
+#include "attack/stages.h"
+#include "san/model.h"
+
+namespace divsec::attack {
+
+/// A staged-attack SAN plus the places its indicators are defined on.
+struct AttackSan {
+  san::SanModel model;
+  std::array<san::PlaceId, kStageCount> stage_place{};
+  san::PlaceId success_place = 0;   // device destroyed (attack complete)
+  san::PlaceId detected_place = 0;  // operators perceived the attack
+
+  /// Predicate: attack completed (TTA absorption).
+  [[nodiscard]] san::Predicate success_predicate() const;
+  /// Predicate: attack detected (TTSF absorption).
+  [[nodiscard]] san::Predicate detected_predicate() const;
+  /// Predicate: either absorbing state reached.
+  [[nodiscard]] san::Predicate terminal_predicate() const;
+};
+
+/// Build the 5-stage SAN. Semantics:
+///  * the attack token starts in stage_place[0] (kInitial);
+///  * transition i fires at exp(attempt_rate) and moves the token forward
+///    with probability success_probability, else returns it (retry);
+///  * while at stage i a detection activity at exp(detection_rate)
+///    competes and moves the token to Detected (absorbing);
+///  * completing the final (sabotage) transition moves it to Succeeded
+///    (absorbing); while sabotage is underway impairment_detection_rate
+///    competes as well.
+[[nodiscard]] AttackSan build_attack_san(const StagedAttackModel& model);
+
+/// The paper's Section I two-machine example as a SAN.
+///
+/// Both machines are attacked in parallel at exp(attempt_rate) each. A
+/// machine-1 attempt succeeds with probability p1. A machine-2 attempt
+/// succeeds with probability p2 while machine 1 is uncompromised, and
+/// with max(p2, reuse_probability) once machine 1 is owned (exploit
+/// replay): reuse_probability = 1 models identical machines, 0 models
+/// full diversity. The attack succeeds when both are owned.
+struct TwoMachineSan {
+  san::SanModel model;
+  san::PlaceId m1_owned = 0;
+  san::PlaceId m2_owned = 0;
+  [[nodiscard]] san::Predicate both_owned_predicate() const;
+};
+[[nodiscard]] TwoMachineSan build_two_machine_san(double attempt_rate, double p1,
+                                                  double p2, double reuse_probability);
+
+/// Closed-form check for the two-machine model: probability both machines
+/// are owned by time T (sequential integration of the parallel race).
+[[nodiscard]] double two_machine_success_probability(double attempt_rate, double p1,
+                                                     double p2,
+                                                     double reuse_probability,
+                                                     double t);
+
+}  // namespace divsec::attack

@@ -1,0 +1,44 @@
+#include "attack/stages.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace divsec::attack {
+
+const char* to_string(Stage s) noexcept {
+  switch (s) {
+    case Stage::kInitial: return "initial";
+    case Stage::kActivated: return "activated";
+    case Stage::kRootAccess: return "root-access";
+    case Stage::kPropagation: return "propagation";
+    case Stage::kDeviceImpairment: return "device-impairment";
+  }
+  return "?";
+}
+
+void StagedAttackModel::validate() const {
+  for (const auto& t : transitions) {
+    if (!(t.attempt_rate > 0.0))
+      throw std::invalid_argument(name + ": attempt_rate must be > 0");
+    if (t.success_probability < 0.0 || t.success_probability > 1.0)
+      throw std::invalid_argument(name + ": success_probability must be in [0,1]");
+    if (t.detection_rate < 0.0)
+      throw std::invalid_argument(name + ": detection_rate must be >= 0");
+  }
+  if (impairment_detection_rate < 0.0)
+    throw std::invalid_argument(name + ": impairment_detection_rate must be >= 0");
+}
+
+double StagedAttackModel::expected_stage_time(std::size_t i) const {
+  const auto& t = transitions.at(i);
+  if (t.success_probability <= 0.0) return std::numeric_limits<double>::infinity();
+  return 1.0 / (t.attempt_rate * t.success_probability);
+}
+
+double StagedAttackModel::expected_total_time() const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < transitions.size(); ++i) acc += expected_stage_time(i);
+  return acc;
+}
+
+}  // namespace divsec::attack

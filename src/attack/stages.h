@@ -1,0 +1,68 @@
+// stages.h — the paper's attack progression stages.
+//
+// "Progression of an attack, in terms of the stages the attack undergoes
+// before success (e.g., initial, activated, root access, network
+// propagation, device impairment) is formalized by means of a model."
+//
+// StagedAttackModel is exactly that formalization: for each stage
+// transition, an attempt rate (how often the attacker gets a shot) and a
+// success probability (which depends on the deployed component variants —
+// the diversity hook), plus per-stage detection rates competing with
+// progression. san_model.h compiles it into a SAN; the campaign
+// simulator (campaign.h) uses the same stage semantics per node.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace divsec::attack {
+
+enum class Stage : std::uint8_t {
+  kInitial = 0,       // malware delivered but dormant
+  kActivated,         // executing with user privileges
+  kRootAccess,        // privileged on the node
+  kPropagation,       // spreading / reaching the control network
+  kDeviceImpairment,  // PLC payload delivered, physical sabotage underway
+};
+
+inline constexpr std::size_t kStageCount = 5;
+
+[[nodiscard]] const char* to_string(Stage s) noexcept;
+
+/// Parameters of one stage transition (stage i -> i+1).
+struct StageTransition {
+  /// Attempts per hour the attacker makes at this stage.
+  double attempt_rate = 0.1;
+  /// Per-attempt success probability (variant-dependent; in [0,1]).
+  double success_probability = 0.5;
+  /// Detections per hour while the attack sits at this stage
+  /// (host IDS, operator suspicion, plant alarms...).
+  double detection_rate = 0.0;
+};
+
+/// The system-level staged model: 5 transitions (from kInitial through
+/// completion of kDeviceImpairment) and a post-impairment detection rate
+/// (plant alarms; spoofing suppresses it).
+struct StagedAttackModel {
+  std::string name = "staged-attack";
+  /// transitions[i] moves from Stage(i) to Stage(i+1); the last entry is
+  /// the sabotage-completion transition out of kDeviceImpairment into
+  /// mission success (device destroyed).
+  std::array<StageTransition, kStageCount> transitions{};
+  /// Alarm-channel detection rate once impairment is underway.
+  double impairment_detection_rate = 0.0;
+
+  /// Validate rates/probabilities; throws std::invalid_argument.
+  void validate() const;
+
+  /// Closed-form mean time to traverse stage i (geometric number of
+  /// exponential attempts): 1 / (rate * p). Infinite if p == 0.
+  [[nodiscard]] double expected_stage_time(std::size_t i) const;
+
+  /// Sum of expected stage times (ignores detection): the analytic
+  /// approximation of mean Time-To-Attack used for cross-checks.
+  [[nodiscard]] double expected_total_time() const;
+};
+
+}  // namespace divsec::attack

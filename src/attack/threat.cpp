@@ -1,0 +1,113 @@
+#include "attack/threat.h"
+
+#include <stdexcept>
+
+namespace divsec::attack {
+
+namespace {
+
+void check_rate(double r, const char* what, const std::string& name) {
+  if (!(r > 0.0))
+    throw std::invalid_argument(name + ": " + what + " must be > 0");
+}
+
+}  // namespace
+
+void ThreatProfile::validate() const {
+  if (name.empty()) throw std::invalid_argument("ThreatProfile: empty name");
+  if (channels.empty())
+    throw std::invalid_argument(name + ": needs at least one channel");
+  check_rate(entry_rate, "entry_rate", name);
+  check_rate(activation_rate, "activation_rate", name);
+  check_rate(privesc_rate, "privesc_rate", name);
+  check_rate(propagation_rate, "propagation_rate", name);
+  check_rate(payload_rate, "payload_rate", name);
+  check_rate(sabotage_mean_hours, "sabotage_mean_hours", name);
+  if (stealth < 0.0 || stealth >= 1.0)
+    throw std::invalid_argument(name + ": stealth must be in [0,1)");
+  if (spoof_effectiveness < 0.0 || spoof_effectiveness > 1.0)
+    throw std::invalid_argument(name + ": spoof_effectiveness must be in [0,1]");
+}
+
+void DetectionModel::validate() const {
+  if (host_detection_rate < 0.0 || alarm_detection_rate < 0.0)
+    throw std::invalid_argument("DetectionModel: rates must be >= 0");
+  if (failed_attempt_detection < 0.0 || failed_attempt_detection > 1.0)
+    throw std::invalid_argument(
+        "DetectionModel: failed_attempt_detection must be in [0,1]");
+}
+
+ThreatProfile ThreatProfile::stuxnet() {
+  using divers::ComponentKind;
+  ThreatProfile p;
+  p.name = "stuxnet";
+  p.channels = {net::Channel::kUsb, net::Channel::kSmbShare,
+                net::Channel::kPrintSpooler, net::Channel::kProjectFile};
+  // Zero-days developed against the legacy Windows build (dev_variant 0).
+  p.activation_exploit = {"stuxnet.lnk", ComponentKind::kOs, 110, /*zero_day=*/true,
+                          /*dev_variant=*/0, /*base_success=*/0.9};
+  p.privesc_exploit = {"stuxnet.keyboard-layout", ComponentKind::kOs, 111, true, 0, 0.8};
+  p.lateral_exploit = {"stuxnet.spooler", ComponentKind::kOs, 101, /*zero_day=*/false,
+                       0, 0.7};
+  p.firewall_exploit = {"stuxnet.fw-tunnel", ComponentKind::kFirewallFirmware, 501,
+                        false, 0, 0.3};
+  // The PLC reprogramming and s7comm abuse exploit *legitimate*
+  // functionality (no patch exists): modelled as zero-days, so only code
+  // diversity (gadget survival) and hardening degrade them.
+  p.protocol_exploit = {"stuxnet.s7comm", ComponentKind::kProtocolStack, 301,
+                        /*zero_day=*/true, 0, 0.6};
+  p.plc_exploit = {"stuxnet.plc-rootkit", ComponentKind::kPlcFirmware, 201,
+                   /*zero_day=*/true, 0, 0.85};
+  p.hmi_exploit = {"stuxnet.wincc-db", ComponentKind::kHmiSoftware, 401, false, 0, 0.7};
+  p.has_sabotage_payload = true;
+  p.entry_rate = 1.0 / 72.0;
+  p.activation_rate = 0.5;
+  p.privesc_rate = 0.25;
+  p.propagation_rate = 0.2;
+  p.payload_rate = 0.15;
+  p.sabotage_mean_hours = 500.0;  // grind the device down over ~3 weeks
+  p.stealth = 0.95;
+  p.spoof_effectiveness = 0.99;   // full replay of recorded sensor values
+  p.validate();
+  return p;
+}
+
+ThreatProfile ThreatProfile::duqu() {
+  using divers::ComponentKind;
+  ThreatProfile p = stuxnet();
+  p.name = "duqu";
+  // Espionage: recon toolkit, no sabotage payload, even quieter.
+  p.channels = {net::Channel::kUsb, net::Channel::kSmbShare, net::Channel::kHttp};
+  p.activation_exploit = {"duqu.ttf", ComponentKind::kOs, 112, true, 0, 0.85};
+  p.privesc_exploit = {"duqu.privesc", ComponentKind::kOs, 113, true, 0, 0.7};
+  p.lateral_exploit = {"duqu.smb", ComponentKind::kOs, 102, false, 0, 0.5};
+  p.plc_exploit = {"duqu.none", ComponentKind::kPlcFirmware, 299, false, 0, 0.0};
+  p.has_sabotage_payload = false;
+  p.propagation_rate = 0.1;
+  p.stealth = 0.95;
+  p.spoof_effectiveness = 0.0;
+  p.validate();
+  return p;
+}
+
+ThreatProfile ThreatProfile::flame() {
+  using divers::ComponentKind;
+  ThreatProfile p = stuxnet();
+  p.name = "flame";
+  // Broad espionage: aggressive spreading, bigger footprint, less stealth.
+  p.channels = {net::Channel::kUsb, net::Channel::kSmbShare,
+                net::Channel::kPrintSpooler, net::Channel::kHttp};
+  p.activation_exploit = {"flame.msi-collision", ComponentKind::kOs, 114, true, 0, 0.8};
+  p.privesc_exploit = {"flame.privesc", ComponentKind::kOs, 103, false, 0, 0.6};
+  p.lateral_exploit = {"flame.wpad", ComponentKind::kOs, 104, false, 0, 0.65};
+  p.plc_exploit = {"flame.none", ComponentKind::kPlcFirmware, 299, false, 0, 0.0};
+  p.has_sabotage_payload = false;
+  p.propagation_rate = 0.35;
+  p.payload_rate = 0.05;
+  p.stealth = 0.7;  // ~20MB of modules: noisier
+  p.spoof_effectiveness = 0.0;
+  p.validate();
+  return p;
+}
+
+}  // namespace divsec::attack

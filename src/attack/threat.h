@@ -1,0 +1,81 @@
+// threat.h — parameterized threat profiles (Stuxnet, Duqu, Flame).
+//
+// The paper grounds its attack model in Stuxnet and names Duqu and Flame
+// as the wider threat set of its future work. A ThreatProfile bundles the
+// attacker's toolkit (exploits per component kind), propagation channels,
+// per-stage attempt rates, stealth, and — Stuxnet's signature move —
+// monitoring-signal spoofing effectiveness. Time unit: hours.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "divers/variants.h"
+#include "net/topology.h"
+
+namespace divsec::attack {
+
+struct ThreatProfile {
+  std::string name;
+
+  /// Channels the malware can propagate over.
+  std::vector<net::Channel> channels;
+
+  // --- Toolkit ------------------------------------------------------------
+  divers::Exploit activation_exploit;  // user-level code execution (OS)
+  divers::Exploit privesc_exploit;     // privilege escalation (OS)
+  divers::Exploit lateral_exploit;     // remote exploitation of peers (OS)
+  divers::Exploit firewall_exploit;    // bypass of a blocking firewall
+  divers::Exploit protocol_exploit;    // fieldbus stack abuse
+  divers::Exploit plc_exploit;         // PLC reprogramming payload
+  divers::Exploit hmi_exploit;         // HMI compromise (view spoofing)
+
+  /// Whether the profile carries a physical-sabotage payload at all
+  /// (espionage campaigns don't).
+  bool has_sabotage_payload = true;
+
+  // --- Tempo (attempts per hour) -------------------------------------------
+  double entry_rate = 1.0 / 72.0;       // initial delivery opportunities
+  double activation_rate = 0.5;
+  double privesc_rate = 0.25;
+  double propagation_rate = 0.2;        // per compromised node
+  double payload_rate = 0.1;            // PLC payload delivery attempts
+  double sabotage_mean_hours = 720.0;   // slow physical damage development
+
+  // --- Stealth ---------------------------------------------------------------
+  /// Reduces host-side detection: effective host detection rate is
+  /// base * (1 - stealth).
+  double stealth = 0.5;
+  /// Stuxnet-style replay of regular monitoring signals: reduces
+  /// alarm-channel detection during impairment by this factor.
+  double spoof_effectiveness = 0.0;
+
+  void validate() const;
+
+  // Canonical profiles. `catalog_seed` only matters in that exploits
+  // reference development-variant indices of VariantCatalog::standard.
+  [[nodiscard]] static ThreatProfile stuxnet();
+  [[nodiscard]] static ThreatProfile duqu();
+  [[nodiscard]] static ThreatProfile flame();
+};
+
+/// Base (undefended) detection rates of the monitored system; the
+/// campaign and SAN builders combine these with a profile's stealth.
+struct DetectionModel {
+  /// Undefended host-IDS detections per active compromised node per hour
+  /// (mean ~10 days per node; APT-grade stealth divides this further).
+  double host_detection_rate = 0.004;
+  /// Plant-alarm detections per hour while sabotage is underway,
+  /// before monitoring-spoofing suppression.
+  double alarm_detection_rate = 0.1;
+  /// Probability that one *failed* exploitation attempt trips defenses
+  /// (crash reports, AV signatures, IDS). Unlike resident-malware
+  /// detection this is NOT discounted by stealth — a crashed service is
+  /// noisy no matter how quiet the implant is. This is the mechanism that
+  /// makes diversity costly for the attacker: exploits that do not port
+  /// cleanly burn attempts, and attempts burn cover.
+  double failed_attempt_detection = 0.08;
+  void validate() const;
+};
+
+}  // namespace divsec::attack

@@ -1,0 +1,111 @@
+// indicators.h — the paper's security indicators and their estimators.
+//
+// Section II of the paper defines three indicators:
+//  (i)  Time-To-Attack (TTA): "the time between the beginning and
+//       completion of an attack";
+//  (ii) Time-To-Security-Failure (TTSF, after Madan et al. DSN'02): "the
+//       time between the beginning of the attack and the perceived attack
+//       manifestation";
+//  (iii) compromised ratio: "the number of compromised components at time
+//       t with respect to the total number of components".
+//
+// Two measurement engines estimate them for a (description,
+// configuration, threat) triple:
+//  * kCampaign — the node-level network campaign simulator (slower,
+//    produces all three indicators including c(t) curves);
+//  * kStagedSan — the staged-attack SAN abstraction (fast; TTA/TTSF as
+//    first-passage times; ratio degenerates to success indicator).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "attack/san_model.h"
+#include "attack/stages.h"
+#include "core/configuration.h"
+#include "stats/descriptive.h"
+
+namespace divsec::core {
+
+enum class Engine { kCampaign, kStagedSan };
+
+/// Per-replication raw indicator values. Censored times are recorded at
+/// the horizon t_max (standard fixed-censoring convention; the censored
+/// flags preserve the information).
+struct IndicatorSample {
+  double tta = 0.0;
+  bool tta_censored = true;
+  double ttsf = 0.0;
+  bool ttsf_censored = true;
+  bool attack_succeeded = false;
+  double final_ratio = 0.0;  // campaign engine only
+};
+
+/// Replication-aggregated indicator estimates for one configuration.
+struct IndicatorSummary {
+  std::size_t replications = 0;
+  double horizon_hours = 0.0;
+
+  stats::OnlineStats tta;   // censored values included at horizon
+  std::size_t tta_censored = 0;
+  stats::OnlineStats ttsf;
+  std::size_t ttsf_censored = 0;
+  stats::OnlineStats final_ratio;
+  std::size_t successes = 0;
+
+  [[nodiscard]] double attack_success_probability() const noexcept {
+    return replications ? static_cast<double>(successes) /
+                              static_cast<double>(replications)
+                        : 0.0;
+  }
+
+  std::vector<IndicatorSample> samples;  // per replication, in order
+};
+
+struct MeasurementOptions {
+  Engine engine = Engine::kCampaign;
+  std::size_t replications = 100;
+  std::uint64_t seed = 2013;  // DSN 2013
+  attack::CampaignOptions campaign{};
+  attack::DetectionModel detection{};
+};
+
+/// Step-1 bridge: derive the staged attack model (per-stage success
+/// probabilities and rates) for a concrete configuration. This is the
+/// "Attack Modeling" output of the pipeline: the component variants
+/// picked by `config` determine the probabilities, exactly as the paper
+/// prescribes.
+[[nodiscard]] attack::StagedAttackModel derive_staged_model(
+    const SystemDescription& description, const Configuration& config,
+    const attack::ThreatProfile& profile, const attack::DetectionModel& detection);
+
+/// Measure all indicators for one configuration.
+[[nodiscard]] IndicatorSummary measure_indicators(
+    const SystemDescription& description, const Configuration& config,
+    const attack::ThreatProfile& profile, const MeasurementOptions& options);
+
+/// Statistical comparison of two configurations' indicator summaries:
+/// is B actually safer than A, or is the difference noise?
+struct IndicatorComparison {
+  /// Two-proportion z-test on attack success counts (A vs B).
+  stats::ProportionTest success;
+  /// Welch t-tests on the (censored-at-horizon) indicator values.
+  stats::WelchTest tta;
+  stats::WelchTest ttsf;
+  /// Convenience verdict at the given alpha: B has significantly lower
+  /// attack success probability than A.
+  [[nodiscard]] bool b_is_significantly_safer(double alpha = 0.05) const noexcept {
+    return success.difference > 0.0 && success.p_value < alpha;
+  }
+};
+[[nodiscard]] IndicatorComparison compare_indicators(const IndicatorSummary& a,
+                                                     const IndicatorSummary& b);
+
+/// Mean compromised-ratio curve over replications, sampled at the given
+/// time grid (campaign engine only).
+[[nodiscard]] std::vector<double> mean_compromised_ratio_curve(
+    const SystemDescription& description, const Configuration& config,
+    const attack::ThreatProfile& profile, const MeasurementOptions& options,
+    const std::vector<double>& time_grid_hours);
+
+}  // namespace divsec::core

@@ -1,0 +1,127 @@
+#include "core/optimizer.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace divsec::core {
+
+double attack_success_probability(const SystemDescription& description,
+                                  const Configuration& config,
+                                  const attack::ThreatProfile& profile,
+                                  const MeasurementOptions& options) {
+  return measure_indicators(description, config, profile, options)
+      .attack_success_probability();
+}
+
+UpgradePlan greedy_diversification(const SystemDescription& description,
+                                   const attack::ThreatProfile& profile,
+                                   const MeasurementOptions& options,
+                                   double cost_budget) {
+  if (cost_budget < 0.0)
+    throw std::invalid_argument("greedy_diversification: negative budget");
+  const auto& comps = description.components();
+  const auto& cat = description.catalog();
+
+  UpgradePlan plan;
+  plan.configuration = description.baseline_configuration();
+  plan.baseline_success_prob =
+      attack_success_probability(description, plan.configuration, profile, options);
+  double current = plan.baseline_success_prob;
+  double budget = cost_budget;
+
+  for (;;) {
+    double best_ratio = 0.0;
+    std::size_t best_comp = comps.size();
+    std::size_t best_variant = 0;
+    double best_prob = current;
+    double best_cost = 0.0;
+
+    for (std::size_t ci = 0; ci < comps.size(); ++ci) {
+      const auto n_variants = cat.count(comps[ci].kind);
+      for (std::size_t v = 0; v < n_variants; ++v) {
+        if (v == plan.configuration.variant[ci]) continue;
+        Configuration candidate = plan.configuration;
+        candidate.variant[ci] = v;
+        const double delta_cost = description.extra_cost(candidate) -
+                                  description.extra_cost(plan.configuration);
+        if (delta_cost <= 0.0 || delta_cost > budget) {
+          if (delta_cost > budget) continue;
+        }
+        const double cost = std::max(delta_cost, 1e-9);
+        const double p =
+            attack_success_probability(description, candidate, profile, options);
+        const double gain = current - p;
+        if (gain <= 0.0) continue;
+        const double ratio = gain / cost;
+        if (ratio > best_ratio) {
+          best_ratio = ratio;
+          best_comp = ci;
+          best_variant = v;
+          best_prob = p;
+          best_cost = delta_cost;
+        }
+      }
+    }
+    if (best_comp == comps.size()) break;  // no improving upgrade fits
+
+    UpgradeStep step;
+    step.component = comps[best_comp].name;
+    step.from_variant =
+        cat.variant(comps[best_comp].kind, plan.configuration.variant[best_comp]).name;
+    step.to_variant = cat.variant(comps[best_comp].kind, best_variant).name;
+    step.extra_cost = best_cost;
+    step.success_prob_after = best_prob;
+    plan.steps.push_back(step);
+
+    plan.configuration.variant[best_comp] = best_variant;
+    budget -= best_cost;
+    current = best_prob;
+  }
+
+  plan.planned_success_prob = current;
+  plan.total_extra_cost = description.extra_cost(plan.configuration);
+  return plan;
+}
+
+Configuration place_resilient_components(const SystemDescription& description,
+                                         std::size_t k, PlacementStrategy strategy,
+                                         const attack::ThreatProfile& profile,
+                                         const MeasurementOptions& options,
+                                         stats::Rng& rng) {
+  const auto& comps = description.components();
+  const auto& cat = description.catalog();
+  if (k > comps.size())
+    throw std::invalid_argument("place_resilient_components: k > component count");
+
+  std::vector<std::size_t> order(comps.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  if (strategy == PlacementStrategy::kRandom) {
+    for (std::size_t i = order.size() - 1; i > 0; --i)
+      std::swap(order[i], order[rng.below(i + 1)]);
+  } else {
+    // Strategic: rank by single-upgrade benefit from the baseline.
+    const Configuration base = description.baseline_configuration();
+    const double p0 = attack_success_probability(description, base, profile, options);
+    std::vector<double> benefit(comps.size());
+    for (std::size_t ci = 0; ci < comps.size(); ++ci) {
+      Configuration candidate = base;
+      candidate.variant[ci] = cat.count(comps[ci].kind) - 1;
+      benefit[ci] =
+          p0 - attack_success_probability(description, candidate, profile, options);
+    }
+    std::stable_sort(order.begin(), order.end(), [&benefit](std::size_t a, std::size_t b) {
+      return benefit[a] > benefit[b];
+    });
+  }
+
+  Configuration config = description.baseline_configuration();
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t ci = order[i];
+    config.variant[ci] = cat.count(comps[ci].kind) - 1;
+  }
+  return config;
+}
+
+}  // namespace divsec::core

@@ -1,0 +1,66 @@
+// optimizer.h — diversification planning.
+//
+// The paper's closing observation: "a small, strategically distributed,
+// number of highly attack-resilient components can significantly lower
+// the chance of bringing a successful attack to the system", and the
+// framework should drive "a balanced approach between secure system
+// design and diversification costs". This module implements both:
+// a greedy cost-aware upgrade planner, and the strategic-vs-random
+// placement comparison behind experiment E8.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/configuration.h"
+#include "core/indicators.h"
+
+namespace divsec::core {
+
+/// Estimated attack success probability for one configuration (the
+/// objective every planner minimizes). Uses the engine in `options`.
+[[nodiscard]] double attack_success_probability(const SystemDescription& description,
+                                                const Configuration& config,
+                                                const attack::ThreatProfile& profile,
+                                                const MeasurementOptions& options);
+
+struct UpgradeStep {
+  std::string component;
+  std::string from_variant;
+  std::string to_variant;
+  double extra_cost = 0.0;
+  double success_prob_after = 0.0;
+};
+
+struct UpgradePlan {
+  Configuration configuration;  // the planned final configuration
+  double baseline_success_prob = 0.0;
+  double planned_success_prob = 0.0;
+  double total_extra_cost = 0.0;
+  std::vector<UpgradeStep> steps;
+};
+
+/// Greedy marginal-benefit/cost diversification under a cost budget:
+/// repeatedly applies the single (component -> variant) upgrade with the
+/// best success-probability reduction per unit cost until the budget is
+/// exhausted or no upgrade helps.
+[[nodiscard]] UpgradePlan greedy_diversification(const SystemDescription& description,
+                                                 const attack::ThreatProfile& profile,
+                                                 const MeasurementOptions& options,
+                                                 double cost_budget);
+
+enum class PlacementStrategy {
+  kRandom,     // upgrade k uniformly random components
+  kStrategic,  // upgrade the k components with the largest single-upgrade
+               // success-probability reduction
+};
+
+/// Upgrade exactly `k` components to the most resilient (last) variant of
+/// their kind, selected by the given strategy. Random placement consumes
+/// `rng`; strategic placement is deterministic.
+[[nodiscard]] Configuration place_resilient_components(
+    const SystemDescription& description, std::size_t k, PlacementStrategy strategy,
+    const attack::ThreatProfile& profile, const MeasurementOptions& options,
+    stats::Rng& rng);
+
+}  // namespace divsec::core

@@ -1,0 +1,132 @@
+// pipeline.h — the paper's three-step modeling and evaluation approach.
+//
+// Fig. 1 of the paper: Attack Modeling -> DoE & Measurements -> Diversity
+// Assessment. Pipeline wires the three steps over a SystemDescription:
+//
+//  1. attack_model(config): formalizes the staged attack for a concrete
+//     configuration (per-stage success probabilities from the deployed
+//     variants) — the Attack Modeling box;
+//  2. measure_full_factorial()/screen(): enumerate configurations with a
+//     DoE design and measure the security indicators on each — the DoE &
+//     Measurements box;
+//  3. assess(): N-way ANOVA per indicator, allocating indicator variance
+//     to components and ranking what is "valuable to diversify in the
+//     real system implementation" — the Diversity Assessment box.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/configuration.h"
+#include "core/indicators.h"
+#include "stats/anova.h"
+#include "stats/doe.h"
+
+namespace divsec::core {
+
+struct PipelineOptions {
+  MeasurementOptions measurement{};
+  /// Highest interaction order reported by the ANOVA (higher orders are
+  /// pooled into the error term).
+  std::size_t max_interaction_order = 2;
+  /// Effects with eta^2 above this and p below alpha are recommended for
+  /// diversification.
+  double recommend_eta_squared = 0.05;
+  double recommend_alpha = 0.05;
+};
+
+/// Step-2 output: the swept design and the measured indicator cells.
+struct MeasurementTable {
+  stats::FactorSpace space;              // the swept (restricted) space
+  std::vector<std::size_t> component_index;  // swept factor -> component
+  std::vector<Configuration> configurations;  // cell order (factor 0 fastest)
+  std::vector<IndicatorSummary> summaries;    // per configuration
+  std::vector<std::vector<double>> tta_cells;     // per-cell replicate values
+  std::vector<std::vector<double>> ttsf_cells;
+  std::vector<std::vector<double>> success_cells;  // 0/1 per replicate
+
+  [[nodiscard]] std::size_t configuration_count() const noexcept {
+    return configurations.size();
+  }
+};
+
+/// Step-3 output.
+struct Assessment {
+  stats::AnovaTable tta_anova;
+  stats::AnovaTable ttsf_anova;
+  stats::AnovaTable success_anova;
+  /// Main effects sorted by descending eta^2 on the success indicator.
+  std::vector<stats::AnovaEffect> ranking;
+  /// Component names worth diversifying per the thresholds.
+  std::vector<std::string> recommended;
+  std::string report;  // printable summary
+};
+
+class Pipeline {
+ public:
+  Pipeline(const SystemDescription& description, attack::ThreatProfile profile,
+           PipelineOptions options);
+
+  /// Step 1 — Attack Modeling.
+  [[nodiscard]] attack::StagedAttackModel attack_model(const Configuration& c) const;
+
+  /// Step 2 — DoE & Measurements: full factorial over the named
+  /// components (unnamed components stay at baseline). Each factor is
+  /// truncated to at most `max_levels_per_factor` variants.
+  [[nodiscard]] MeasurementTable measure_full_factorial(
+      const std::vector<std::string>& component_names,
+      std::size_t max_levels_per_factor = 0) const;  // 0 = all levels
+
+  /// Step 2 (screening flavour) — Plackett-Burman over ALL components:
+  /// level -1 is the baseline variant, level +1 the last (most diverse)
+  /// variant of each component's kind.
+  struct Screening {
+    stats::TwoLevelDesign design;
+    std::vector<double> mean_tta;          // response per run
+    std::vector<double> success_prob;      // response per run
+    std::vector<double> tta_effects;       // main effect per factor
+    std::vector<double> success_effects;
+  };
+  [[nodiscard]] Screening screen() const;
+
+  /// Step 2 (fractional flavour) — 2^(k-p) fractional factorial: the
+  /// named base components span a full 2-level factorial; each generator
+  /// adds one component whose level column is the product of base
+  /// columns (stats::fractional_factorial). Returns the runs, responses,
+  /// estimated main effects, and the alias structure so the analyst can
+  /// see what is confounded with what — the paper's "DoE allows narrowing
+  /// the number of configurations to assess" in its textbook form.
+  struct Fractional {
+    stats::TwoLevelDesign design;
+    stats::AliasStructure aliases;
+    std::vector<double> success_prob;  // response per run
+    std::vector<double> mean_tta;
+    std::vector<double> success_effects;  // main effect per factor
+    std::vector<double> tta_effects;
+  };
+  [[nodiscard]] Fractional measure_fractional(
+      const std::vector<std::string>& base_components,
+      const std::vector<std::pair<std::string, std::string>>& generators) const;
+
+  /// Step 3 — Diversity Assessment over a full-factorial table.
+  [[nodiscard]] Assessment assess(const MeasurementTable& table) const;
+
+  /// All three steps end-to-end.
+  struct Result {
+    MeasurementTable table;
+    Assessment assessment;
+  };
+  [[nodiscard]] Result run(const std::vector<std::string>& component_names,
+                           std::size_t max_levels_per_factor = 0) const;
+
+  [[nodiscard]] const SystemDescription& description() const noexcept {
+    return *description_;
+  }
+
+ private:
+  const SystemDescription* description_;
+  attack::ThreatProfile profile_;
+  PipelineOptions options_;
+};
+
+}  // namespace divsec::core

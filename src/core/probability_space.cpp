@@ -1,0 +1,97 @@
+#include "core/probability_space.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "san/analysis.h"
+
+namespace divsec::core {
+
+StageProbabilitySpace::StageProbabilitySpace(attack::StagedAttackModel base)
+    : StageProbabilitySpace(std::move(base), {}) {
+  for (auto& r : ranges_) r = Range{0.0, 1.0};
+}
+
+StageProbabilitySpace::StageProbabilitySpace(
+    attack::StagedAttackModel base, std::array<Range, attack::kStageCount> ranges)
+    : base_(std::move(base)), ranges_(ranges) {
+  base_.validate();
+  for (const auto& r : ranges_) {
+    if (r.lo < 0.0 || r.hi > 1.0 || r.lo > r.hi)
+      throw std::invalid_argument(
+          "StageProbabilitySpace: ranges must satisfy 0 <= lo <= hi <= 1");
+  }
+}
+
+attack::StagedAttackModel StageProbabilitySpace::at(
+    std::span<const double> unit_point) const {
+  if (unit_point.size() != attack::kStageCount)
+    throw std::invalid_argument("StageProbabilitySpace::at: need one value per stage");
+  attack::StagedAttackModel m = base_;
+  for (std::size_t i = 0; i < attack::kStageCount; ++i) {
+    const double u = std::clamp(unit_point[i], 0.0, 1.0);
+    m.transitions[i].success_probability =
+        ranges_[i].lo + u * (ranges_[i].hi - ranges_[i].lo);
+  }
+  return m;
+}
+
+StageIndicator success_probability_indicator(double horizon_hours,
+                                             std::size_t replications,
+                                             std::uint64_t seed) {
+  if (!(horizon_hours > 0.0) || replications == 0)
+    throw std::invalid_argument("success_probability_indicator: bad arguments");
+  return [horizon_hours, replications, seed](const attack::StagedAttackModel& m) {
+    const attack::AttackSan asan = attack::build_attack_san(m);
+    const auto fp = san::first_passage(asan.model, asan.success_predicate(),
+                                       horizon_hours, replications, seed);
+    return fp.absorption_probability();
+  };
+}
+
+StageIndicator expected_tta_indicator() {
+  return [](const attack::StagedAttackModel& m) { return m.expected_total_time(); };
+}
+
+StageScreening morris_stage_screening(const StageProbabilitySpace& space,
+                                      const StageIndicator& indicator,
+                                      std::size_t trajectories, std::uint64_t seed) {
+  if (!indicator) throw std::invalid_argument("morris_stage_screening: null indicator");
+  stats::Rng rng(seed);
+  const stats::MorrisDesign design =
+      stats::morris_design(attack::kStageCount, trajectories, rng);
+  std::vector<double> evals;
+  evals.reserve(design.evaluation_count());
+  for (const auto& traj : design.trajectories)
+    for (const auto& point : traj.points) evals.push_back(indicator(space.at(point)));
+  StageScreening out;
+  out.effects = stats::morris_effects(design, evals);
+  out.evaluations = evals.size();
+  return out;
+}
+
+std::vector<StageTornadoEntry> stage_tornado(const StageProbabilitySpace& space,
+                                             const StageIndicator& indicator) {
+  if (!indicator) throw std::invalid_argument("stage_tornado: null indicator");
+  std::vector<StageTornadoEntry> out;
+  std::vector<double> mid(attack::kStageCount, 0.5);
+  for (std::size_t i = 0; i < attack::kStageCount; ++i) {
+    StageTornadoEntry e;
+    e.stage = i;
+    std::vector<double> point = mid;
+    point[i] = 0.0;
+    e.at_lo = indicator(space.at(point));
+    point[i] = 0.5;
+    e.at_mid = indicator(space.at(point));
+    point[i] = 1.0;
+    e.at_hi = indicator(space.at(point));
+    out.push_back(e);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const StageTornadoEntry& a, const StageTornadoEntry& b) {
+              return a.swing() > b.swing();
+            });
+  return out;
+}
+
+}  // namespace divsec::core

@@ -1,0 +1,92 @@
+// probability_space.h — direct probability injection & screening.
+//
+// The paper's DoE step explicitly allows bypassing mechanistic derivation:
+// "Impact of diversity is emulated by varying the success probabilities
+// involved at each attack stage. ... Probability values are established
+// either by means of previously documented attack history, or by emulating
+// malware samples in a controlled environment (e.g., honeypots), or by
+// performing a sensitivity analysis."
+//
+// StageProbabilitySpace is that mode: a StagedAttackModel whose per-stage
+// success probabilities are swept directly over analyst-specified ranges,
+// with Morris elementary-effects screening and OAT tornado helpers to rank
+// which stage's probability the indicators are most sensitive to.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <span>
+
+#include "attack/san_model.h"
+#include "attack/stages.h"
+#include "stats/doe.h"
+
+namespace divsec::core {
+
+/// A box in probability space around a base staged model.
+class StageProbabilitySpace {
+ public:
+  struct Range {
+    double lo = 0.0;
+    double hi = 1.0;
+  };
+
+  /// Ranges default to [0, 1] for every stage.
+  explicit StageProbabilitySpace(attack::StagedAttackModel base);
+  StageProbabilitySpace(attack::StagedAttackModel base,
+                        std::array<Range, attack::kStageCount> ranges);
+
+  /// Map a unit-cube point (one coordinate per stage) to a concrete
+  /// model: stage i's success probability = lo_i + u_i * (hi_i - lo_i).
+  [[nodiscard]] attack::StagedAttackModel at(std::span<const double> unit_point) const;
+
+  [[nodiscard]] const attack::StagedAttackModel& base() const noexcept {
+    return base_;
+  }
+  [[nodiscard]] const std::array<Range, attack::kStageCount>& ranges() const noexcept {
+    return ranges_;
+  }
+
+ private:
+  attack::StagedAttackModel base_;
+  std::array<Range, attack::kStageCount> ranges_;
+};
+
+/// A scalar indicator computed from a staged model (e.g. Monte-Carlo
+/// attack success probability, analytic E[TTA]).
+using StageIndicator = std::function<double(const attack::StagedAttackModel&)>;
+
+/// Ready-made indicators.
+/// Monte-Carlo P[attack succeeds before detection and the horizon].
+[[nodiscard]] StageIndicator success_probability_indicator(double horizon_hours,
+                                                           std::size_t replications,
+                                                           std::uint64_t seed);
+/// Closed-form expected total traversal time (ignores detection).
+[[nodiscard]] StageIndicator expected_tta_indicator();
+
+/// Morris elementary-effects screening of the stage probabilities.
+struct StageScreening {
+  stats::MorrisEffects effects;  // per stage: mu, mu*, sigma
+  std::size_t evaluations = 0;
+};
+[[nodiscard]] StageScreening morris_stage_screening(const StageProbabilitySpace& space,
+                                                    const StageIndicator& indicator,
+                                                    std::size_t trajectories,
+                                                    std::uint64_t seed);
+
+/// One-at-a-time tornado over the stage probabilities: evaluates the
+/// indicator at lo/mid/hi of each stage's range with other stages at mid.
+struct StageTornadoEntry {
+  std::size_t stage = 0;
+  double at_lo = 0.0;
+  double at_mid = 0.0;
+  double at_hi = 0.0;
+  [[nodiscard]] double swing() const noexcept {
+    return std::max(std::max(at_lo, at_hi), at_mid) -
+           std::min(std::min(at_lo, at_hi), at_mid);
+  }
+};
+[[nodiscard]] std::vector<StageTornadoEntry> stage_tornado(
+    const StageProbabilitySpace& space, const StageIndicator& indicator);
+
+}  // namespace divsec::core

@@ -1,0 +1,101 @@
+#include "core/report.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace divsec::core {
+
+namespace {
+
+/// CSV-escape a field (quote when it contains a comma/quote/newline).
+std::string escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+std::string measurement_csv(const MeasurementTable& table) {
+  std::ostringstream os;
+  for (std::size_t f = 0; f < table.space.factor_count(); ++f)
+    os << escape(table.space.factor(f).name) << ",";
+  os << "success_prob,tta_mean,tta_censored,ttsf_mean,ttsf_censored,"
+        "final_ratio_mean\n";
+  for (std::size_t c = 0; c < table.configuration_count(); ++c) {
+    const auto levels = table.space.decode(c);
+    for (std::size_t f = 0; f < table.space.factor_count(); ++f)
+      os << escape(table.space.factor(f).levels[static_cast<std::size_t>(levels[f])])
+         << ",";
+    const auto& s = table.summaries[c];
+    os << s.attack_success_probability() << "," << s.tta.mean() << ","
+       << s.tta_censored << "," << s.ttsf.mean() << "," << s.ttsf_censored << ","
+       << s.final_ratio.mean() << "\n";
+  }
+  return os.str();
+}
+
+std::string anova_csv(const stats::AnovaTable& table) {
+  std::ostringstream os;
+  os << "effect,ss,df,ms,f,p,eta2\n";
+  const auto row = [&os](const stats::AnovaEffect& e, bool with_f) {
+    os << escape(e.name) << "," << e.ss << "," << e.df << "," << e.ms << ",";
+    if (with_f)
+      os << e.f << "," << e.p_value;
+    else
+      os << ",";
+    os << "," << e.eta_squared << "\n";
+  };
+  for (const auto& e : table.effects) row(e, true);
+  row(table.error, false);
+  row(table.total, false);
+  return os.str();
+}
+
+std::string assessment_markdown(const Assessment& assessment,
+                                const std::string& title) {
+  std::ostringstream os;
+  os << "# " << title << "\n\n";
+  const auto table_md = [&os](const stats::AnovaTable& t, const char* heading) {
+    os << "## " << heading << "\n\n";
+    os << "| Effect | SS | df | MS | F | p | eta^2 |\n";
+    os << "|---|---|---|---|---|---|---|\n";
+    for (const auto& e : t.effects) {
+      os << "| " << e.name << " | " << e.ss << " | " << e.df << " | " << e.ms
+         << " | " << e.f << " | " << e.p_value << " | " << e.eta_squared
+         << " |\n";
+    }
+    os << "| Error | " << t.error.ss << " | " << t.error.df << " | " << t.error.ms
+       << " | - | - | " << t.error.eta_squared << " |\n";
+    os << "| Total | " << t.total.ss << " | " << t.total.df << " | - | - | - | 1 |\n\n";
+  };
+  table_md(assessment.success_anova, "Attack success probability");
+  table_md(assessment.tta_anova, "Time-To-Attack");
+  table_md(assessment.ttsf_anova, "Time-To-Security-Failure");
+
+  os << "## Component ranking (success-probability variance share)\n\n";
+  for (const auto& e : assessment.ranking)
+    os << "1. **" << e.name << "** — eta^2 = " << e.eta_squared
+       << ", p = " << e.p_value << "\n";
+  os << "\n## Recommended for diversification\n\n";
+  if (assessment.recommended.empty()) {
+    os << "_None met the thresholds._\n";
+  } else {
+    for (const auto& r : assessment.recommended) os << "- " << r << "\n";
+  }
+  return os.str();
+}
+
+void save_to_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_to_file: cannot open " + path);
+  out << content;
+  if (!out) throw std::runtime_error("save_to_file: write failed for " + path);
+}
+
+}  // namespace divsec::core

@@ -1,0 +1,33 @@
+// report.h — machine- and human-readable exports of pipeline results.
+//
+// The measurement and assessment artifacts need to leave the process:
+// CSV for plotting (every bench table can be regenerated into a figure),
+// Markdown for reports. Writers are pure string builders (no filesystem
+// side effects) so they are trivially testable; save_to_file is the thin
+// I/O shim.
+#pragma once
+
+#include <string>
+
+#include "core/pipeline.h"
+
+namespace divsec::core {
+
+/// CSV of a measurement table: one row per configuration with the swept
+/// factor levels and summary indicator estimates.
+/// Columns: <factor names...>,success_prob,tta_mean,tta_censored,
+///          ttsf_mean,ttsf_censored,final_ratio_mean
+[[nodiscard]] std::string measurement_csv(const MeasurementTable& table);
+
+/// CSV of one ANOVA table: effect,ss,df,ms,f,p,eta2 (+ Error/Total rows).
+[[nodiscard]] std::string anova_csv(const stats::AnovaTable& table);
+
+/// Markdown rendering of a full assessment (three ANOVA tables, ranking,
+/// recommendations).
+[[nodiscard]] std::string assessment_markdown(const Assessment& assessment,
+                                              const std::string& title);
+
+/// Write `content` to `path`; throws std::runtime_error on I/O failure.
+void save_to_file(const std::string& path, const std::string& content);
+
+}  // namespace divsec::core

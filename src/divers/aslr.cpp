@@ -1,0 +1,36 @@
+#include "divers/aslr.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace divsec::divers {
+
+AslrModel::AslrModel(int entropy_bits) : bits_(entropy_bits) {
+  if (entropy_bits < 0 || entropy_bits > 48)
+    throw std::invalid_argument("AslrModel: entropy_bits must be in [0, 48]");
+}
+
+double AslrModel::per_attempt_success() const noexcept {
+  return std::pow(2.0, -bits_);
+}
+
+double AslrModel::success_within(std::uint64_t attempts) const noexcept {
+  const double p = per_attempt_success();
+  // 1 - (1-p)^n computed stably for tiny p.
+  return -std::expm1(static_cast<double>(attempts) * std::log1p(-p));
+}
+
+double AslrModel::expected_attempts() const noexcept {
+  return std::pow(2.0, bits_);
+}
+
+std::uint64_t AslrModel::sample_attempts(stats::Rng& rng) const noexcept {
+  const double p = per_attempt_success();
+  if (p >= 1.0) return 1;
+  // Geometric via inversion: ceil(ln U / ln(1-p)).
+  const double u = 1.0 - rng.uniform();  // in (0, 1]
+  const double n = std::ceil(std::log(u) / std::log1p(-p));
+  return n < 1.0 ? 1 : static_cast<std::uint64_t>(n);
+}
+
+}  // namespace divsec::divers

@@ -1,0 +1,82 @@
+#include "net/epidemic.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "net/reachability.h"
+
+namespace divsec::net {
+
+MeanFieldEpidemic::MeanFieldEpidemic(const Topology& topology,
+                                     const Firewall& firewall,
+                                     const std::vector<Channel>& channels,
+                                     const std::vector<NodeId>& seed_nodes,
+                                     EpidemicOptions options)
+    : seeds_(seed_nodes), opt_(options) {
+  if (!(opt_.beta >= 0.0))
+    throw std::invalid_argument("MeanFieldEpidemic: beta must be >= 0");
+  if (!(opt_.dt_hours > 0.0))
+    throw std::invalid_argument("MeanFieldEpidemic: dt must be > 0");
+  if (seeds_.empty())
+    throw std::invalid_argument("MeanFieldEpidemic: need at least one seed");
+  for (NodeId s : seeds_)
+    if (s >= topology.node_count())
+      throw std::out_of_range("MeanFieldEpidemic: seed out of range");
+  // Store incoming edges: out-edges j->i from reachability_graph.
+  const auto out_edges = reachability_graph(topology, firewall, channels);
+  in_edges_.resize(topology.node_count());
+  for (NodeId j = 0; j < out_edges.size(); ++j)
+    for (NodeId i : out_edges[j]) in_edges_[i].push_back(j);
+  reset();
+}
+
+void MeanFieldEpidemic::reset() {
+  infected_.assign(in_edges_.size(), 0.0);
+  for (NodeId s : seeds_) infected_[s] = 1.0;
+  time_ = 0.0;
+}
+
+void MeanFieldEpidemic::advance(double hours) {
+  if (hours < 0.0) throw std::invalid_argument("advance: negative duration");
+  double remaining = hours;
+  std::vector<double> next(infected_.size());
+  while (remaining > 0.0) {
+    const double h = std::min(remaining, opt_.dt_hours);
+    for (NodeId i = 0; i < infected_.size(); ++i) {
+      double pressure = 0.0;
+      for (NodeId j : in_edges_[i]) pressure += infected_[j];
+      const double di = (1.0 - infected_[i]) * opt_.beta * pressure;
+      next[i] = std::clamp(infected_[i] + h * di, 0.0, 1.0);
+    }
+    infected_.swap(next);
+    time_ += h;
+    remaining -= h;
+  }
+}
+
+double MeanFieldEpidemic::infection_probability(NodeId i) const {
+  return infected_.at(i);
+}
+
+double MeanFieldEpidemic::compromised_ratio() const noexcept {
+  double s = 0.0;
+  for (double v : infected_) s += v;
+  return infected_.empty() ? 0.0 : s / static_cast<double>(infected_.size());
+}
+
+std::vector<double> MeanFieldEpidemic::ratio_curve(
+    const std::vector<double>& grid_hours) {
+  for (std::size_t i = 1; i < grid_hours.size(); ++i)
+    if (grid_hours[i] < grid_hours[i - 1])
+      throw std::invalid_argument("ratio_curve: grid must be non-decreasing");
+  reset();
+  std::vector<double> out;
+  out.reserve(grid_hours.size());
+  for (double t : grid_hours) {
+    advance(t - time_);
+    out.push_back(compromised_ratio());
+  }
+  return out;
+}
+
+}  // namespace divsec::net

@@ -1,0 +1,37 @@
+#include "net/firewall.h"
+
+namespace divsec::net {
+
+bool Firewall::allows(Zone from, Zone to, Channel channel) const noexcept {
+  if (from == to) return true;
+  for (const auto& r : rules_) {
+    const bool from_ok = !r.from.has_value() || *r.from == from;
+    const bool to_ok = !r.to.has_value() || *r.to == to;
+    const bool ch_ok = !r.channel.has_value() || *r.channel == channel;
+    if (from_ok && to_ok && ch_ok) return r.action == Action::kAllow;
+  }
+  return default_action_ == Action::kAllow;
+}
+
+Firewall Firewall::permissive() { return Firewall(Action::kAllow); }
+
+Firewall Firewall::segmented_ics() {
+  Firewall fw(Action::kDeny);
+  fw.add_rule({Zone::kCorporate, Zone::kDmz, Channel::kHttp, Action::kAllow,
+               "corporate web access to DMZ"});
+  fw.add_rule({Zone::kDmz, Zone::kCorporate, Channel::kHttp, Action::kAllow,
+               "DMZ replies / reporting"});
+  fw.add_rule({Zone::kDmz, Zone::kControl, Channel::kHttp, Action::kAllow,
+               "historian replication"});
+  fw.add_rule({Zone::kControl, Zone::kDmz, Channel::kHttp, Action::kAllow,
+               "historian push"});
+  fw.add_rule({Zone::kControl, Zone::kField, Channel::kModbus, Action::kAllow,
+               "SCADA polling of PLCs"});
+  fw.add_rule({Zone::kField, Zone::kControl, Channel::kModbus, Action::kAllow,
+               "PLC responses"});
+  fw.add_rule({Zone::kControl, Zone::kField, Channel::kProjectFile, Action::kAllow,
+               "engineering downloads"});
+  return fw;
+}
+
+}  // namespace divsec::net

@@ -1,0 +1,91 @@
+#include "net/topology.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace divsec::net {
+
+const char* to_string(Zone z) noexcept {
+  switch (z) {
+    case Zone::kCorporate: return "corporate";
+    case Zone::kDmz: return "dmz";
+    case Zone::kControl: return "control";
+    case Zone::kField: return "field";
+  }
+  return "?";
+}
+
+const char* to_string(Role r) noexcept {
+  switch (r) {
+    case Role::kWorkstation: return "workstation";
+    case Role::kServer: return "server";
+    case Role::kScadaServer: return "scada-server";
+    case Role::kEngineering: return "engineering";
+    case Role::kHmi: return "hmi";
+    case Role::kHistorian: return "historian";
+    case Role::kPlc: return "plc";
+    case Role::kSensorGateway: return "sensor-gateway";
+  }
+  return "?";
+}
+
+const char* to_string(Channel c) noexcept {
+  switch (c) {
+    case Channel::kUsb: return "usb";
+    case Channel::kSmbShare: return "smb";
+    case Channel::kPrintSpooler: return "spooler";
+    case Channel::kProjectFile: return "project-file";
+    case Channel::kModbus: return "modbus";
+    case Channel::kHttp: return "http";
+  }
+  return "?";
+}
+
+NodeId Topology::add_node(std::string name, Zone zone, Role role, bool usb_exposure) {
+  if (name.empty()) throw std::invalid_argument("add_node: empty name");
+  for (const auto& n : nodes_)
+    if (n.name == name)
+      throw std::invalid_argument("add_node: duplicate node name '" + name + "'");
+  nodes_.push_back(Node{std::move(name), zone, role, usb_exposure});
+  adjacency_.emplace_back();
+  return nodes_.size() - 1;
+}
+
+void Topology::connect(NodeId a, NodeId b) {
+  if (a >= nodes_.size() || b >= nodes_.size())
+    throw std::out_of_range("connect: invalid node id");
+  if (a == b) throw std::invalid_argument("connect: self-link rejected");
+  if (linked(a, b)) return;  // idempotent
+  links_.push_back(Link{a, b});
+  adjacency_[a].push_back(b);
+  adjacency_[b].push_back(a);
+}
+
+bool Topology::linked(NodeId a, NodeId b) const {
+  if (a >= nodes_.size() || b >= nodes_.size())
+    throw std::out_of_range("linked: invalid node id");
+  const auto& adj = adjacency_[a];
+  return std::find(adj.begin(), adj.end(), b) != adj.end();
+}
+
+NodeId Topology::node_by_name(const std::string& name) const {
+  for (NodeId i = 0; i < nodes_.size(); ++i)
+    if (nodes_[i].name == name) return i;
+  throw std::out_of_range("node_by_name: no node named '" + name + "'");
+}
+
+std::vector<NodeId> Topology::nodes_with_role(Role r) const {
+  std::vector<NodeId> out;
+  for (NodeId i = 0; i < nodes_.size(); ++i)
+    if (nodes_[i].role == r) out.push_back(i);
+  return out;
+}
+
+std::vector<NodeId> Topology::nodes_in_zone(Zone z) const {
+  std::vector<NodeId> out;
+  for (NodeId i = 0; i < nodes_.size(); ++i)
+    if (nodes_[i].zone == z) out.push_back(i);
+  return out;
+}
+
+}  // namespace divsec::net

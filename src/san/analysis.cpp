@@ -1,0 +1,66 @@
+#include "san/analysis.h"
+
+#include <stdexcept>
+
+namespace divsec::san {
+
+sim::ReplicationResult instant_of_time(const SanModel& model,
+                                       const std::function<double(const Marking&)>& f,
+                                       double t, std::size_t replications,
+                                       std::uint64_t seed) {
+  if (!f) throw std::invalid_argument("instant_of_time: null function");
+  return sim::run_replications(
+      [&model, &f, t](stats::Rng& rng) {
+        SanSimulator sim(model, rng);
+        sim.run_until(t);
+        return f(sim.marking());
+      },
+      replications, seed);
+}
+
+sim::ReplicationResult interval_of_time_average(
+    const SanModel& model, const std::function<double(const Marking&)>& rate, double t,
+    std::size_t replications, std::uint64_t seed) {
+  if (!rate) throw std::invalid_argument("interval_of_time_average: null function");
+  if (!(t > 0.0))
+    throw std::invalid_argument("interval_of_time_average: t must be > 0");
+  return sim::run_replications(
+      [&model, &rate, t](stats::Rng& rng) {
+        SanSimulator sim(model, rng);
+        const std::size_t r = sim.add_rate_reward(rate);
+        sim.run_until(t);
+        return sim.rate_reward_average(r);
+      },
+      replications, seed);
+}
+
+double FirstPassageResult::conditional_mean() const noexcept {
+  if (times.empty()) return 0.0;
+  double s = 0.0;
+  for (double t : times) s += t;
+  return s / static_cast<double>(times.size());
+}
+
+FirstPassageResult first_passage(const SanModel& model, const Predicate& absorbed,
+                                 double t_max, std::size_t replications,
+                                 std::uint64_t seed) {
+  if (!absorbed) throw std::invalid_argument("first_passage: null predicate");
+  if (!(t_max > 0.0)) throw std::invalid_argument("first_passage: t_max must be > 0");
+  if (replications == 0)
+    throw std::invalid_argument("first_passage: need >= 1 replication");
+  FirstPassageResult r;
+  r.replications = replications;
+  r.t_max = t_max;
+  for (std::size_t i = 0; i < replications; ++i) {
+    stats::Rng rng(seed, i);
+    SanSimulator sim(model, rng);
+    const auto t = sim.run_until_predicate(absorbed, t_max);
+    if (t.has_value())
+      r.times.push_back(*t);
+    else
+      ++r.censored;
+  }
+  return r;
+}
+
+}  // namespace divsec::san

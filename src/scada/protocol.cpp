@@ -1,0 +1,158 @@
+#include "scada/protocol.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace divsec::scada {
+
+std::uint16_t crc16_modbus(const std::uint8_t* data, std::size_t len) {
+  std::uint16_t crc = 0xFFFF;
+  for (std::size_t i = 0; i < len; ++i) {
+    crc ^= data[i];
+    for (int b = 0; b < 8; ++b) {
+      if (crc & 1)
+        crc = static_cast<std::uint16_t>((crc >> 1) ^ 0xA001);
+      else
+        crc = static_cast<std::uint16_t>(crc >> 1);
+    }
+  }
+  return crc;
+}
+
+namespace {
+
+void append_crc(std::vector<std::uint8_t>& f) {
+  const std::uint16_t crc = crc16_modbus(f.data(), f.size());
+  f.push_back(static_cast<std::uint8_t>(crc & 0xFF));
+  f.push_back(static_cast<std::uint8_t>(crc >> 8));
+}
+
+[[nodiscard]] bool crc_ok(const std::vector<std::uint8_t>& f) {
+  if (f.size() < 4) return false;
+  const std::uint16_t crc = crc16_modbus(f.data(), f.size() - 2);
+  return f[f.size() - 2] == (crc & 0xFF) && f[f.size() - 1] == (crc >> 8);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_request(const Request& r) {
+  std::vector<std::uint8_t> f;
+  f.reserve(8);
+  f.push_back(r.unit);
+  f.push_back(static_cast<std::uint8_t>(r.function));
+  f.push_back(static_cast<std::uint8_t>(r.address >> 8));
+  f.push_back(static_cast<std::uint8_t>(r.address & 0xFF));
+  f.push_back(static_cast<std::uint8_t>(r.count_or_value >> 8));
+  f.push_back(static_cast<std::uint8_t>(r.count_or_value & 0xFF));
+  append_crc(f);
+  return f;
+}
+
+std::optional<Request> decode_request(const std::vector<std::uint8_t>& f) {
+  if (f.size() != 8 || !crc_ok(f)) return std::nullopt;
+  const auto fn = f[1];
+  if (fn != static_cast<std::uint8_t>(FunctionCode::kReadHoldingRegisters) &&
+      fn != static_cast<std::uint8_t>(FunctionCode::kWriteSingleRegister))
+    return std::nullopt;
+  Request r;
+  r.unit = f[0];
+  r.function = static_cast<FunctionCode>(fn);
+  r.address = static_cast<std::uint16_t>((f[2] << 8) | f[3]);
+  r.count_or_value = static_cast<std::uint16_t>((f[4] << 8) | f[5]);
+  return r;
+}
+
+std::vector<std::uint8_t> encode_response(const Response& r) {
+  std::vector<std::uint8_t> f;
+  f.push_back(r.unit);
+  if (!r.ok) {
+    f.push_back(static_cast<std::uint8_t>(static_cast<std::uint8_t>(r.function) | 0x80));
+    f.push_back(static_cast<std::uint8_t>(r.exception));
+  } else {
+    f.push_back(static_cast<std::uint8_t>(r.function));
+    f.push_back(static_cast<std::uint8_t>(r.values.size() * 2));
+    for (std::uint16_t v : r.values) {
+      f.push_back(static_cast<std::uint8_t>(v >> 8));
+      f.push_back(static_cast<std::uint8_t>(v & 0xFF));
+    }
+  }
+  append_crc(f);
+  return f;
+}
+
+std::optional<Response> decode_response(const std::vector<std::uint8_t>& f) {
+  if (f.size() < 5 || !crc_ok(f)) return std::nullopt;
+  Response r;
+  r.unit = f[0];
+  if (f[1] & 0x80) {
+    r.ok = false;
+    r.function = static_cast<FunctionCode>(f[1] & 0x7F);
+    r.exception = static_cast<ExceptionCode>(f[2]);
+    return f.size() == 5 ? std::optional<Response>(r) : std::nullopt;
+  }
+  r.ok = true;
+  r.function = static_cast<FunctionCode>(f[1]);
+  const std::size_t nbytes = f[2];
+  if (nbytes % 2 != 0 || f.size() != 5 + nbytes) return std::nullopt;
+  for (std::size_t i = 0; i < nbytes; i += 2)
+    r.values.push_back(static_cast<std::uint16_t>((f[3 + i] << 8) | f[4 + i]));
+  return r;
+}
+
+Response serve(RegisterServer& server, const Request& request) {
+  Response resp;
+  resp.unit = request.unit;
+  resp.function = request.function;
+  switch (request.function) {
+    case FunctionCode::kReadHoldingRegisters: {
+      if (request.count_or_value == 0 || request.count_or_value > 125) {
+        resp.ok = false;
+        resp.exception = ExceptionCode::kIllegalValue;
+        return resp;
+      }
+      const std::uint32_t end =
+          static_cast<std::uint32_t>(request.address) + request.count_or_value;
+      if (end > server.register_count()) {
+        resp.ok = false;
+        resp.exception = ExceptionCode::kIllegalAddress;
+        return resp;
+      }
+      for (std::uint16_t i = 0; i < request.count_or_value; ++i)
+        resp.values.push_back(
+            server.read_register(static_cast<std::uint16_t>(request.address + i)));
+      return resp;
+    }
+    case FunctionCode::kWriteSingleRegister: {
+      if (request.address >= server.register_count()) {
+        resp.ok = false;
+        resp.exception = ExceptionCode::kIllegalAddress;
+        return resp;
+      }
+      server.write_register(request.address, request.count_or_value);
+      return resp;
+    }
+  }
+  resp.ok = false;
+  resp.exception = ExceptionCode::kIllegalFunction;
+  return resp;
+}
+
+std::optional<Response> transact(RegisterServer& server, const Request& request) {
+  const auto wire_req = encode_request(request);
+  const auto decoded_req = decode_request(wire_req);
+  if (!decoded_req) return std::nullopt;
+  const Response resp = serve(server, *decoded_req);
+  const auto wire_resp = encode_response(resp);
+  return decode_response(wire_resp);
+}
+
+std::uint16_t pack_analog(double value) {
+  const double scaled = std::round((value + 100.0) * 100.0);
+  return static_cast<std::uint16_t>(std::clamp(scaled, 0.0, 65535.0));
+}
+
+double unpack_analog(std::uint16_t reg) {
+  return static_cast<double>(reg) / 100.0 - 100.0;
+}
+
+}  // namespace divsec::scada

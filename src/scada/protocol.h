@@ -1,0 +1,82 @@
+// protocol.h — a Modbus-RTU-style register protocol.
+//
+// Wire format (classic RTU framing with CRC-16/MODBUS):
+//   request : [unit id][function][addr hi][addr lo][count/value hi]
+//             [count/value lo][crc lo][crc hi]
+//   response: [unit id][function][byte count][data...][crc lo][crc hi]
+//   error   : [unit id][function | 0x80][exception code][crc lo][crc hi]
+// Registers are 16-bit; analog values are fixed-point scaled by 100.
+// The SCADA master polls PLC register maps through this layer, so a
+// compromised PLC can serve spoofed values to the master while driving
+// sabotage outputs — the Stuxnet man-in-the-PLC behaviour.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace divsec::scada {
+
+enum class FunctionCode : std::uint8_t {
+  kReadHoldingRegisters = 0x03,
+  kWriteSingleRegister = 0x06,
+};
+
+enum class ExceptionCode : std::uint8_t {
+  kIllegalFunction = 0x01,
+  kIllegalAddress = 0x02,
+  kIllegalValue = 0x03,
+};
+
+struct Request {
+  std::uint8_t unit = 1;
+  FunctionCode function = FunctionCode::kReadHoldingRegisters;
+  std::uint16_t address = 0;
+  /// Register count for reads (1..125), value for writes.
+  std::uint16_t count_or_value = 1;
+};
+
+struct Response {
+  std::uint8_t unit = 1;
+  FunctionCode function = FunctionCode::kReadHoldingRegisters;
+  bool ok = true;
+  ExceptionCode exception = ExceptionCode::kIllegalFunction;  // when !ok
+  std::vector<std::uint16_t> values;                          // read results
+};
+
+/// CRC-16/MODBUS (poly 0xA001 reflected, init 0xFFFF).
+[[nodiscard]] std::uint16_t crc16_modbus(const std::uint8_t* data, std::size_t len);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_request(const Request& r);
+/// Decode + CRC check; nullopt on malformed frames.
+[[nodiscard]] std::optional<Request> decode_request(const std::vector<std::uint8_t>& f);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_response(const Response& r);
+[[nodiscard]] std::optional<Response> decode_response(const std::vector<std::uint8_t>& f);
+
+/// Anything exposing a 16-bit register map (a PLC adapter, an RTU...).
+class RegisterServer {
+ public:
+  virtual ~RegisterServer() = default;
+  /// Number of registers exposed.
+  [[nodiscard]] virtual std::uint16_t register_count() const = 0;
+  [[nodiscard]] virtual std::uint16_t read_register(std::uint16_t addr) = 0;
+  virtual void write_register(std::uint16_t addr, std::uint16_t value) = 0;
+};
+
+/// Serve one decoded request against a register map (bounds-checked).
+[[nodiscard]] Response serve(RegisterServer& server, const Request& request);
+
+/// Full round trip through the wire format: encode the request, decode it
+/// at the slave, serve, encode the response, decode at the master.
+/// Returns nullopt if framing fails at any point (corruption injection is
+/// a test hook).
+[[nodiscard]] std::optional<Response> transact(RegisterServer& server,
+                                               const Request& request);
+
+/// Fixed-point helpers for analog tags (scaled by 100, offset +100 C so
+/// negative temperatures fit an unsigned register).
+[[nodiscard]] std::uint16_t pack_analog(double value);
+[[nodiscard]] double unpack_analog(std::uint16_t reg);
+
+}  // namespace divsec::scada

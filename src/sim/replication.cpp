@@ -1,0 +1,48 @@
+#include "sim/replication.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace divsec::sim {
+
+ReplicationResult run_replications(const Experiment& experiment,
+                                   std::size_t replications, std::uint64_t seed) {
+  if (!experiment) throw std::invalid_argument("run_replications: empty experiment");
+  if (replications == 0)
+    throw std::invalid_argument("run_replications: need >= 1 replication");
+  ReplicationResult r;
+  r.samples.reserve(replications);
+  for (std::size_t i = 0; i < replications; ++i) {
+    stats::Rng rng(seed, /*stream=*/i);
+    const double y = experiment(rng);
+    r.stats.add(y);
+    r.samples.push_back(y);
+  }
+  return r;
+}
+
+ReplicationResult run_sequential(const Experiment& experiment,
+                                 const SequentialOptions& opts, std::uint64_t seed) {
+  if (!experiment) throw std::invalid_argument("run_sequential: empty experiment");
+  if (opts.min_replications < 2)
+    throw std::invalid_argument("run_sequential: min_replications must be >= 2");
+  if (opts.max_replications < opts.min_replications)
+    throw std::invalid_argument("run_sequential: max < min replications");
+  ReplicationResult r;
+  for (std::size_t i = 0; i < opts.max_replications; ++i) {
+    stats::Rng rng(seed, /*stream=*/i);
+    const double y = experiment(rng);
+    r.stats.add(y);
+    r.samples.push_back(y);
+    if (i + 1 < opts.min_replications) continue;
+    const auto ci = r.confidence_interval(opts.confidence_level);
+    const double hw = ci.half_width();
+    const bool rel_ok = opts.relative_precision > 0.0 &&
+                        hw <= opts.relative_precision * std::fabs(r.stats.mean());
+    const bool abs_ok = opts.absolute_precision > 0.0 && hw <= opts.absolute_precision;
+    if (rel_ok || abs_ok) break;
+  }
+  return r;
+}
+
+}  // namespace divsec::sim

@@ -1,0 +1,52 @@
+// replication.h — independent-replication experiment controller.
+//
+// Runs a stochastic experiment N times with independent RNG streams
+// derived from a master seed, accumulating OnlineStats and confidence
+// intervals. Supports fixed replication counts and sequential runs that
+// stop when the CI half-width reaches a relative-precision target (the
+// standard Law & Kelton sequential procedure).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "stats/descriptive.h"
+#include "stats/rng.h"
+
+namespace divsec::sim {
+
+/// One scalar-output stochastic experiment.
+using Experiment = std::function<double(stats::Rng&)>;
+
+struct ReplicationResult {
+  stats::OnlineStats stats;
+  std::vector<double> samples;  // per-replication outputs, in order
+  [[nodiscard]] stats::ConfidenceInterval confidence_interval(double level = 0.95) const {
+    return stats::mean_confidence_interval(stats, level);
+  }
+};
+
+/// Run exactly `replications` independent replications. Replication i uses
+/// the RNG stream derived from (seed, i) so results are identical no
+/// matter how many replications are requested or in which order subsets
+/// are re-run.
+[[nodiscard]] ReplicationResult run_replications(const Experiment& experiment,
+                                                 std::size_t replications,
+                                                 std::uint64_t seed);
+
+struct SequentialOptions {
+  std::size_t min_replications = 10;
+  std::size_t max_replications = 10000;
+  double confidence_level = 0.95;
+  /// Stop when CI half-width <= relative_precision * |mean| (or when the
+  /// absolute target is met, whichever first; 0 disables a criterion).
+  double relative_precision = 0.05;
+  double absolute_precision = 0.0;
+};
+
+/// Sequential replication until the precision target or max_replications.
+[[nodiscard]] ReplicationResult run_sequential(const Experiment& experiment,
+                                               const SequentialOptions& opts,
+                                               std::uint64_t seed);
+
+}  // namespace divsec::sim

@@ -1,0 +1,67 @@
+#include "sim/simulator.h"
+
+#include <stdexcept>
+
+namespace divsec::sim {
+
+EventId Simulator::schedule(Time at, EventFn fn, int priority) {
+  if (at < now_) throw std::invalid_argument("Simulator::schedule: time in the past");
+  if (!fn) throw std::invalid_argument("Simulator::schedule: empty handler");
+  const EventId id = next_id_++;
+  queue_.push(Entry{at, priority, next_seq_++, id});
+  handlers_.emplace(id, std::move(fn));
+  return id;
+}
+
+EventId Simulator::schedule_in(Time delay, EventFn fn, int priority) {
+  if (delay < 0.0) throw std::invalid_argument("Simulator::schedule_in: negative delay");
+  return schedule(now_ + delay, std::move(fn), priority);
+}
+
+bool Simulator::cancel(EventId id) { return handlers_.erase(id) > 0; }
+
+bool Simulator::step() {
+  if (stopped_) return false;
+  while (!queue_.empty()) {
+    const Entry e = queue_.top();
+    queue_.pop();
+    auto it = handlers_.find(e.id);
+    if (it == handlers_.end()) continue;  // cancelled; skip tombstone
+    EventFn fn = std::move(it->second);
+    handlers_.erase(it);
+    now_ = e.at;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::run_until(Time t_end) {
+  std::size_t executed = 0;
+  while (!stopped_ && !queue_.empty()) {
+    // Peek through tombstones to find the next live event time.
+    while (!queue_.empty() && !handlers_.contains(queue_.top().id)) queue_.pop();
+    if (queue_.empty()) break;
+    if (queue_.top().at > t_end) break;
+    if (step()) ++executed;
+  }
+  if (now_ < t_end && !stopped_) now_ = t_end;
+  return executed;
+}
+
+std::size_t Simulator::run() {
+  std::size_t executed = 0;
+  while (!stopped_ && step()) ++executed;
+  return executed;
+}
+
+void Simulator::reset() {
+  queue_ = {};
+  handlers_.clear();
+  now_ = 0.0;
+  next_seq_ = 0;
+  next_id_ = 1;
+  stopped_ = false;
+}
+
+}  // namespace divsec::sim

@@ -1,0 +1,79 @@
+// simulator.h — minimal deterministic discrete-event simulation kernel.
+//
+// Shared by the SAN solver (san/), the network propagation model (net/)
+// and the SCADA plant (scada/). Events at equal timestamps are ordered by
+// (priority, insertion sequence) so runs are fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace divsec::sim {
+
+using Time = double;
+
+/// Handle for a scheduled event; usable to cancel it.
+using EventId = std::uint64_t;
+
+class Simulator {
+ public:
+  using EventFn = std::function<void()>;
+
+  /// Schedule `fn` at absolute time `at` (must be >= now()). Lower
+  /// `priority` fires first among equal timestamps.
+  EventId schedule(Time at, EventFn fn, int priority = 0);
+
+  /// Schedule `fn` after a relative delay (must be >= 0).
+  EventId schedule_in(Time delay, EventFn fn, int priority = 0);
+
+  /// Cancel a pending event. Returns false if it already fired or was
+  /// previously cancelled.
+  bool cancel(EventId id);
+
+  /// Execute the next event; returns false when the queue is empty or the
+  /// simulator was stopped.
+  bool step();
+
+  /// Run until the queue drains, `stop()` is called, or the clock would
+  /// pass `t_end` (events at exactly t_end fire). Returns the number of
+  /// events executed.
+  std::size_t run_until(Time t_end);
+
+  /// Run until the queue drains or stop() is called.
+  std::size_t run();
+
+  /// Request the run loop to exit after the current event.
+  void stop() noexcept { stopped_ = true; }
+
+  [[nodiscard]] Time now() const noexcept { return now_; }
+  [[nodiscard]] bool stopped() const noexcept { return stopped_; }
+  [[nodiscard]] std::size_t pending() const noexcept { return handlers_.size(); }
+
+  /// Reset clock and queue; handlers are dropped.
+  void reset();
+
+ private:
+  struct Entry {
+    Time at;
+    int priority;
+    std::uint64_t seq;
+    EventId id;
+    bool operator>(const Entry& o) const noexcept {
+      if (at != o.at) return at > o.at;
+      if (priority != o.priority) return priority > o.priority;
+      return seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::unordered_map<EventId, EventFn> handlers_;
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  bool stopped_ = false;
+};
+
+}  // namespace divsec::sim

@@ -1,0 +1,141 @@
+// descriptive.h — descriptive statistics and interval estimation.
+//
+// OnlineStats (Welford accumulation) is the workhorse used by reward
+// variables and replication controllers; Summary adds order statistics;
+// confidence intervals use Student's t from special.h.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace divsec::stats {
+
+/// Numerically stable streaming mean/variance accumulator (Welford).
+class OnlineStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_ || n_ == 1) min_ = x;
+    if (x > max_ || n_ == 1) max_ = x;
+  }
+
+  /// Merge another accumulator (parallel Welford / Chan et al.).
+  void merge(const OnlineStats& o) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for n < 2.
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  /// Standard error of the mean; 0 for n < 2.
+  [[nodiscard]] double sem() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Two-sided t confidence interval for a mean.
+struct ConfidenceInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+  double level = 0.95;
+  [[nodiscard]] double half_width() const noexcept { return 0.5 * (hi - lo); }
+  [[nodiscard]] bool contains(double x) const noexcept { return x >= lo && x <= hi; }
+};
+
+/// t-based CI around the accumulated mean; requires count >= 2.
+[[nodiscard]] ConfidenceInterval mean_confidence_interval(const OnlineStats& s,
+                                                          double level = 0.95);
+
+/// Welch's unequal-variance two-sample t-test (two-sided).
+struct WelchTest {
+  double t = 0.0;
+  double df = 0.0;
+  double p_value = 1.0;  // two-sided
+  double mean_difference = 0.0;  // mean(a) - mean(b)
+};
+/// Requires >= 2 samples per side and at least one nonzero variance.
+[[nodiscard]] WelchTest welch_t_test(const OnlineStats& a, const OnlineStats& b);
+
+/// Two-proportion z-test (two-sided, pooled standard error) for comparing
+/// success counts — e.g. attack success probabilities of two
+/// configurations.
+struct ProportionTest {
+  double z = 0.0;
+  double p_value = 1.0;
+  double difference = 0.0;  // p_a - p_b
+};
+[[nodiscard]] ProportionTest two_proportion_z_test(std::size_t successes_a,
+                                                   std::size_t n_a,
+                                                   std::size_t successes_b,
+                                                   std::size_t n_b);
+
+/// Quantile of a sample by linear interpolation between order statistics
+/// (type-7 / the numpy default). q in [0,1]; data need not be sorted.
+[[nodiscard]] double quantile(std::span<const double> data, double q);
+
+/// Full five-number-style summary of a sample.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+};
+[[nodiscard]] Summary summarize(std::span<const double> data);
+
+/// Fixed-width histogram over [lo, hi); samples outside are clamped into
+/// the edge bins so mass is conserved.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] double bin_low(std::size_t i) const noexcept;
+  [[nodiscard]] double bin_high(std::size_t i) const noexcept;
+  /// Empirical probability mass of bin i.
+  [[nodiscard]] double density(std::size_t i) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Non-overlapping batch-means estimator for steady-state simulation
+/// output (reduces autocorrelation before the t interval is applied).
+class BatchMeans {
+ public:
+  explicit BatchMeans(std::size_t batch_size);
+  void add(double x);
+  [[nodiscard]] std::size_t completed_batches() const noexcept;
+  [[nodiscard]] OnlineStats batch_stats() const noexcept { return batches_; }
+  [[nodiscard]] ConfidenceInterval confidence_interval(double level = 0.95) const;
+
+ private:
+  std::size_t batch_size_;
+  std::size_t in_batch_ = 0;
+  double batch_sum_ = 0.0;
+  OnlineStats batches_;
+};
+
+}  // namespace divsec::stats

@@ -1,0 +1,6 @@
+#include "stats/rng.h"
+
+// Header-only implementation; this TU exists so the library target always
+// has at least one object file and to anchor potential future non-inline
+// helpers.
+namespace divsec::stats {}

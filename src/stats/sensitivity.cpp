@@ -1,0 +1,54 @@
+#include "stats/sensitivity.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace divsec::stats {
+
+std::vector<OatFactorResult> one_at_a_time(
+    const FactorSpace& space, std::span<const int> baseline,
+    const std::function<double(std::span<const int>)>& f) {
+  if (baseline.size() != space.factor_count())
+    throw std::invalid_argument("one_at_a_time: baseline arity mismatch");
+  std::vector<int> config(baseline.begin(), baseline.end());
+  // Validate the baseline up front (encode throws on out-of-range levels).
+  (void)space.encode(config);
+
+  std::vector<OatFactorResult> out;
+  out.reserve(space.factor_count());
+  for (std::size_t i = 0; i < space.factor_count(); ++i) {
+    OatFactorResult r;
+    r.factor = space.factor(i).name;
+    const std::size_t n_levels = space.factor(i).levels.size();
+    r.responses.reserve(n_levels);
+    for (std::size_t l = 0; l < n_levels; ++l) {
+      config[i] = static_cast<int>(l);
+      const double y = f(config);
+      r.responses.push_back(y);
+      if (l == 0 || y < r.min_response) r.min_response = y;
+      if (l == 0 || y > r.max_response) r.max_response = y;
+    }
+    config[i] = baseline[i];
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::vector<OatFactorResult> tornado(std::vector<OatFactorResult> results) {
+  std::sort(results.begin(), results.end(),
+            [](const OatFactorResult& a, const OatFactorResult& b) {
+              return a.swing() > b.swing();
+            });
+  return results;
+}
+
+std::vector<AnovaEffect> rank_by_variance_share(const AnovaTable& table) {
+  std::vector<AnovaEffect> effects = table.effects;
+  std::sort(effects.begin(), effects.end(),
+            [](const AnovaEffect& a, const AnovaEffect& b) {
+              return a.eta_squared > b.eta_squared;
+            });
+  return effects;
+}
+
+}  // namespace divsec::stats

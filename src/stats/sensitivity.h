@@ -1,0 +1,44 @@
+// sensitivity.h — one-at-a-time sensitivity analysis and effect ranking.
+//
+// The paper's case study reports a "preliminary sensitivity analysis".
+// This module implements the classic OAT sweep over a FactorSpace plus
+// tornado-style ranking, and a convenience ranking over ANOVA eta^2.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "stats/anova.h"
+#include "stats/doe.h"
+
+namespace divsec::stats {
+
+/// Result of sweeping one factor across its levels with every other factor
+/// pinned at the baseline configuration.
+struct OatFactorResult {
+  std::string factor;
+  std::vector<double> responses;  // response at each level of the factor
+  double min_response = 0.0;
+  double max_response = 0.0;
+  /// Tornado swing: max - min across the factor's levels.
+  [[nodiscard]] double swing() const noexcept { return max_response - min_response; }
+};
+
+/// Evaluate `f` (a deterministic or replication-averaged response) over a
+/// one-at-a-time sweep. `baseline` holds the level index each factor is
+/// pinned to while another factor is swept.
+[[nodiscard]] std::vector<OatFactorResult> one_at_a_time(
+    const FactorSpace& space, std::span<const int> baseline,
+    const std::function<double(std::span<const int>)>& f);
+
+/// Sort a copy of the OAT results by descending swing (the tornado chart
+/// order).
+[[nodiscard]] std::vector<OatFactorResult> tornado(std::vector<OatFactorResult> results);
+
+/// Effects of an ANOVA table sorted by descending eta^2 (variance share);
+/// the paper's criterion for "components valuable to diversify".
+[[nodiscard]] std::vector<AnovaEffect> rank_by_variance_share(const AnovaTable& table);
+
+}  // namespace divsec::stats

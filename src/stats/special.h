@@ -1,0 +1,47 @@
+// special.h — special functions backing the statistical tests.
+//
+// The ANOVA engine needs the F distribution, confidence intervals need
+// Student's t, and goodness-of-fit checks need chi-squared. All are
+// expressed in terms of the regularized incomplete gamma / beta
+// functions, implemented with the classic series + continued-fraction
+// split (Numerical Recipes style), accurate to ~1e-12 over the ranges the
+// library exercises.
+#pragma once
+
+namespace divsec::stats {
+
+/// Regularized lower incomplete gamma P(a, x) = γ(a,x)/Γ(a), a > 0, x >= 0.
+[[nodiscard]] double reg_gamma_p(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+[[nodiscard]] double reg_gamma_q(double a, double x);
+
+/// Regularized incomplete beta I_x(a, b), a, b > 0, x in [0, 1].
+[[nodiscard]] double reg_beta(double a, double b, double x);
+
+/// Standard normal CDF.
+[[nodiscard]] double normal_cdf(double z);
+
+/// Standard normal quantile (inverse CDF), p in (0, 1). Acklam's rational
+/// approximation refined with one Halley step; |error| < 1e-12.
+[[nodiscard]] double normal_quantile(double p);
+
+/// Student's t CDF with nu > 0 degrees of freedom.
+[[nodiscard]] double student_t_cdf(double t, double nu);
+
+/// Student's t quantile: smallest t with CDF(t) >= p, p in (0, 1).
+[[nodiscard]] double student_t_quantile(double p, double nu);
+
+/// F distribution CDF with (d1, d2) degrees of freedom, x >= 0.
+[[nodiscard]] double f_cdf(double x, double d1, double d2);
+
+/// Upper tail of the F distribution: P[F > x]; the ANOVA p-value.
+[[nodiscard]] double f_sf(double x, double d1, double d2);
+
+/// Chi-squared CDF with k > 0 degrees of freedom.
+[[nodiscard]] double chi2_cdf(double x, double k);
+
+/// Chi-squared upper tail.
+[[nodiscard]] double chi2_sf(double x, double k);
+
+}  // namespace divsec::stats

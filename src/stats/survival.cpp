@@ -1,0 +1,75 @@
+#include "stats/survival.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace divsec::stats {
+
+KaplanMeier::KaplanMeier(std::vector<SurvivalObservation> observations) {
+  if (observations.empty())
+    throw std::invalid_argument("KaplanMeier: empty sample");
+  for (const auto& o : observations)
+    if (o.time < 0.0) throw std::invalid_argument("KaplanMeier: negative time");
+  std::sort(observations.begin(), observations.end(),
+            [](const SurvivalObservation& a, const SurvivalObservation& b) {
+              if (a.time != b.time) return a.time < b.time;
+              // Events before censorings at ties (the usual convention).
+              return a.event && !b.event;
+            });
+  n_ = observations.size();
+
+  double s = 1.0;
+  std::size_t at_risk = n_;
+  std::size_t i = 0;
+  while (i < observations.size()) {
+    const double t = observations[i].time;
+    std::size_t events_here = 0;
+    std::size_t total_here = 0;
+    while (i < observations.size() && observations[i].time == t) {
+      events_here += observations[i].event ? 1 : 0;
+      ++total_here;
+      ++i;
+    }
+    if (events_here > 0) {
+      s *= 1.0 - static_cast<double>(events_here) / static_cast<double>(at_risk);
+      steps_.push_back(KaplanMeierStep{t, s, at_risk, events_here});
+      events_ += events_here;
+    }
+    at_risk -= total_here;
+  }
+}
+
+double KaplanMeier::survival_at(double t) const noexcept {
+  double s = 1.0;
+  for (const auto& step : steps_) {
+    if (step.time > t) break;
+    s = step.survival;
+  }
+  return s;
+}
+
+std::optional<double> KaplanMeier::quantile(double q) const {
+  if (!(q > 0.0 && q < 1.0))
+    throw std::invalid_argument("KaplanMeier::quantile: q must be in (0,1)");
+  for (const auto& step : steps_)
+    if (step.survival <= 1.0 - q) return step.time;
+  return std::nullopt;
+}
+
+double KaplanMeier::restricted_mean(double tau) const {
+  if (!(tau > 0.0))
+    throw std::invalid_argument("KaplanMeier::restricted_mean: tau must be > 0");
+  double area = 0.0;
+  double prev_t = 0.0;
+  double prev_s = 1.0;
+  for (const auto& step : steps_) {
+    if (step.time >= tau) break;
+    area += prev_s * (step.time - prev_t);
+    prev_t = step.time;
+    prev_s = step.survival;
+  }
+  area += prev_s * (tau - prev_t);
+  return area;
+}
+
+}  // namespace divsec::stats

@@ -1,0 +1,64 @@
+// survival.h — Kaplan-Meier estimation for censored time data.
+//
+// Time-To-Attack and Time-To-Security-Failure samples are right-censored
+// at the simulation horizon (an undetected / unfinished run tells us only
+// that the event time exceeds the horizon). Averaging censored-at-horizon
+// values (what the ANOVA cells do, documented there) biases the mean
+// down; the Kaplan-Meier product-limit estimator handles censoring
+// correctly and yields survival curves, median survival, and restricted
+// mean survival time — the right summary statistics for E3/E4.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+namespace divsec::stats {
+
+/// One observation: time of event, or time of censoring.
+struct SurvivalObservation {
+  double time = 0.0;
+  bool event = true;  // false = right-censored at `time`
+};
+
+/// A step of the Kaplan-Meier curve: S(t) drops to `survival` at `time`.
+struct KaplanMeierStep {
+  double time = 0.0;
+  double survival = 1.0;
+  std::size_t at_risk = 0;
+  std::size_t events = 0;
+};
+
+class KaplanMeier {
+ public:
+  /// Builds the product-limit estimate. Observations need not be sorted.
+  explicit KaplanMeier(std::vector<SurvivalObservation> observations);
+
+  [[nodiscard]] const std::vector<KaplanMeierStep>& steps() const noexcept {
+    return steps_;
+  }
+
+  /// S(t): probability the event has not occurred by time t.
+  [[nodiscard]] double survival_at(double t) const noexcept;
+
+  /// Smallest event time with S(t) <= 1 - q (e.g. q = 0.5 -> median);
+  /// nullopt when the curve never drops that far (heavy censoring).
+  [[nodiscard]] std::optional<double> quantile(double q) const;
+
+  /// Median survival time (sugar for quantile(0.5)).
+  [[nodiscard]] std::optional<double> median() const { return quantile(0.5); }
+
+  /// Restricted mean survival time: integral of S(t) over [0, tau]
+  /// (the standard horizon-limited mean under censoring).
+  [[nodiscard]] double restricted_mean(double tau) const;
+
+  [[nodiscard]] std::size_t observation_count() const noexcept { return n_; }
+  [[nodiscard]] std::size_t event_count() const noexcept { return events_; }
+  [[nodiscard]] std::size_t censored_count() const noexcept { return n_ - events_; }
+
+ private:
+  std::vector<KaplanMeierStep> steps_;
+  std::size_t n_ = 0;
+  std::size_t events_ = 0;
+};
+
+}  // namespace divsec::stats

@@ -1,0 +1,147 @@
+// Tests for stats/distributions.h — sampling ranges, moments, validation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/descriptive.h"
+#include "stats/distributions.h"
+
+namespace divsec::stats {
+namespace {
+
+// Property sweep: every distribution's Monte-Carlo mean and variance must
+// match the analytic moments.
+struct MomentCase {
+  const char* name;
+  Distribution dist;
+};
+
+class DistributionMoments : public ::testing::TestWithParam<MomentCase> {};
+
+TEST_P(DistributionMoments, SampleMeanMatchesAnalyticMean) {
+  Distribution d = GetParam().dist;
+  Rng rng(1234);
+  OnlineStats st;
+  for (int i = 0; i < 200000; ++i) st.add(d.sample(rng));
+  const double tol = 0.02 * std::max(1.0, std::fabs(d.mean())) +
+                     4.0 * std::sqrt(d.variance() / 200000.0);
+  EXPECT_NEAR(st.mean(), d.mean(), tol) << GetParam().name;
+}
+
+TEST_P(DistributionMoments, SampleVarianceMatchesAnalyticVariance) {
+  Distribution d = GetParam().dist;
+  Rng rng(99);
+  OnlineStats st;
+  for (int i = 0; i < 200000; ++i) st.add(d.sample(rng));
+  EXPECT_NEAR(st.variance(), d.variance(),
+              0.05 * std::max(0.01, d.variance()))
+      << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDistributions, DistributionMoments,
+    ::testing::Values(
+        MomentCase{"deterministic", Distribution(Deterministic{3.5})},
+        MomentCase{"uniform", Distribution(Uniform{-2.0, 5.0})},
+        MomentCase{"exponential", Distribution(Exponential{2.5})},
+        MomentCase{"weibull_shape_lt1", Distribution(Weibull{0.8, 2.0})},
+        MomentCase{"weibull_shape_gt1", Distribution(Weibull{2.5, 1.5})},
+        MomentCase{"lognormal", Distribution(Lognormal{0.3, 0.6})},
+        MomentCase{"normal", Distribution(Normal{-1.0, 2.0})},
+        MomentCase{"erlang", Distribution(Erlang{4, 2.0})},
+        MomentCase{"triangular", Distribution(Triangular{1.0, 2.0, 6.0})}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(Distributions, DeterministicAlwaysSameValue) {
+  Distribution d(Deterministic{7.25});
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(d.sample(rng), 7.25);
+}
+
+TEST(Distributions, UniformStaysInRange) {
+  Distribution d(Uniform{2.0, 3.0});
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = d.sample(rng);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 3.0);
+  }
+}
+
+TEST(Distributions, ExponentialIsNonNegative) {
+  Distribution d(Exponential{0.5});
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(d.sample(rng), 0.0);
+}
+
+TEST(Distributions, TriangularStaysInSupport) {
+  Distribution d(Triangular{-1.0, 0.0, 2.0});
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = d.sample(rng);
+    EXPECT_GE(x, -1.0);
+    EXPECT_LE(x, 2.0);
+  }
+}
+
+TEST(Distributions, ErlangIsSumOfExponentials) {
+  // Erlang(1, rate) must be distributed like Exponential(rate).
+  Distribution erl(Erlang{1, 3.0});
+  Distribution exp(Exponential{3.0});
+  EXPECT_DOUBLE_EQ(erl.mean(), exp.mean());
+  EXPECT_DOUBLE_EQ(erl.variance(), exp.variance());
+}
+
+TEST(Distributions, LognormalIsPositive) {
+  Distribution d(Lognormal{0.0, 1.5});
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(d.sample(rng), 0.0);
+}
+
+TEST(Distributions, ToStringNamesTheFamily) {
+  EXPECT_NE(Distribution(Exponential{2.0}).to_string().find("Exponential"),
+            std::string::npos);
+  EXPECT_NE(Distribution(Weibull{1.0, 2.0}).to_string().find("Weibull"),
+            std::string::npos);
+  EXPECT_NE(Distribution(Triangular{0, 1, 2}).to_string().find("Triangular"),
+            std::string::npos);
+}
+
+TEST(Distributions, DefaultConstructedIsPointMassAtZero) {
+  Distribution d;
+  Rng rng(6);
+  EXPECT_EQ(d.sample(rng), 0.0);
+  EXPECT_EQ(d.mean(), 0.0);
+  EXPECT_EQ(d.variance(), 0.0);
+}
+
+TEST(DistributionsValidation, RejectsBadParameters) {
+  EXPECT_THROW(Distribution(Uniform{3.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(Distribution(Exponential{0.0}), std::invalid_argument);
+  EXPECT_THROW(Distribution(Exponential{-1.0}), std::invalid_argument);
+  EXPECT_THROW(Distribution(Weibull{0.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Distribution(Weibull{1.0, -2.0}), std::invalid_argument);
+  EXPECT_THROW(Distribution(Lognormal{0.0, -0.1}), std::invalid_argument);
+  EXPECT_THROW(Distribution(Normal{0.0, -1.0}), std::invalid_argument);
+  EXPECT_THROW(Distribution(Erlang{0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Distribution(Erlang{2, 0.0}), std::invalid_argument);
+  EXPECT_THROW(Distribution(Triangular{1.0, 0.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(Distribution(Triangular{0.0, 3.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Distributions, SamplingIsDeterministicInSeed) {
+  Distribution d(Weibull{1.7, 3.0});
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(d.sample(a), d.sample(b));
+}
+
+TEST(Distributions, StandardNormalPolarMethodMoments) {
+  Rng rng(7);
+  OnlineStats st;
+  for (int i = 0; i < 200000; ++i) st.add(sample_standard_normal(rng));
+  EXPECT_NEAR(st.mean(), 0.0, 0.01);
+  EXPECT_NEAR(st.variance(), 1.0, 0.02);
+}
+
+}  // namespace
+}  // namespace divsec::stats

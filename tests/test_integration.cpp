@@ -1,0 +1,148 @@
+// Cross-module integration tests: the paper's headline claims exercised
+// through the full public API, end to end.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attack/san_model.h"
+#include "core/optimizer.h"
+#include "core/pipeline.h"
+#include "san/analysis.h"
+
+namespace divsec {
+namespace {
+
+class EndToEnd : public ::testing::Test {
+ protected:
+  EndToEnd() : desc(core::make_scope_description(cat)) {
+    mo.engine = core::Engine::kStagedSan;
+    mo.replications = 300;
+    mo.seed = 2013;
+  }
+  divers::VariantCatalog cat = divers::VariantCatalog::standard(2013);
+  core::SystemDescription desc;
+  core::MeasurementOptions mo;
+};
+
+// Section I of the paper: PSA ~ PM for identical machines versus
+// PSA ~ PM1 x PM2 for diverse machines, at matched parameters.
+TEST_F(EndToEnd, TwoMachineDiversityClaim) {
+  const double rate = 1.0, p = 0.25;
+  const double horizon = 4.0;  // a campaign of ~4 expected attempts/machine
+  const attack::TwoMachineSan identical =
+      attack::build_two_machine_san(rate, p, p, 1.0);
+  const attack::TwoMachineSan diverse =
+      attack::build_two_machine_san(rate, p, p, 0.0);
+  const auto fi = san::first_passage(identical.model,
+                                     identical.both_owned_predicate(), horizon,
+                                     8000, 1);
+  const auto fd = san::first_passage(diverse.model, diverse.both_owned_predicate(),
+                                     horizon, 8000, 1);
+  const double psa_identical = fi.absorption_probability();
+  const double psa_diverse = fd.absorption_probability();
+  // Identical ~ P[compromise one machine by T]: the replay costs only one
+  // extra attempt, so PSA sits just below PM (the paper's "PSA ~ PM").
+  const double pm = 1.0 - std::exp(-rate * p * horizon);
+  EXPECT_LT(psa_identical, pm);
+  EXPECT_NEAR(psa_identical, pm, 0.08);
+  EXPECT_NEAR(psa_identical,
+              attack::two_machine_success_probability(rate, p, p, 1.0, horizon),
+              0.02);
+  // Diverse is substantially below, and in the product-form ballpark.
+  EXPECT_LT(psa_diverse, 0.75 * psa_identical);
+  EXPECT_NEAR(psa_diverse,
+              attack::two_machine_success_probability(rate, p, p, 0.0, horizon),
+              0.02);
+}
+
+// The paper's case-study sentence: "a small, strategically distributed,
+// number of highly attack-resilient components can significantly lower
+// the chance of bringing a successful attack to the system."
+TEST_F(EndToEnd, FewStrategicComponentsCollapseSuccessProbability) {
+  const attack::ThreatProfile stuxnet = attack::ThreatProfile::stuxnet();
+  const double p0 = core::attack_success_probability(
+      desc, desc.baseline_configuration(), stuxnet, mo);
+  stats::Rng rng(3);
+  const core::Configuration two_strategic = core::place_resilient_components(
+      desc, 2, core::PlacementStrategy::kStrategic, stuxnet, mo, rng);
+  const double p2 =
+      core::attack_success_probability(desc, two_strategic, stuxnet, mo);
+  EXPECT_GT(p0, 0.25);         // the monoculture is genuinely at risk
+  EXPECT_LT(p2, 0.65 * p0);    // two components already cut it substantially
+  // Four strategic components push it down much further.
+  const core::Configuration four_strategic = core::place_resilient_components(
+      desc, 4, core::PlacementStrategy::kStrategic, stuxnet, mo, rng);
+  const double p4 =
+      core::attack_success_probability(desc, four_strategic, stuxnet, mo);
+  EXPECT_LT(p4, 0.35 * p0);
+}
+
+// Diversity degree sweep: TTA grows monotonically-ish with the number of
+// diversified components (E3's shape).
+TEST_F(EndToEnd, TtaGrowsWithDiversityDegree) {
+  const attack::ThreatProfile stuxnet = attack::ThreatProfile::stuxnet();
+  std::vector<double> mean_tta;
+  stats::Rng rng(17);
+  for (std::size_t k : {0u, 2u, 4u}) {
+    const core::Configuration c = core::place_resilient_components(
+        desc, k, core::PlacementStrategy::kStrategic, stuxnet, mo, rng);
+    mean_tta.push_back(core::measure_indicators(desc, c, stuxnet, mo).tta.mean());
+  }
+  EXPECT_LT(mean_tta[0], mean_tta[1]);
+  EXPECT_LE(mean_tta[1], mean_tta[2] * 1.05);  // allow MC slack at the top
+}
+
+// Threat-model comparison (the paper's future-work list): espionage
+// campaigns never impair devices; Stuxnet does.
+TEST_F(EndToEnd, ThreatProfilesDifferInSabotageCapability) {
+  for (const auto& profile :
+       {attack::ThreatProfile::duqu(), attack::ThreatProfile::flame()}) {
+    const auto s = core::measure_indicators(desc, desc.baseline_configuration(),
+                                            profile, mo);
+    EXPECT_EQ(s.successes, 0u) << profile.name;
+  }
+  const auto stux = core::measure_indicators(
+      desc, desc.baseline_configuration(), attack::ThreatProfile::stuxnet(), mo);
+  EXPECT_GT(stux.successes, 0u);
+}
+
+// Full pipeline determinism across runs (regression guard for the whole
+// stack: catalog -> scenario -> SAN -> DoE -> ANOVA).
+TEST_F(EndToEnd, PipelineIsBitStable) {
+  core::PipelineOptions po;
+  po.measurement = mo;
+  po.measurement.replications = 100;
+  const core::Pipeline p(desc, attack::ThreatProfile::stuxnet(), po);
+  const auto a = p.run({"os.control", "plc.firmware"}, 2);
+  const auto b = p.run({"os.control", "plc.firmware"}, 2);
+  EXPECT_EQ(a.assessment.report, b.assessment.report);
+  for (std::size_t c = 0; c < a.table.configuration_count(); ++c)
+    EXPECT_EQ(a.table.success_cells[c], b.table.success_cells[c]);
+}
+
+// The campaign engine and SAN abstraction must agree on which
+// configuration is safer even though their absolute numbers differ.
+TEST_F(EndToEnd, EnginesAgreeOnConfigurationOrdering) {
+  const attack::ThreatProfile stuxnet = attack::ThreatProfile::stuxnet();
+  core::Configuration diverse = desc.baseline_configuration();
+  diverse.variant[1] = 2;  // control OS
+  diverse.variant[2] = 3;  // PLC firmware
+
+  core::MeasurementOptions campaign = mo;
+  campaign.engine = core::Engine::kCampaign;
+  campaign.replications = 120;
+
+  const double san_mono = core::attack_success_probability(
+      desc, desc.baseline_configuration(), stuxnet, mo);
+  const double san_div =
+      core::attack_success_probability(desc, diverse, stuxnet, mo);
+  const double camp_mono = core::attack_success_probability(
+      desc, desc.baseline_configuration(), stuxnet, campaign);
+  const double camp_div =
+      core::attack_success_probability(desc, diverse, stuxnet, campaign);
+  EXPECT_GT(san_mono, san_div);
+  EXPECT_GT(camp_mono, camp_div);
+}
+
+}  // namespace
+}  // namespace divsec

@@ -1,0 +1,176 @@
+// Tests for net/ — topology, firewall policy, reachability.
+#include <gtest/gtest.h>
+
+#include "net/firewall.h"
+#include "net/reachability.h"
+#include "net/topology.h"
+
+namespace divsec::net {
+namespace {
+
+Topology two_zone() {
+  Topology t;
+  t.add_node("corp", Zone::kCorporate, Role::kWorkstation, true);
+  t.add_node("ctl", Zone::kControl, Role::kScadaServer, false);
+  t.add_node("plc", Zone::kField, Role::kPlc, false);
+  t.connect(0, 1);
+  t.connect(1, 2);
+  return t;
+}
+
+TEST(Topology, AddAndLookup) {
+  const Topology t = two_zone();
+  EXPECT_EQ(t.node_count(), 3u);
+  EXPECT_EQ(t.link_count(), 2u);
+  EXPECT_EQ(t.node_by_name("ctl"), 1u);
+  EXPECT_THROW(t.node_by_name("nope"), std::out_of_range);
+  EXPECT_EQ(t.node(0).zone, Zone::kCorporate);
+  EXPECT_TRUE(t.node(0).usb_exposure);
+}
+
+TEST(Topology, DuplicateNamesRejected) {
+  Topology t;
+  t.add_node("a", Zone::kCorporate, Role::kServer);
+  EXPECT_THROW(t.add_node("a", Zone::kDmz, Role::kServer), std::invalid_argument);
+  EXPECT_THROW(t.add_node("", Zone::kDmz, Role::kServer), std::invalid_argument);
+}
+
+TEST(Topology, LinksAreUndirectedAndIdempotent) {
+  Topology t = two_zone();
+  EXPECT_TRUE(t.linked(0, 1));
+  EXPECT_TRUE(t.linked(1, 0));
+  EXPECT_FALSE(t.linked(0, 2));
+  t.connect(0, 1);  // idempotent
+  EXPECT_EQ(t.link_count(), 2u);
+  EXPECT_THROW(t.connect(0, 0), std::invalid_argument);
+  EXPECT_THROW(t.connect(0, 9), std::out_of_range);
+}
+
+TEST(Topology, RoleAndZoneQueries) {
+  const Topology t = two_zone();
+  EXPECT_EQ(t.nodes_with_role(Role::kPlc), (std::vector<NodeId>{2}));
+  EXPECT_EQ(t.nodes_in_zone(Zone::kControl), (std::vector<NodeId>{1}));
+  EXPECT_EQ(t.neighbors(1).size(), 2u);
+}
+
+TEST(Topology, ToStringCoverage) {
+  EXPECT_STREQ(to_string(Zone::kDmz), "dmz");
+  EXPECT_STREQ(to_string(Role::kEngineering), "engineering");
+  EXPECT_STREQ(to_string(Channel::kPrintSpooler), "spooler");
+}
+
+TEST(Firewall, DefaultActionApplies) {
+  const Firewall deny(Action::kDeny);
+  EXPECT_FALSE(deny.allows(Zone::kCorporate, Zone::kControl, Channel::kHttp));
+  const Firewall allow = Firewall::permissive();
+  EXPECT_TRUE(allow.allows(Zone::kCorporate, Zone::kControl, Channel::kHttp));
+}
+
+TEST(Firewall, SameZoneAlwaysAllowed) {
+  const Firewall deny(Action::kDeny);
+  EXPECT_TRUE(deny.allows(Zone::kControl, Zone::kControl, Channel::kSmbShare));
+}
+
+TEST(Firewall, FirstMatchWins) {
+  Firewall fw(Action::kAllow);
+  fw.add_rule({Zone::kCorporate, Zone::kControl, std::nullopt, Action::kDeny, ""});
+  fw.add_rule({Zone::kCorporate, Zone::kControl, Channel::kHttp, Action::kAllow, ""});
+  // The broad deny precedes the specific allow: deny wins.
+  EXPECT_FALSE(fw.allows(Zone::kCorporate, Zone::kControl, Channel::kHttp));
+}
+
+TEST(Firewall, WildcardsMatchAnything) {
+  Firewall fw(Action::kDeny);
+  fw.add_rule({std::nullopt, std::nullopt, Channel::kModbus, Action::kAllow, ""});
+  EXPECT_TRUE(fw.allows(Zone::kCorporate, Zone::kField, Channel::kModbus));
+  EXPECT_FALSE(fw.allows(Zone::kCorporate, Zone::kField, Channel::kHttp));
+}
+
+TEST(Firewall, SegmentedIcsPolicyShape) {
+  const Firewall fw = Firewall::segmented_ics();
+  // Allowed paths.
+  EXPECT_TRUE(fw.allows(Zone::kCorporate, Zone::kDmz, Channel::kHttp));
+  EXPECT_TRUE(fw.allows(Zone::kControl, Zone::kField, Channel::kModbus));
+  EXPECT_TRUE(fw.allows(Zone::kControl, Zone::kField, Channel::kProjectFile));
+  // Blocked paths (the ones worms want).
+  EXPECT_FALSE(fw.allows(Zone::kCorporate, Zone::kControl, Channel::kSmbShare));
+  EXPECT_FALSE(fw.allows(Zone::kCorporate, Zone::kField, Channel::kModbus));
+  EXPECT_FALSE(fw.allows(Zone::kDmz, Zone::kControl, Channel::kSmbShare));
+  EXPECT_FALSE(fw.allows(Zone::kField, Zone::kCorporate, Channel::kHttp));
+}
+
+TEST(Reachability, LinkAndPolicyBothRequired) {
+  const Topology t = two_zone();
+  const Firewall fw = Firewall::segmented_ics();
+  // corp -> ctl linked, but corporate->control smb is denied.
+  EXPECT_FALSE(can_reach(t, fw, 0, 1, Channel::kSmbShare));
+  // ctl -> plc linked and modbus allowed.
+  EXPECT_TRUE(can_reach(t, fw, 1, 2, Channel::kModbus));
+  // corp -> plc not linked at all.
+  EXPECT_FALSE(can_reach(t, fw, 0, 2, Channel::kModbus));
+}
+
+TEST(Reachability, UsbCrossesAirGapsBetweenExposedNodes) {
+  Topology t;
+  t.add_node("laptop", Zone::kCorporate, Role::kWorkstation, true);
+  t.add_node("eng", Zone::kControl, Role::kEngineering, true);
+  t.add_node("locked", Zone::kControl, Role::kScadaServer, false);
+  // No links at all: an air gap.
+  const Firewall fw(Action::kDeny);
+  EXPECT_TRUE(can_reach(t, fw, 0, 1, Channel::kUsb));
+  EXPECT_FALSE(can_reach(t, fw, 0, 2, Channel::kUsb));  // no media exposure
+}
+
+TEST(Reachability, SelfReachIsFalse) {
+  const Topology t = two_zone();
+  EXPECT_FALSE(can_reach(t, Firewall::permissive(), 1, 1, Channel::kHttp));
+}
+
+TEST(ShortestAttackPath, FindsMultiHopRoute) {
+  const Topology t = two_zone();
+  const Firewall fw = Firewall::permissive();
+  const auto path =
+      shortest_attack_path(t, fw, 0, 2, {Channel::kSmbShare, Channel::kModbus});
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(*path, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(ShortestAttackPath, RespectsFirewall) {
+  const Topology t = two_zone();
+  Firewall fw(Action::kDeny);  // nothing crosses zones
+  const auto path = shortest_attack_path(t, fw, 0, 2, {Channel::kSmbShare});
+  EXPECT_FALSE(path.has_value());
+}
+
+TEST(ShortestAttackPath, TrivialAndInvalid) {
+  const Topology t = two_zone();
+  const auto self = shortest_attack_path(t, Firewall::permissive(), 1, 1, {});
+  ASSERT_TRUE(self.has_value());
+  EXPECT_EQ(self->size(), 1u);
+  EXPECT_THROW(
+      shortest_attack_path(t, Firewall::permissive(), 0, 9, {Channel::kHttp}),
+      std::out_of_range);
+}
+
+TEST(ReachabilityGraph, EdgesMatchCanReach) {
+  const Topology t = two_zone();
+  const Firewall fw = Firewall::permissive();
+  const auto g = reachability_graph(t, fw, {Channel::kHttp});
+  ASSERT_EQ(g.size(), 3u);
+  EXPECT_EQ(g[0], (std::vector<NodeId>{1}));
+  EXPECT_EQ(g[1], (std::vector<NodeId>{0, 2}));
+}
+
+TEST(AttackSurface, UnionOfShortestPaths) {
+  const Topology t = two_zone();
+  const Firewall fw = Firewall::permissive();
+  const std::size_t n =
+      attack_surface_size(t, fw, 0, {2}, {Channel::kSmbShare, Channel::kModbus});
+  EXPECT_EQ(n, 3u);  // 0 -> 1 -> 2
+  EXPECT_EQ(attack_surface_size(t, Firewall(Action::kDeny), 0, {2},
+                                {Channel::kSmbShare}),
+            0u);
+}
+
+}  // namespace
+}  // namespace divsec::net

@@ -1,0 +1,106 @@
+// Tests for core/probability_space.h — direct probability injection and
+// stage-level screening (the paper's sensitivity-analysis mode).
+#include <gtest/gtest.h>
+
+#include "core/probability_space.h"
+
+namespace divsec::core {
+namespace {
+
+attack::StagedAttackModel base_model() {
+  attack::StagedAttackModel m;
+  for (auto& t : m.transitions) {
+    t.attempt_rate = 0.5;
+    t.success_probability = 0.5;
+    t.detection_rate = 0.001;
+  }
+  m.impairment_detection_rate = 0.002;
+  return m;
+}
+
+TEST(StageProbabilitySpace, MapsUnitCubeToRanges) {
+  std::array<StageProbabilitySpace::Range, attack::kStageCount> ranges{};
+  for (auto& r : ranges) r = {0.2, 0.8};
+  const StageProbabilitySpace space(base_model(), ranges);
+  const auto lo = space.at(std::vector<double>(5, 0.0));
+  const auto mid = space.at(std::vector<double>(5, 0.5));
+  const auto hi = space.at(std::vector<double>(5, 1.0));
+  for (std::size_t i = 0; i < attack::kStageCount; ++i) {
+    EXPECT_DOUBLE_EQ(lo.transitions[i].success_probability, 0.2);
+    EXPECT_DOUBLE_EQ(mid.transitions[i].success_probability, 0.5);
+    EXPECT_DOUBLE_EQ(hi.transitions[i].success_probability, 0.8);
+    // Rates are inherited from the base model untouched.
+    EXPECT_DOUBLE_EQ(lo.transitions[i].attempt_rate, 0.5);
+  }
+}
+
+TEST(StageProbabilitySpace, DefaultRangesAreFullUnit) {
+  const StageProbabilitySpace space(base_model());
+  const auto m = space.at(std::vector<double>{0.0, 0.25, 0.5, 0.75, 1.0});
+  EXPECT_DOUBLE_EQ(m.transitions[0].success_probability, 0.0);
+  EXPECT_DOUBLE_EQ(m.transitions[4].success_probability, 1.0);
+}
+
+TEST(StageProbabilitySpace, Validation) {
+  std::array<StageProbabilitySpace::Range, attack::kStageCount> bad{};
+  for (auto& r : bad) r = {0.2, 0.8};
+  bad[2] = {0.9, 0.1};
+  EXPECT_THROW(StageProbabilitySpace(base_model(), bad), std::invalid_argument);
+  const StageProbabilitySpace space(base_model());
+  EXPECT_THROW(space.at(std::vector<double>{0.5, 0.5}), std::invalid_argument);
+}
+
+TEST(Indicators, ExpectedTtaIndicatorMatchesModel) {
+  const auto ind = expected_tta_indicator();
+  const auto m = base_model();
+  EXPECT_DOUBLE_EQ(ind(m), m.expected_total_time());
+}
+
+TEST(Indicators, SuccessIndicatorMonotoneInProbabilities) {
+  const auto ind = success_probability_indicator(500.0, 2000, 7);
+  const StageProbabilitySpace space(base_model());
+  const double lo = ind(space.at(std::vector<double>(5, 0.2)));
+  const double hi = ind(space.at(std::vector<double>(5, 0.9)));
+  EXPECT_GT(hi, lo);
+  EXPECT_THROW(success_probability_indicator(0.0, 100, 1), std::invalid_argument);
+  EXPECT_THROW(success_probability_indicator(10.0, 0, 1), std::invalid_argument);
+}
+
+TEST(MorrisStageScreening, FindsTheNarrowedStage) {
+  // Stages 0..3 pinned to a tight range; stage 4 swept wide: the analytic
+  // TTA indicator must attribute (much) more effect to stage 4.
+  std::array<StageProbabilitySpace::Range, attack::kStageCount> ranges{};
+  for (auto& r : ranges) r = {0.79, 0.81};
+  ranges[4] = {0.05, 0.95};
+  const StageProbabilitySpace space(base_model(), ranges);
+  const auto screening =
+      morris_stage_screening(space, expected_tta_indicator(), 12, 5);
+  ASSERT_EQ(screening.effects.mu_star.size(), attack::kStageCount);
+  EXPECT_EQ(screening.evaluations, 12u * (attack::kStageCount + 1));
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_GT(screening.effects.mu_star[4], 5.0 * screening.effects.mu_star[i])
+        << "stage " << i;
+}
+
+TEST(MorrisStageScreening, NullIndicatorRejected) {
+  const StageProbabilitySpace space(base_model());
+  EXPECT_THROW(morris_stage_screening(space, nullptr, 4, 1), std::invalid_argument);
+}
+
+TEST(StageTornado, RanksWideStagesFirst) {
+  std::array<StageProbabilitySpace::Range, attack::kStageCount> ranges{};
+  for (auto& r : ranges) r = {0.5, 0.5};  // frozen
+  ranges[1] = {0.1, 0.9};                 // only stage 1 varies
+  const StageProbabilitySpace space(base_model(), ranges);
+  const auto tornado = stage_tornado(space, expected_tta_indicator());
+  ASSERT_EQ(tornado.size(), attack::kStageCount);
+  EXPECT_EQ(tornado[0].stage, 1u);
+  EXPECT_GT(tornado[0].swing(), 0.0);
+  for (std::size_t i = 1; i < tornado.size(); ++i)
+    EXPECT_NEAR(tornado[i].swing(), 0.0, 1e-12);
+  // Lower success probability means longer expected TTA.
+  EXPECT_GT(tornado[0].at_lo, tornado[0].at_hi);
+}
+
+}  // namespace
+}  // namespace divsec::core

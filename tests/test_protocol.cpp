@@ -1,0 +1,145 @@
+// Tests for scada/protocol.h — framing, CRC, register service.
+#include <gtest/gtest.h>
+
+#include "scada/protocol.h"
+
+namespace divsec::scada {
+namespace {
+
+/// Simple in-memory register bank for protocol tests.
+class Bank final : public RegisterServer {
+ public:
+  explicit Bank(std::uint16_t n) : regs_(n, 0) {}
+  [[nodiscard]] std::uint16_t register_count() const override {
+    return static_cast<std::uint16_t>(regs_.size());
+  }
+  [[nodiscard]] std::uint16_t read_register(std::uint16_t addr) override {
+    return regs_.at(addr);
+  }
+  void write_register(std::uint16_t addr, std::uint16_t value) override {
+    regs_.at(addr) = value;
+  }
+  std::vector<std::uint16_t> regs_;
+};
+
+TEST(Crc16, KnownReferenceValue) {
+  // Classic MODBUS reference: CRC16 of "123456789" is 0x4B37.
+  const std::uint8_t data[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc16_modbus(data, sizeof(data)), 0x4B37);
+}
+
+TEST(Crc16, EmptyInputIsInitValue) {
+  EXPECT_EQ(crc16_modbus(nullptr, 0), 0xFFFF);
+}
+
+TEST(Framing, RequestRoundTrip) {
+  const Request r{7, FunctionCode::kReadHoldingRegisters, 0x1234, 5};
+  const auto frame = encode_request(r);
+  EXPECT_EQ(frame.size(), 8u);
+  const auto back = decode_request(frame);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->unit, 7);
+  EXPECT_EQ(back->function, FunctionCode::kReadHoldingRegisters);
+  EXPECT_EQ(back->address, 0x1234);
+  EXPECT_EQ(back->count_or_value, 5);
+}
+
+TEST(Framing, CorruptedFrameRejected) {
+  const Request r{1, FunctionCode::kWriteSingleRegister, 10, 99};
+  auto frame = encode_request(r);
+  frame[3] ^= 0x01;  // flip a bit: CRC must catch it
+  EXPECT_FALSE(decode_request(frame).has_value());
+  frame = encode_request(r);
+  frame.pop_back();  // truncated
+  EXPECT_FALSE(decode_request(frame).has_value());
+}
+
+TEST(Framing, UnknownFunctionCodeRejected) {
+  auto frame = encode_request({1, FunctionCode::kReadHoldingRegisters, 0, 1});
+  frame[1] = 0x2B;  // not a supported function
+  // Recompute a valid CRC so only the function check can reject it.
+  const std::uint16_t crc = crc16_modbus(frame.data(), frame.size() - 2);
+  frame[6] = static_cast<std::uint8_t>(crc & 0xFF);
+  frame[7] = static_cast<std::uint8_t>(crc >> 8);
+  EXPECT_FALSE(decode_request(frame).has_value());
+}
+
+TEST(Framing, ResponseRoundTrip) {
+  Response r;
+  r.unit = 3;
+  r.function = FunctionCode::kReadHoldingRegisters;
+  r.values = {100, 200, 65535};
+  const auto back = decode_response(encode_response(r));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->ok);
+  EXPECT_EQ(back->values, r.values);
+}
+
+TEST(Framing, ExceptionResponseRoundTrip) {
+  Response r;
+  r.unit = 3;
+  r.function = FunctionCode::kWriteSingleRegister;
+  r.ok = false;
+  r.exception = ExceptionCode::kIllegalAddress;
+  const auto back = decode_response(encode_response(r));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_FALSE(back->ok);
+  EXPECT_EQ(back->exception, ExceptionCode::kIllegalAddress);
+  EXPECT_EQ(back->function, FunctionCode::kWriteSingleRegister);
+}
+
+TEST(Serve, ReadAndWriteRegisters) {
+  Bank bank(16);
+  bank.regs_[4] = 1111;
+  bank.regs_[5] = 2222;
+  const Response read =
+      serve(bank, {1, FunctionCode::kReadHoldingRegisters, 4, 2});
+  ASSERT_TRUE(read.ok);
+  EXPECT_EQ(read.values, (std::vector<std::uint16_t>{1111, 2222}));
+
+  const Response write =
+      serve(bank, {1, FunctionCode::kWriteSingleRegister, 7, 1234});
+  EXPECT_TRUE(write.ok);
+  EXPECT_EQ(bank.regs_[7], 1234);
+}
+
+TEST(Serve, BoundsChecked) {
+  Bank bank(8);
+  const Response past_end =
+      serve(bank, {1, FunctionCode::kReadHoldingRegisters, 6, 3});
+  EXPECT_FALSE(past_end.ok);
+  EXPECT_EQ(past_end.exception, ExceptionCode::kIllegalAddress);
+
+  const Response zero_count =
+      serve(bank, {1, FunctionCode::kReadHoldingRegisters, 0, 0});
+  EXPECT_FALSE(zero_count.ok);
+  EXPECT_EQ(zero_count.exception, ExceptionCode::kIllegalValue);
+
+  const Response bad_write =
+      serve(bank, {1, FunctionCode::kWriteSingleRegister, 8, 1});
+  EXPECT_FALSE(bad_write.ok);
+}
+
+TEST(Transact, FullWireRoundTrip) {
+  Bank bank(4);
+  bank.regs_[0] = 42;
+  const auto resp = transact(bank, {1, FunctionCode::kReadHoldingRegisters, 0, 1});
+  ASSERT_TRUE(resp.has_value());
+  ASSERT_TRUE(resp->ok);
+  EXPECT_EQ(resp->values[0], 42);
+}
+
+TEST(AnalogPacking, RoundTripsWithinResolution) {
+  for (double v : {-40.0, 0.0, 23.45, 99.99, 300.0}) {
+    EXPECT_NEAR(unpack_analog(pack_analog(v)), v, 0.005) << v;
+  }
+}
+
+TEST(AnalogPacking, SaturatesAtRegisterLimits) {
+  EXPECT_EQ(pack_analog(-1000.0), 0);
+  EXPECT_EQ(unpack_analog(pack_analog(-1000.0)), -100.0);
+  EXPECT_EQ(pack_analog(100000.0), 65535);
+}
+
+}  // namespace
+}  // namespace divsec::scada

@@ -1,0 +1,98 @@
+// Tests for core/report.h — CSV/Markdown exports.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/report.h"
+
+namespace divsec::core {
+namespace {
+
+class ReportFixture : public ::testing::Test {
+ protected:
+  ReportFixture() : desc(make_scope_description(cat)) {
+    core::PipelineOptions po;
+    po.measurement.engine = Engine::kStagedSan;
+    po.measurement.replications = 60;
+    po.measurement.seed = 3;
+    const Pipeline pipeline(desc, attack::ThreatProfile::stuxnet(), po);
+    result = pipeline.run({"plc.firmware", "firewall"}, 2);
+  }
+  divers::VariantCatalog cat = divers::VariantCatalog::standard(2013);
+  SystemDescription desc;
+  Pipeline::Result result;
+};
+
+TEST_F(ReportFixture, MeasurementCsvShape) {
+  const std::string csv = measurement_csv(result.table);
+  std::istringstream is(csv);
+  std::string line;
+  std::getline(is, line);
+  EXPECT_EQ(line,
+            "plc.firmware,firewall,success_prob,tta_mean,tta_censored,"
+            "ttsf_mean,ttsf_censored,final_ratio_mean");
+  std::size_t rows = 0;
+  while (std::getline(is, line))
+    if (!line.empty()) ++rows;
+  EXPECT_EQ(rows, result.table.configuration_count());
+  // First data row starts with the baseline variant names.
+  EXPECT_NE(csv.find("plc.s7_stock,fw.stock,"), std::string::npos);
+}
+
+TEST_F(ReportFixture, AnovaCsvHasAllRows) {
+  const std::string csv = anova_csv(result.assessment.success_anova);
+  EXPECT_NE(csv.find("effect,ss,df,ms,f,p,eta2"), std::string::npos);
+  EXPECT_NE(csv.find("plc.firmware,"), std::string::npos);
+  EXPECT_NE(csv.find("Error,"), std::string::npos);
+  EXPECT_NE(csv.find("Total,"), std::string::npos);
+  // Interaction names contain ':' but no comma — unquoted is fine.
+  EXPECT_NE(csv.find("plc.firmware:firewall"), std::string::npos);
+}
+
+TEST_F(ReportFixture, MarkdownContainsSectionsAndRanking) {
+  const std::string md = assessment_markdown(result.assessment, "SCoPE report");
+  EXPECT_NE(md.find("# SCoPE report"), std::string::npos);
+  EXPECT_NE(md.find("## Attack success probability"), std::string::npos);
+  EXPECT_NE(md.find("## Time-To-Attack"), std::string::npos);
+  EXPECT_NE(md.find("## Component ranking"), std::string::npos);
+  EXPECT_NE(md.find("## Recommended for diversification"), std::string::npos);
+  EXPECT_NE(md.find("| Effect | SS | df |"), std::string::npos);
+}
+
+TEST_F(ReportFixture, SaveToFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "divsec_report_test.csv";
+  const std::string content = measurement_csv(result.table);
+  save_to_file(path, content);
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), content);
+  std::remove(path.c_str());
+}
+
+TEST(Report, SaveToBadPathThrows) {
+  EXPECT_THROW(save_to_file("/nonexistent-dir-xyz/file.csv", "x"),
+               std::runtime_error);
+}
+
+TEST(Report, CsvEscaping) {
+  // A factor level with a comma must be quoted.
+  stats::FactorSpace space(
+      std::vector<stats::Factor>{{"f,actor", {"a\"b", "plain"}}});
+  MeasurementTable table;
+  table.space = space;
+  for (std::size_t c = 0; c < 2; ++c) {
+    table.configurations.push_back({});
+    IndicatorSummary s;
+    s.replications = 1;
+    table.summaries.push_back(s);
+  }
+  const std::string csv = measurement_csv(table);
+  EXPECT_NE(csv.find("\"f,actor\""), std::string::npos);
+  EXPECT_NE(csv.find("\"a\"\"b\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace divsec::core

@@ -1,0 +1,65 @@
+// Tests for stats/sensitivity.h — OAT sweeps, tornado ranking.
+#include <gtest/gtest.h>
+
+#include "stats/sensitivity.h"
+
+namespace divsec::stats {
+namespace {
+
+FactorSpace space() {
+  return FactorSpace({{"big", {"l0", "l1", "l2"}},
+                      {"small", {"l0", "l1"}},
+                      {"null", {"l0", "l1"}}});
+}
+
+double planted_response(std::span<const int> cfg) {
+  // big contributes 10/level, small 1/level, null nothing.
+  return 10.0 * cfg[0] + 1.0 * cfg[1];
+}
+
+TEST(OneAtATime, SweepsEachFactorHoldingOthersAtBaseline) {
+  const auto results =
+      one_at_a_time(space(), std::vector<int>{0, 0, 0}, planted_response);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].factor, "big");
+  EXPECT_EQ(results[0].responses, (std::vector<double>{0.0, 10.0, 20.0}));
+  EXPECT_EQ(results[0].swing(), 20.0);
+  EXPECT_EQ(results[1].swing(), 1.0);
+  EXPECT_EQ(results[2].swing(), 0.0);
+}
+
+TEST(OneAtATime, NonZeroBaselineIsRestored) {
+  const auto results =
+      one_at_a_time(space(), std::vector<int>{1, 1, 0}, planted_response);
+  // Sweeping "small" keeps big at level 1: responses 10+{0,1}.
+  EXPECT_EQ(results[1].responses, (std::vector<double>{10.0, 11.0}));
+}
+
+TEST(OneAtATime, Errors) {
+  EXPECT_THROW(
+      one_at_a_time(space(), std::vector<int>{0, 0}, planted_response),
+      std::invalid_argument);
+  EXPECT_THROW(
+      one_at_a_time(space(), std::vector<int>{5, 0, 0}, planted_response),
+      std::out_of_range);
+}
+
+TEST(Tornado, SortsByDescendingSwing) {
+  auto results = one_at_a_time(space(), std::vector<int>{0, 0, 0}, planted_response);
+  const auto sorted = tornado(std::move(results));
+  EXPECT_EQ(sorted[0].factor, "big");
+  EXPECT_EQ(sorted[1].factor, "small");
+  EXPECT_EQ(sorted[2].factor, "null");
+}
+
+TEST(RankByVarianceShare, OrdersAnovaEffects) {
+  AnovaTable t;
+  t.effects.push_back({"low", 1.0, 1, 1.0, 0.0, 1.0, 0.1});
+  t.effects.push_back({"high", 9.0, 1, 9.0, 0.0, 1.0, 0.9});
+  const auto ranked = rank_by_variance_share(t);
+  EXPECT_EQ(ranked[0].name, "high");
+  EXPECT_EQ(ranked[1].name, "low");
+}
+
+}  // namespace
+}  // namespace divsec::stats

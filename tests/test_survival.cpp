@@ -1,0 +1,97 @@
+// Tests for stats/survival.h — Kaplan-Meier under censoring.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/distributions.h"
+#include "stats/survival.h"
+
+namespace divsec::stats {
+namespace {
+
+TEST(KaplanMeier, NoCensoringMatchesEmpiricalSurvival) {
+  // Events at 1, 2, 3, 4: S drops by 1/4 at each.
+  KaplanMeier km({{1, true}, {2, true}, {3, true}, {4, true}});
+  EXPECT_EQ(km.event_count(), 4u);
+  EXPECT_EQ(km.censored_count(), 0u);
+  EXPECT_DOUBLE_EQ(km.survival_at(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(km.survival_at(1.0), 0.75);
+  EXPECT_DOUBLE_EQ(km.survival_at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(km.survival_at(100.0), 0.0);
+}
+
+TEST(KaplanMeier, HandComputedCensoredExample) {
+  // Classic small example: events at 1 and 3; censored at 2 and 4.
+  // At t=1: 4 at risk, 1 event -> S = 3/4.
+  // t=2: censored (no drop). At t=3: 2 at risk, 1 event -> S = 3/4 * 1/2.
+  KaplanMeier km({{1, true}, {2, false}, {3, true}, {4, false}});
+  EXPECT_DOUBLE_EQ(km.survival_at(1.0), 0.75);
+  EXPECT_DOUBLE_EQ(km.survival_at(2.5), 0.75);
+  EXPECT_DOUBLE_EQ(km.survival_at(3.0), 0.375);
+  EXPECT_DOUBLE_EQ(km.survival_at(10.0), 0.375);  // never reaches 0
+  EXPECT_EQ(km.censored_count(), 2u);
+}
+
+TEST(KaplanMeier, TiedTimesGrouped) {
+  KaplanMeier km({{2, true}, {2, true}, {2, false}, {5, true}});
+  // t=2: 4 at risk, 2 events -> S = 0.5; censored at 2 leaves 1 at risk.
+  EXPECT_DOUBLE_EQ(km.survival_at(2.0), 0.5);
+  // t=5: 1 at risk, 1 event -> S = 0.
+  EXPECT_DOUBLE_EQ(km.survival_at(5.0), 0.0);
+  ASSERT_EQ(km.steps().size(), 2u);
+  EXPECT_EQ(km.steps()[0].at_risk, 4u);
+  EXPECT_EQ(km.steps()[0].events, 2u);
+}
+
+TEST(KaplanMeier, MedianAndQuantiles) {
+  KaplanMeier km({{1, true}, {2, true}, {3, true}, {4, true}});
+  ASSERT_TRUE(km.median().has_value());
+  EXPECT_DOUBLE_EQ(*km.median(), 2.0);  // S(2) = 0.5 <= 0.5
+  ASSERT_TRUE(km.quantile(0.25).has_value());
+  EXPECT_DOUBLE_EQ(*km.quantile(0.25), 1.0);
+  // Heavy censoring: median undefined.
+  KaplanMeier censored({{1, true}, {5, false}, {5, false}, {5, false}});
+  EXPECT_FALSE(censored.median().has_value());
+  EXPECT_THROW((void)km.quantile(0.0), std::invalid_argument);
+}
+
+TEST(KaplanMeier, RestrictedMeanIntegratesTheCurve) {
+  // Single event at 2 among 2 observations (other censored at 5):
+  // S = 1 on [0,2), 0.5 on [2, tau).
+  KaplanMeier km({{2, true}, {5, false}});
+  EXPECT_DOUBLE_EQ(km.restricted_mean(4.0), 2.0 + 0.5 * 2.0);
+  EXPECT_DOUBLE_EQ(km.restricted_mean(1.0), 1.0);
+  EXPECT_THROW(km.restricted_mean(0.0), std::invalid_argument);
+}
+
+TEST(KaplanMeier, RecoversExponentialSurvival) {
+  // Property: KM on censored exponential data matches e^{-lambda t}.
+  const double lambda = 0.5, horizon = 4.0;
+  Rng rng(7);
+  Distribution exp_dist(Exponential{lambda});
+  std::vector<SurvivalObservation> obs;
+  for (int i = 0; i < 20000; ++i) {
+    const double t = exp_dist.sample(rng);
+    if (t <= horizon)
+      obs.push_back({t, true});
+    else
+      obs.push_back({horizon, false});  // right-censored at the horizon
+  }
+  const KaplanMeier km(std::move(obs));
+  for (double t : {0.5, 1.0, 2.0, 3.5}) {
+    EXPECT_NEAR(km.survival_at(t), std::exp(-lambda * t), 0.01) << t;
+  }
+  ASSERT_TRUE(km.median().has_value());
+  EXPECT_NEAR(*km.median(), std::log(2.0) / lambda, 0.05);
+  // Restricted mean ~ integral of e^{-lt} on [0, horizon].
+  EXPECT_NEAR(km.restricted_mean(horizon),
+              (1.0 - std::exp(-lambda * horizon)) / lambda, 0.02);
+}
+
+TEST(KaplanMeier, Validation) {
+  EXPECT_THROW(KaplanMeier({}), std::invalid_argument);
+  EXPECT_THROW(KaplanMeier({{-1.0, true}}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace divsec::stats
