@@ -4,11 +4,14 @@
 // and timing each step as a benchmark.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "attack/attack_tree.h"
 #include "attack/bayes.h"
 #include "bench/bench_util.h"
 #include "core/pipeline.h"
 #include "san/analysis.h"
+#include "sim/executor.h"
 
 namespace {
 
@@ -132,6 +135,59 @@ void print_formalism_agreement() {
       "system is substantially harder to defeat.\n");
 }
 
+/// Serial vs parallel wall time of the step-2 measurement — the batched
+/// (cell × replication) engine is the pipeline's hot path. The parallel
+/// run must be bit-identical to the serial one (asserted here), so the
+/// speedup is free of statistical caveats.
+void print_parallel_speedup() {
+  const core::SystemDescription desc = core::make_scope_description(catalog());
+  const std::vector<std::string> factors{"os.control", "plc.firmware", "firewall"};
+
+  const auto timed_run = [&desc](const sim::Executor& ex,
+                                 const std::vector<std::string>& names) {
+    core::PipelineOptions po = options();
+    po.measurement.executor = &ex;
+    const core::Pipeline pipeline(desc, attack::ThreatProfile::stuxnet(), po);
+    const auto t0 = std::chrono::steady_clock::now();
+    auto table = pipeline.measure_full_factorial(names, 0);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    return std::make_pair(std::move(table), ms);
+  };
+
+  const sim::Executor serial(1);
+  const std::size_t default_threads = sim::Executor::default_thread_count();
+  const sim::Executor threaded(default_threads > 1 ? default_threads : 4);
+
+  bench::section("E2 extra: batched parallel measurement engine");
+  const auto [serial_table, serial_ms] = timed_run(serial, factors);
+  const auto [parallel_table, parallel_ms] = timed_run(threaded, factors);
+
+  // Determinism check: thread count must not change a single bit.
+  bool identical = serial_table.configuration_count() ==
+                   parallel_table.configuration_count();
+  for (std::size_t c = 0; identical && c < serial_table.configuration_count(); ++c)
+    identical = serial_table.summaries[c].tta.mean() ==
+                    parallel_table.summaries[c].tta.mean() &&
+                serial_table.summaries[c].successes ==
+                    parallel_table.summaries[c].successes;
+
+  const double speedup = parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0;
+  bench::row({"variant", "threads", "wall ms", "speedup"}, 16);
+  bench::row({"serial", "1", bench::fmt(serial_ms, 1), bench::fmt(1.0, 2)}, 16);
+  bench::row({"parallel", bench::fmt_int(static_cast<long long>(threaded.thread_count())),
+              bench::fmt(parallel_ms, 1), bench::fmt(speedup, 2)},
+             16);
+  std::printf("parallel output bit-identical to serial: %s\n",
+              identical ? "yes" : "NO (BUG)");
+
+  bench::write_bench_json(
+      "BENCH_e2_parallel.json",
+      {{"e2.measure_full_factorial.serial", serial_ms, 1, 1.0},
+       {"e2.measure_full_factorial.parallel", parallel_ms,
+        static_cast<int>(threaded.thread_count()), speedup}});
+}
+
 void BM_Step1_AttackModeling(benchmark::State& state) {
   const core::SystemDescription desc = core::make_scope_description(catalog());
   const core::Pipeline pipeline(desc, attack::ThreatProfile::stuxnet(), options());
@@ -170,6 +226,7 @@ BENCHMARK(BM_Step3_Assess)->Unit(benchmark::kMillisecond);
 int main(int argc, char** argv) {
   print_pipeline_run();
   print_formalism_agreement();
+  print_parallel_speedup();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -33,4 +33,34 @@ inline std::string fmt(double v, int precision = 4) {
 
 inline std::string fmt_int(long long v) { return std::to_string(v); }
 
+/// One machine-readable timing record for the perf trajectory. `speedup`
+/// is relative to whatever the bench defines as its serial baseline
+/// (1.0 for standalone timings).
+struct BenchRecord {
+  std::string name;
+  double wall_ms = 0.0;
+  int threads = 1;
+  double speedup = 1.0;
+};
+
+/// Write records as a JSON array to `path` (BENCH_*.json convention), so
+/// CI can track wall time and parallel speedup across commits. Emits
+/// nothing on I/O failure: benches must not fail on read-only filesystems.
+inline void write_bench_json(const std::string& path,
+                             const std::vector<BenchRecord>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return;
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    std::fprintf(f,
+                 "  {\"name\": \"%s\", \"wall_ms\": %.3f, \"threads\": %d, "
+                 "\"speedup\": %.3f}%s\n",
+                 r.name.c_str(), r.wall_ms, r.threads, r.speedup,
+                 i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+}
+
 }  // namespace divsec::bench

@@ -2,7 +2,7 @@
 
 #include <stdexcept>
 
-#include "san/simulator.h"
+#include "core/measurement.h"
 
 namespace divsec::core {
 
@@ -128,62 +128,8 @@ IndicatorSummary measure_indicators(const SystemDescription& description,
                                     const MeasurementOptions& options) {
   if (options.replications == 0)
     throw std::invalid_argument("measure_indicators: need >= 1 replication");
-  IndicatorSummary out;
-  out.replications = options.replications;
-  out.horizon_hours = options.campaign.t_max_hours;
-  out.samples.reserve(options.replications);
-
-  const double horizon = options.campaign.t_max_hours;
-
-  if (options.engine == Engine::kCampaign) {
-    const attack::CampaignSimulator sim(description.instantiate(config), profile,
-                                        description.catalog(), options.detection,
-                                        options.campaign);
-    for (std::size_t rep = 0; rep < options.replications; ++rep) {
-      stats::Rng rng(options.seed, rep);
-      const attack::CampaignResult r = sim.run(rng);
-      IndicatorSample s;
-      s.tta = r.time_to_attack.value_or(horizon);
-      s.tta_censored = !r.time_to_attack.has_value();
-      s.ttsf = r.time_to_detection.value_or(horizon);
-      s.ttsf_censored = !r.time_to_detection.has_value();
-      s.attack_succeeded = r.attack_succeeded();
-      s.final_ratio = r.compromised_ratio.empty()
-                          ? 0.0
-                          : r.compromised_ratio.back().second;
-      out.samples.push_back(s);
-    }
-  } else {
-    const attack::StagedAttackModel model =
-        derive_staged_model(description, config, profile, options.detection);
-    const attack::AttackSan asan = attack::build_attack_san(model);
-    const auto terminal = asan.terminal_predicate();
-    for (std::size_t rep = 0; rep < options.replications; ++rep) {
-      stats::Rng rng(options.seed, rep);
-      san::SanSimulator sim(asan.model, rng);
-      const auto t = sim.run_until_predicate(terminal, horizon);
-      IndicatorSample s;
-      const bool succeeded = t && sim.tokens(asan.success_place) >= 1;
-      const bool detected = t && sim.tokens(asan.detected_place) >= 1;
-      s.tta = succeeded ? *t : horizon;
-      s.tta_censored = !succeeded;
-      s.ttsf = detected ? *t : horizon;
-      s.ttsf_censored = !detected;
-      s.attack_succeeded = succeeded;
-      s.final_ratio = succeeded ? 1.0 : 0.0;
-      out.samples.push_back(s);
-    }
-  }
-
-  for (const auto& s : out.samples) {
-    out.tta.add(s.tta);
-    if (s.tta_censored) ++out.tta_censored;
-    out.ttsf.add(s.ttsf);
-    if (s.ttsf_censored) ++out.ttsf_censored;
-    out.final_ratio.add(s.final_ratio);
-    if (s.attack_succeeded) ++out.successes;
-  }
-  return out;
+  const MeasurementEngine engine(description, profile, options);
+  return engine.measure_one(config);
 }
 
 IndicatorComparison compare_indicators(const IndicatorSummary& a,
@@ -203,18 +149,8 @@ std::vector<double> mean_compromised_ratio_curve(
   if (options.engine != Engine::kCampaign)
     throw std::invalid_argument(
         "mean_compromised_ratio_curve: requires the campaign engine");
-  const attack::CampaignSimulator sim(description.instantiate(config), profile,
-                                      description.catalog(), options.detection,
-                                      options.campaign);
-  std::vector<double> acc(time_grid_hours.size(), 0.0);
-  for (std::size_t rep = 0; rep < options.replications; ++rep) {
-    stats::Rng rng(options.seed, rep);
-    const attack::CampaignResult r = sim.run(rng);
-    for (std::size_t i = 0; i < time_grid_hours.size(); ++i)
-      acc[i] += r.ratio_at(time_grid_hours[i]);
-  }
-  for (double& v : acc) v /= static_cast<double>(options.replications);
-  return acc;
+  const MeasurementEngine engine(description, profile, options);
+  return engine.mean_ratio_curve(config, time_grid_hours);
 }
 
 }  // namespace divsec::core

@@ -25,6 +25,10 @@
 #include "core/configuration.h"
 #include "stats/descriptive.h"
 
+namespace divsec::sim {
+class Executor;
+}
+
 namespace divsec::core {
 
 enum class Engine { kCampaign, kStagedSan };
@@ -68,6 +72,20 @@ struct MeasurementOptions {
   std::uint64_t seed = 2013;  // DSN 2013
   attack::CampaignOptions campaign{};
   attack::DetectionModel detection{};
+  /// Retain per-replication IndicatorSummary::samples. Disable for large
+  /// factorials where only the aggregates (and the per-cell response
+  /// vectors a MeasurementTable extracts) are needed.
+  bool keep_samples = true;
+  /// Executor for (cell × replication) jobs; null falls back to
+  /// sim::Executor::shared() (DIVSEC_THREADS-sized). Non-owning.
+  /// Note the deliberate asymmetry with the low-level controllers
+  /// (sim::run_replications, san estimators), where a null executor
+  /// means strictly serial: measurement is the top-level hot path and
+  /// parallelizes by default; set DIVSEC_THREADS=1 or pass a 1-thread
+  /// executor to force the serial path. Results are bit-identical either
+  /// way, and a caller already running inside an executor job reuses its
+  /// thread inline (no nested parallelism or deadlock).
+  const sim::Executor* executor = nullptr;
 };
 
 /// Step-1 bridge: derive the staged attack model (per-stage success

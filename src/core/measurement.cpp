@@ -1,0 +1,170 @@
+#include "core/measurement.h"
+
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "san/simulator.h"
+#include "sim/executor.h"
+
+namespace divsec::core {
+
+namespace {
+
+/// Read-only per-cell state shared by that cell's replication jobs.
+/// Exactly one of `campaign` / `san` is engaged, per the options' engine.
+struct CellContext {
+  std::optional<attack::CampaignSimulator> campaign;
+
+  struct StagedSan {
+    attack::AttackSan asan;
+    san::Predicate terminal;
+  };
+  std::optional<StagedSan> san;
+};
+
+CellContext make_context(const SystemDescription& description,
+                         const attack::ThreatProfile& profile,
+                         const MeasurementOptions& options,
+                         const Configuration& config) {
+  CellContext ctx;
+  if (options.engine == Engine::kCampaign) {
+    ctx.campaign.emplace(description.instantiate(config), profile,
+                         description.catalog(), options.detection,
+                         options.campaign);
+  } else {
+    auto& staged = ctx.san.emplace();
+    staged.asan = attack::build_attack_san(
+        derive_staged_model(description, config, profile, options.detection));
+    staged.terminal = staged.asan.terminal_predicate();
+  }
+  return ctx;
+}
+
+/// One (cell, replication) job. All randomness comes from `rng`, so the
+/// sample depends only on (cell seed, replication index).
+IndicatorSample run_job(const CellContext& ctx, double horizon, stats::Rng rng) {
+  IndicatorSample s;
+  if (ctx.campaign) {
+    const attack::CampaignResult r = ctx.campaign->run(rng);
+    s.tta = r.time_to_attack.value_or(horizon);
+    s.tta_censored = !r.time_to_attack.has_value();
+    s.ttsf = r.time_to_detection.value_or(horizon);
+    s.ttsf_censored = !r.time_to_detection.has_value();
+    s.attack_succeeded = r.attack_succeeded();
+    s.final_ratio =
+        r.compromised_ratio.empty() ? 0.0 : r.compromised_ratio.back().second;
+  } else {
+    san::SanSimulator sim(ctx.san->asan.model, rng);
+    const auto t = sim.run_until_predicate(ctx.san->terminal, horizon);
+    const bool succeeded = t && sim.tokens(ctx.san->asan.success_place) >= 1;
+    const bool detected = t && sim.tokens(ctx.san->asan.detected_place) >= 1;
+    s.tta = succeeded ? *t : horizon;
+    s.tta_censored = !succeeded;
+    s.ttsf = detected ? *t : horizon;
+    s.ttsf_censored = !detected;
+    s.attack_succeeded = succeeded;
+    s.final_ratio = succeeded ? 1.0 : 0.0;
+  }
+  return s;
+}
+
+}  // namespace
+
+MeasurementEngine::MeasurementEngine(const SystemDescription& description,
+                                     const attack::ThreatProfile& profile,
+                                     const MeasurementOptions& options)
+    : description_(&description),
+      profile_(&profile),
+      options_(options),
+      executor_(options.executor ? options.executor : &sim::Executor::shared()) {
+  if (options_.replications == 0)
+    throw std::invalid_argument("MeasurementEngine: need >= 1 replication");
+}
+
+std::vector<IndicatorSummary> MeasurementEngine::measure(
+    const MeasurementPlan& plan, const CellVisitor& visit) const {
+  const std::size_t cells = plan.cell_count();
+  const std::size_t reps = options_.replications;
+  const double horizon = options_.campaign.t_max_hours;
+
+  // Phase 1 (parallel): instantiate each cell's read-only context.
+  // Contexts are independent, so building them is itself a parallel_for;
+  // unique_ptr slots sidestep CellContext's non-assignable members.
+  std::vector<std::unique_ptr<CellContext>> contexts(cells);
+  executor_->parallel_for(0, cells, [&](std::size_t c) {
+    contexts[c] = std::make_unique<CellContext>(make_context(
+        *description_, *profile_, options_, plan.cells[c].configuration));
+  });
+
+  // Phase 2 (parallel): the flattened (cell × replication) job list.
+  // Job j = cell (j / reps), replication (j % reps), RNG stream
+  // (cell.seed, rep) — deterministic for any thread count.
+  std::vector<IndicatorSample> samples(cells * reps);
+  executor_->parallel_for(0, cells * reps, [&](std::size_t j) {
+    const std::size_t c = j / reps;
+    const std::size_t rep = j % reps;
+    samples[j] = run_job(*contexts[c], horizon,
+                         stats::Rng(plan.cells[c].seed, rep));
+  });
+
+  // Phase 3 (serial): fold per-cell summaries in replication order, so
+  // the Welford accumulators match a serial run bit for bit.
+  std::vector<IndicatorSummary> out(cells);
+  for (std::size_t c = 0; c < cells; ++c) {
+    IndicatorSummary& sum = out[c];
+    sum.replications = reps;
+    sum.horizon_hours = horizon;
+    const auto first = samples.begin() + static_cast<std::ptrdiff_t>(c * reps);
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      const IndicatorSample& s = first[static_cast<std::ptrdiff_t>(rep)];
+      sum.tta.add(s.tta);
+      if (s.tta_censored) ++sum.tta_censored;
+      sum.ttsf.add(s.ttsf);
+      if (s.ttsf_censored) ++sum.ttsf_censored;
+      sum.final_ratio.add(s.final_ratio);
+      if (s.attack_succeeded) ++sum.successes;
+    }
+    if (visit) visit(c, std::span<const IndicatorSample>(&*first, reps));
+    if (options_.keep_samples)
+      sum.samples.assign(first, first + static_cast<std::ptrdiff_t>(reps));
+  }
+  return out;
+}
+
+IndicatorSummary MeasurementEngine::measure_one(const Configuration& config) const {
+  MeasurementPlan plan;
+  plan.cells.push_back({config, options_.seed});
+  return std::move(measure(plan).front());
+}
+
+std::vector<double> MeasurementEngine::mean_ratio_curve(
+    const Configuration& config, const std::vector<double>& time_grid_hours) const {
+  if (options_.engine != Engine::kCampaign)
+    throw std::invalid_argument(
+        "mean_ratio_curve: requires the campaign engine");
+  const attack::CampaignSimulator sim(description_->instantiate(config), *profile_,
+                                      description_->catalog(), options_.detection,
+                                      options_.campaign);
+  const std::size_t reps = options_.replications;
+  const std::size_t grid = time_grid_hours.size();
+
+  // Per-replication rows, then an ordered reduction: floating-point sums
+  // stay bit-identical to the serial loop regardless of thread count.
+  std::vector<double> rows(reps * grid, 0.0);
+  executor_->parallel_for(0, reps, [&](std::size_t rep) {
+    stats::Rng rng(options_.seed, rep);
+    const attack::CampaignResult r = sim.run(rng);
+    for (std::size_t i = 0; i < grid; ++i)
+      rows[rep * grid + i] = r.ratio_at(time_grid_hours[i]);
+  });
+
+  std::vector<double> acc(grid, 0.0);
+  for (std::size_t rep = 0; rep < reps; ++rep)
+    for (std::size_t i = 0; i < grid; ++i) acc[i] += rows[rep * grid + i];
+  for (double& v : acc) v /= static_cast<double>(reps);
+  return acc;
+}
+
+}  // namespace divsec::core

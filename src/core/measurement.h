@@ -1,0 +1,82 @@
+// measurement.h — the batched parallel measurement engine.
+//
+// The paper's "DoE & Measurements" step is a grid of independent
+// stochastic jobs: every (configuration cell, replication) pair can run
+// on its own core. MeasurementEngine flattens a MeasurementPlan — a list
+// of configuration cells, each with its own seed block — into that job
+// list, evaluates it on a sim::Executor, and reassembles per-cell
+// IndicatorSummary values in deterministic order.
+//
+// Determinism contract: job (cell c, replication r) draws every random
+// number from stats::Rng(plan.cells[c].seed, r). Results are therefore
+// bit-identical for any thread count (including the serial path) and
+// independent of job scheduling; only wall-clock time changes. Cell
+// contexts (instantiated scenarios, staged SAN models) are built once per
+// cell up front and shared read-only by the jobs of that cell.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/indicators.h"
+
+namespace divsec::core {
+
+/// One configuration cell of a plan: a point in the configuration space
+/// plus the master seed of its replication block (replication r uses RNG
+/// stream (seed, r)).
+struct MeasurementCell {
+  Configuration configuration;
+  std::uint64_t seed = 0;
+};
+
+/// The flattened unit of work handed to the executor: every cell runs
+/// the same replication count with the options' engine.
+struct MeasurementPlan {
+  std::vector<MeasurementCell> cells;
+
+  [[nodiscard]] std::size_t cell_count() const noexcept { return cells.size(); }
+};
+
+class MeasurementEngine {
+ public:
+  /// The description and profile must outlive the engine. The executor
+  /// used is options.executor, falling back to sim::Executor::shared().
+  MeasurementEngine(const SystemDescription& description,
+                    const attack::ThreatProfile& profile,
+                    const MeasurementOptions& options);
+
+  /// Per-cell observer invoked during reassembly with the cell's raw
+  /// samples in replication order — lets callers (e.g. MeasurementTable
+  /// construction) extract response vectors without the summaries having
+  /// to retain samples when options.keep_samples is off.
+  using CellVisitor =
+      std::function<void(std::size_t cell, std::span<const IndicatorSample>)>;
+
+  /// Measure every cell of the plan: (cell × replication) jobs run on the
+  /// executor; summaries come back in cell order with samples folded in
+  /// replication order. Honours options.keep_samples.
+  [[nodiscard]] std::vector<IndicatorSummary> measure(
+      const MeasurementPlan& plan, const CellVisitor& visit = {}) const;
+
+  /// Convenience: one cell seeded with options.seed.
+  [[nodiscard]] IndicatorSummary measure_one(const Configuration& config) const;
+
+  /// Mean compromised-ratio curve over replications on the given time
+  /// grid (campaign engine only); replications run in parallel, the mean
+  /// is reduced in replication order.
+  [[nodiscard]] std::vector<double> mean_ratio_curve(
+      const Configuration& config, const std::vector<double>& time_grid_hours) const;
+
+  [[nodiscard]] const sim::Executor& executor() const noexcept { return *executor_; }
+
+ private:
+  const SystemDescription* description_;
+  const attack::ThreatProfile* profile_;
+  MeasurementOptions options_;
+  const sim::Executor* executor_;
+};
+
+}  // namespace divsec::core

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/measurement.h"
 #include "stats/sensitivity.h"
 
 namespace divsec::core {
@@ -52,8 +53,11 @@ MeasurementTable Pipeline::measure_full_factorial(
   }
   out.space = stats::FactorSpace(std::move(factors));
 
-  // Enumerate configurations in FactorSpace order and measure each.
+  // Enumerate configurations in FactorSpace order, then measure the whole
+  // table as one batched (cell × replication) job list.
   const std::size_t n = out.space.configuration_count();
+  MeasurementPlan plan;
+  plan.cells.reserve(n);
   for (std::size_t flat = 0; flat < n; ++flat) {
     const std::vector<int> levels = out.space.decode(flat);
     Configuration config = description_->baseline_configuration();
@@ -61,23 +65,35 @@ MeasurementTable Pipeline::measure_full_factorial(
       config.variant[out.component_index[f]] = static_cast<std::size_t>(levels[f]);
     // Independent seed block per cell so cells are statistically
     // independent but the whole table is reproducible.
-    MeasurementOptions mo = options_.measurement;
-    mo.seed = options_.measurement.seed + 7919 * flat;
-    IndicatorSummary summary = measure_indicators(*description_, config, profile_, mo);
-
-    std::vector<double> tta, ttsf, success;
-    tta.reserve(summary.samples.size());
-    for (const auto& s : summary.samples) {
-      tta.push_back(s.tta);
-      ttsf.push_back(s.ttsf);
-      success.push_back(s.attack_succeeded ? 1.0 : 0.0);
-    }
-    out.configurations.push_back(std::move(config));
-    out.summaries.push_back(std::move(summary));
-    out.tta_cells.push_back(std::move(tta));
-    out.ttsf_cells.push_back(std::move(ttsf));
-    out.success_cells.push_back(std::move(success));
+    plan.cells.push_back({std::move(config), options_.measurement.seed + 7919 * flat});
   }
+
+  // Extract the per-replicate response vectors through the engine's cell
+  // visitor, so keep_samples=false genuinely avoids retaining raw
+  // samples on large factorials.
+  out.tta_cells.resize(n);
+  out.ttsf_cells.resize(n);
+  out.success_cells.resize(n);
+  const MeasurementEngine engine(*description_, profile_, options_.measurement);
+  std::vector<IndicatorSummary> summaries = engine.measure(
+      plan, [&out](std::size_t cell, std::span<const IndicatorSample> samples) {
+        auto& tta = out.tta_cells[cell];
+        auto& ttsf = out.ttsf_cells[cell];
+        auto& success = out.success_cells[cell];
+        tta.reserve(samples.size());
+        ttsf.reserve(samples.size());
+        success.reserve(samples.size());
+        for (const auto& s : samples) {
+          tta.push_back(s.tta);
+          ttsf.push_back(s.ttsf);
+          success.push_back(s.attack_succeeded ? 1.0 : 0.0);
+        }
+      });
+
+  out.summaries = std::move(summaries);
+  out.configurations.reserve(n);
+  for (auto& cell : plan.cells)
+    out.configurations.push_back(std::move(cell.configuration));
   return out;
 }
 
@@ -89,14 +105,18 @@ Pipeline::Screening Pipeline::screen() const {
   Screening out;
   out.design = stats::plackett_burman(std::move(names));
 
+  MeasurementPlan plan;
+  plan.cells.reserve(out.design.runs.size());
   for (const auto& run : out.design.runs) {
     Configuration config = description_->baseline_configuration();
     for (std::size_t f = 0; f < comps.size(); ++f) {
       if (run[f] > 0)
         config.variant[f] = description_->catalog().count(comps[f].kind) - 1;
     }
-    const IndicatorSummary s =
-        measure_indicators(*description_, config, profile_, options_.measurement);
+    plan.cells.push_back({std::move(config), options_.measurement.seed});
+  }
+  const MeasurementEngine engine(*description_, profile_, options_.measurement);
+  for (const IndicatorSummary& s : engine.measure(plan)) {
     out.mean_tta.push_back(s.tta.mean());
     out.success_prob.push_back(s.attack_success_probability());
   }
@@ -130,6 +150,8 @@ Pipeline::Fractional Pipeline::measure_fractional(
   std::vector<std::size_t> comp_index;
   for (const auto& name : out.design.factor_names) comp_index.push_back(index_of(name));
 
+  MeasurementPlan plan;
+  plan.cells.reserve(out.design.run_count());
   for (std::size_t r = 0; r < out.design.run_count(); ++r) {
     Configuration config = description_->baseline_configuration();
     for (std::size_t f = 0; f < comp_index.size(); ++f) {
@@ -138,10 +160,10 @@ Pipeline::Fractional Pipeline::measure_fractional(
         config.variant[ci] = description_->catalog().count(comps[ci].kind) - 1;
       }
     }
-    MeasurementOptions mo = options_.measurement;
-    mo.seed = options_.measurement.seed + 104729 * r;
-    const IndicatorSummary s =
-        measure_indicators(*description_, config, profile_, mo);
+    plan.cells.push_back({std::move(config), options_.measurement.seed + 104729 * r});
+  }
+  const MeasurementEngine engine(*description_, profile_, options_.measurement);
+  for (const IndicatorSummary& s : engine.measure(plan)) {
     out.success_prob.push_back(s.attack_success_probability());
     out.mean_tta.push_back(s.tta.mean());
   }

@@ -35,10 +35,29 @@ std::size_t VariantCatalog::add_variant(Variant v) {
   if (v.hardening < 0.0 || v.hardening >= 1.0)
     throw std::invalid_argument("add_variant: hardening must be in [0,1)");
   if (!(v.cost > 0.0)) throw std::invalid_argument("add_variant: cost must be > 0");
-  auto& vec = by_kind_[static_cast<std::size_t>(v.kind)];
+  const auto ki = static_cast<std::size_t>(v.kind);
+  auto& vec = by_kind_[ki];
   vec.push_back(std::move(v));
-  survival_cache_[static_cast<std::size_t>(vec.back().kind)].clear();
+  rebuild_survival(ki);
   return vec.size() - 1;
+}
+
+void VariantCatalog::rebuild_survival(std::size_t kind_index) {
+  const auto& vec = by_kind_[kind_index];
+  const std::size_t n = vec.size();
+  auto& cache = survival_cache_[kind_index];
+  std::vector<double> next(n * n, 1.0);
+  for (std::size_t dev = 0; dev < n; ++dev) {
+    for (std::size_t dep = 0; dep < n; ++dep) {
+      // Only the last row/column are new; reuse previously computed pairs.
+      if (dev + 1 < n && dep + 1 < n && cache.size() == (n - 1) * (n - 1)) {
+        next[dev * n + dep] = cache[dev * (n - 1) + dep];
+      } else {
+        next[dev * n + dep] = gadget_survival(vec[dev].binary, vec[dep].binary);
+      }
+    }
+  }
+  cache = std::move(next);
 }
 
 const std::vector<Variant>& VariantCatalog::variants(ComponentKind k) const {
@@ -66,12 +85,7 @@ double VariantCatalog::survival(ComponentKind k, std::size_t dev,
   const std::size_t n = by_kind_[ki].size();
   if (dev >= n || deployed >= n)
     throw std::out_of_range("survival: variant index out of range");
-  auto& cache = survival_cache_[ki];
-  if (cache.size() != n * n) cache.assign(n * n, -1.0);
-  double& slot = cache[dev * n + deployed];
-  if (slot < 0.0)
-    slot = gadget_survival(by_kind_[ki][dev].binary, by_kind_[ki][deployed].binary);
-  return slot;
+  return survival_cache_[ki][dev * n + deployed];
 }
 
 double VariantCatalog::exploit_success(const Exploit& e, std::size_t deployed_idx) const {

@@ -97,7 +97,8 @@ class VariantCatalog {
   [[nodiscard]] std::size_t index_of(ComponentKind k, const std::string& name) const;
 
   /// Gadget survival from variant `dev` to variant `deployed` (same
-  /// kind), cached at first use.
+  /// kind). Precomputed when variants are added, so const lookups are
+  /// race-free under concurrent measurement.
   [[nodiscard]] double survival(ComponentKind k, std::size_t dev,
                                 std::size_t deployed) const;
 
@@ -111,9 +112,13 @@ class VariantCatalog {
                                            std::size_t deployed_idx) const;
 
  private:
+  void rebuild_survival(std::size_t kind_index);
+
   std::array<std::vector<Variant>, kComponentKindCount> by_kind_;
-  // survival cache: by_kind index -> dev*count+deployed -> value (-1 unset)
-  mutable std::array<std::vector<double>, kComponentKindCount> survival_cache_;
+  // survival matrix per kind: dev*count+deployed -> value. Rebuilt
+  // eagerly by add_variant; a fully-constructed catalog is deeply
+  // immutable and therefore safe to share across executor threads.
+  std::array<std::vector<double>, kComponentKindCount> survival_cache_;
 };
 
 /// Shannon diversity index of a variant assignment (entropy in nats of

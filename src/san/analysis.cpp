@@ -7,7 +7,8 @@ namespace divsec::san {
 sim::ReplicationResult instant_of_time(const SanModel& model,
                                        const std::function<double(const Marking&)>& f,
                                        double t, std::size_t replications,
-                                       std::uint64_t seed) {
+                                       std::uint64_t seed,
+                                       const sim::Executor* executor) {
   if (!f) throw std::invalid_argument("instant_of_time: null function");
   return sim::run_replications(
       [&model, &f, t](stats::Rng& rng) {
@@ -15,12 +16,12 @@ sim::ReplicationResult instant_of_time(const SanModel& model,
         sim.run_until(t);
         return f(sim.marking());
       },
-      replications, seed);
+      replications, seed, executor);
 }
 
 sim::ReplicationResult interval_of_time_average(
     const SanModel& model, const std::function<double(const Marking&)>& rate, double t,
-    std::size_t replications, std::uint64_t seed) {
+    std::size_t replications, std::uint64_t seed, const sim::Executor* executor) {
   if (!rate) throw std::invalid_argument("interval_of_time_average: null function");
   if (!(t > 0.0))
     throw std::invalid_argument("interval_of_time_average: t must be > 0");
@@ -31,7 +32,7 @@ sim::ReplicationResult interval_of_time_average(
         sim.run_until(t);
         return sim.rate_reward_average(r);
       },
-      replications, seed);
+      replications, seed, executor);
 }
 
 double FirstPassageResult::conditional_mean() const noexcept {
@@ -43,7 +44,7 @@ double FirstPassageResult::conditional_mean() const noexcept {
 
 FirstPassageResult first_passage(const SanModel& model, const Predicate& absorbed,
                                  double t_max, std::size_t replications,
-                                 std::uint64_t seed) {
+                                 std::uint64_t seed, const sim::Executor* executor) {
   if (!absorbed) throw std::invalid_argument("first_passage: null predicate");
   if (!(t_max > 0.0)) throw std::invalid_argument("first_passage: t_max must be > 0");
   if (replications == 0)
@@ -51,10 +52,16 @@ FirstPassageResult first_passage(const SanModel& model, const Predicate& absorbe
   FirstPassageResult r;
   r.replications = replications;
   r.t_max = t_max;
-  for (std::size_t i = 0; i < replications; ++i) {
-    stats::Rng rng(seed, i);
-    SanSimulator sim(model, rng);
-    const auto t = sim.run_until_predicate(absorbed, t_max);
+  // Per-replication absorption times by (seed, i) stream, then a fold in
+  // replication order — identical to the serial loop for any thread count.
+  std::vector<std::optional<double>> outcomes(replications);
+  sim::for_each_index(executor, 0, replications,
+                      [&model, &absorbed, t_max, seed, &outcomes](std::size_t i) {
+                        stats::Rng rng(seed, i);
+                        SanSimulator sim(model, rng);
+                        outcomes[i] = sim.run_until_predicate(absorbed, t_max);
+                      });
+  for (const auto& t : outcomes) {
     if (t.has_value())
       r.times.push_back(*t);
     else

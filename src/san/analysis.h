@@ -18,15 +18,21 @@
 
 namespace divsec::san {
 
+// Every estimator takes a const model plus an explicit (seed, stream)
+// replication scheme; passing an Executor parallelizes replications with
+// bit-identical output (replication i always draws from stream i).
+
 /// E[f(marking)] at simulated time t, by independent replications.
 [[nodiscard]] sim::ReplicationResult instant_of_time(
     const SanModel& model, const std::function<double(const Marking&)>& f, double t,
-    std::size_t replications, std::uint64_t seed);
+    std::size_t replications, std::uint64_t seed,
+    const sim::Executor* executor = nullptr);
 
 /// E[time-average of rate(marking) over [0, t]].
 [[nodiscard]] sim::ReplicationResult interval_of_time_average(
     const SanModel& model, const std::function<double(const Marking&)>& rate, double t,
-    std::size_t replications, std::uint64_t seed);
+    std::size_t replications, std::uint64_t seed,
+    const sim::Executor* executor = nullptr);
 
 /// First-passage study: per-replication absorption times, with censoring.
 struct FirstPassageResult {
@@ -50,6 +56,7 @@ struct FirstPassageResult {
 [[nodiscard]] FirstPassageResult first_passage(const SanModel& model,
                                                const Predicate& absorbed, double t_max,
                                                std::size_t replications,
-                                               std::uint64_t seed);
+                                               std::uint64_t seed,
+                                               const sim::Executor* executor = nullptr);
 
 }  // namespace divsec::san

@@ -1,46 +1,87 @@
 #include "sim/replication.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
 namespace divsec::sim {
 
+namespace {
+
+/// Evaluate replications [begin, end) into contiguous slots of `samples`
+/// (which must already span the range). Each replication draws from the
+/// (seed, index) stream regardless of which thread runs it.
+void fill_samples(const Experiment& experiment, std::uint64_t seed,
+                  std::size_t begin, std::size_t end, std::vector<double>& samples,
+                  const Executor* executor) {
+  for_each_index(executor, begin, end, [&experiment, seed, &samples](std::size_t i) {
+    stats::Rng rng(seed, /*stream=*/i);
+    samples[i] = experiment(rng);
+  });
+}
+
+}  // namespace
+
 ReplicationResult run_replications(const Experiment& experiment,
-                                   std::size_t replications, std::uint64_t seed) {
+                                   std::size_t replications, std::uint64_t seed,
+                                   const Executor* executor) {
   if (!experiment) throw std::invalid_argument("run_replications: empty experiment");
   if (replications == 0)
     throw std::invalid_argument("run_replications: need >= 1 replication");
   ReplicationResult r;
-  r.samples.reserve(replications);
-  for (std::size_t i = 0; i < replications; ++i) {
-    stats::Rng rng(seed, /*stream=*/i);
-    const double y = experiment(rng);
-    r.stats.add(y);
-    r.samples.push_back(y);
-  }
+  r.samples.resize(replications);
+  fill_samples(experiment, seed, 0, replications, r.samples, executor);
+  // Accumulate in replication order: Welford folds are order-sensitive,
+  // and a fixed order keeps the statistics bit-identical to a serial run.
+  for (double y : r.samples) r.stats.add(y);
   return r;
 }
 
 ReplicationResult run_sequential(const Experiment& experiment,
-                                 const SequentialOptions& opts, std::uint64_t seed) {
+                                 const SequentialOptions& opts, std::uint64_t seed,
+                                 const Executor* executor) {
   if (!experiment) throw std::invalid_argument("run_sequential: empty experiment");
   if (opts.min_replications < 2)
     throw std::invalid_argument("run_sequential: min_replications must be >= 2");
   if (opts.max_replications < opts.min_replications)
     throw std::invalid_argument("run_sequential: max < min replications");
+
+  const std::size_t threads =
+      executor ? std::max<std::size_t>(executor->thread_count(), 1) : 1;
+
   ReplicationResult r;
-  for (std::size_t i = 0; i < opts.max_replications; ++i) {
-    stats::Rng rng(seed, /*stream=*/i);
-    const double y = experiment(rng);
-    r.stats.add(y);
-    r.samples.push_back(y);
-    if (i + 1 < opts.min_replications) continue;
-    const auto ci = r.confidence_interval(opts.confidence_level);
-    const double hw = ci.half_width();
-    const bool rel_ok = opts.relative_precision > 0.0 &&
-                        hw <= opts.relative_precision * std::fabs(r.stats.mean());
-    const bool abs_ok = opts.absolute_precision > 0.0 && hw <= opts.absolute_precision;
-    if (rel_ok || abs_ok) break;
+  std::vector<double> batch;  // grows to cover [0, computed)
+  std::size_t computed = 0;   // samples evaluated so far
+  std::size_t folded = 0;     // samples accepted into r, in order
+  while (folded < opts.max_replications) {
+    // Next batch: reach min_replications first, then grow by one chunk
+    // per thread so parallel hardware stays busy without overshooting the
+    // stopping point by much. Surplus samples are simply discarded.
+    std::size_t target = computed < opts.min_replications
+                             ? opts.min_replications
+                             : computed + threads;
+    target = std::min(target, opts.max_replications);
+    if (target == computed) break;  // max reached
+    batch.resize(target);
+    fill_samples(experiment, seed, computed, target, batch, executor);
+    computed = target;
+
+    // Fold the new samples in index order, applying the stopping rule
+    // after each one — exactly the serial procedure.
+    while (folded < computed) {
+      const double y = batch[folded];
+      r.stats.add(y);
+      r.samples.push_back(y);
+      ++folded;
+      if (folded < opts.min_replications) continue;
+      const auto ci = r.confidence_interval(opts.confidence_level);
+      const double hw = ci.half_width();
+      const bool rel_ok = opts.relative_precision > 0.0 &&
+                          hw <= opts.relative_precision * std::fabs(r.stats.mean());
+      const bool abs_ok =
+          opts.absolute_precision > 0.0 && hw <= opts.absolute_precision;
+      if (rel_ok || abs_ok) return r;
+    }
   }
   return r;
 }

@@ -5,11 +5,18 @@
 // intervals. Supports fixed replication counts and sequential runs that
 // stop when the CI half-width reaches a relative-precision target (the
 // standard Law & Kelton sequential procedure).
+//
+// Both controllers accept an optional Executor. Replication i always
+// draws from the RNG stream derived from (seed, i), so the parallel
+// output (samples, statistics, and — for the sequential procedure — the
+// stopping point) is bit-identical to the serial one for any thread
+// count: parallelism only changes wall-clock time.
 #pragma once
 
 #include <functional>
 #include <vector>
 
+#include "sim/executor.h"
 #include "stats/descriptive.h"
 #include "stats/rng.h"
 
@@ -28,11 +35,12 @@ struct ReplicationResult {
 
 /// Run exactly `replications` independent replications. Replication i uses
 /// the RNG stream derived from (seed, i) so results are identical no
-/// matter how many replications are requested or in which order subsets
-/// are re-run.
+/// matter how many replications are requested, in which order subsets are
+/// re-run, or how many executor threads evaluate them.
 [[nodiscard]] ReplicationResult run_replications(const Experiment& experiment,
                                                  std::size_t replications,
-                                                 std::uint64_t seed);
+                                                 std::uint64_t seed,
+                                                 const Executor* executor = nullptr);
 
 struct SequentialOptions {
   std::size_t min_replications = 10;
@@ -45,8 +53,14 @@ struct SequentialOptions {
 };
 
 /// Sequential replication until the precision target or max_replications.
+/// With an executor the sample sequence grows in parallel batches, but
+/// the Law & Kelton stopping rule is still evaluated on the ordered
+/// sample sequence after each sample, so the replication count and every
+/// retained sample match the serial procedure exactly (surplus samples
+/// computed past the stopping point are discarded).
 [[nodiscard]] ReplicationResult run_sequential(const Experiment& experiment,
                                                const SequentialOptions& opts,
-                                               std::uint64_t seed);
+                                               std::uint64_t seed,
+                                               const Executor* executor = nullptr);
 
 }  // namespace divsec::sim

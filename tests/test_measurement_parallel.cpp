@@ -1,0 +1,203 @@
+// Tests for core/measurement.h — the batched parallel measurement engine.
+//
+// The engine's contract: job (cell, rep) draws from Rng(cell.seed, rep),
+// so multi-threaded measurement is bit-identical to the serial path for
+// both measurement engines, and replication stream semantics
+// (run_replications' (seed, i) derivation) are preserved.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/measurement.h"
+#include "core/pipeline.h"
+#include "sim/executor.h"
+#include "sim/replication.h"
+
+namespace divsec::core {
+namespace {
+
+void expect_bit_identical(const IndicatorSummary& a, const IndicatorSummary& b) {
+  EXPECT_EQ(a.replications, b.replications);
+  EXPECT_EQ(a.horizon_hours, b.horizon_hours);
+  // EXPECT_EQ (not NEAR): the parallel path must reproduce the serial
+  // floating-point results exactly, not just approximately.
+  EXPECT_EQ(a.tta.mean(), b.tta.mean());
+  EXPECT_EQ(a.tta.variance(), b.tta.variance());
+  EXPECT_EQ(a.ttsf.mean(), b.ttsf.mean());
+  EXPECT_EQ(a.ttsf.variance(), b.ttsf.variance());
+  EXPECT_EQ(a.final_ratio.mean(), b.final_ratio.mean());
+  EXPECT_EQ(a.tta_censored, b.tta_censored);
+  EXPECT_EQ(a.ttsf_censored, b.ttsf_censored);
+  EXPECT_EQ(a.successes, b.successes);
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    EXPECT_EQ(a.samples[i].tta, b.samples[i].tta) << "rep " << i;
+    EXPECT_EQ(a.samples[i].tta_censored, b.samples[i].tta_censored) << "rep " << i;
+    EXPECT_EQ(a.samples[i].ttsf, b.samples[i].ttsf) << "rep " << i;
+    EXPECT_EQ(a.samples[i].ttsf_censored, b.samples[i].ttsf_censored) << "rep " << i;
+    EXPECT_EQ(a.samples[i].attack_succeeded, b.samples[i].attack_succeeded)
+        << "rep " << i;
+    EXPECT_EQ(a.samples[i].final_ratio, b.samples[i].final_ratio) << "rep " << i;
+  }
+}
+
+class MeasurementParallelFixture : public ::testing::Test {
+ protected:
+  MeasurementParallelFixture() : desc(make_scope_description(cat)) {}
+
+  [[nodiscard]] MeasurementOptions options(Engine engine, std::size_t reps,
+                                           const sim::Executor* ex) const {
+    MeasurementOptions mo;
+    mo.engine = engine;
+    mo.replications = reps;
+    mo.seed = 2013;
+    mo.executor = ex;
+    return mo;
+  }
+
+  divers::VariantCatalog cat = divers::VariantCatalog::standard(2013);
+  SystemDescription desc;
+  sim::Executor serial{1};
+  sim::Executor threaded{4};  // the DIVSEC_THREADS=4 configuration
+};
+
+TEST_F(MeasurementParallelFixture, StagedSanFactorialBitIdenticalAcrossThreads) {
+  const attack::ThreatProfile profile = attack::ThreatProfile::stuxnet();
+  PipelineOptions serial_opts;
+  serial_opts.measurement = options(Engine::kStagedSan, 120, &serial);
+  PipelineOptions parallel_opts;
+  parallel_opts.measurement = options(Engine::kStagedSan, 120, &threaded);
+
+  const Pipeline serial_pipeline(desc, profile, serial_opts);
+  const Pipeline parallel_pipeline(desc, profile, parallel_opts);
+  const auto a = serial_pipeline.measure_full_factorial({"os.control", "plc.firmware"}, 2);
+  const auto b =
+      parallel_pipeline.measure_full_factorial({"os.control", "plc.firmware"}, 2);
+
+  ASSERT_EQ(a.configuration_count(), b.configuration_count());
+  for (std::size_t c = 0; c < a.configuration_count(); ++c) {
+    EXPECT_EQ(a.configurations[c].variant, b.configurations[c].variant);
+    expect_bit_identical(a.summaries[c], b.summaries[c]);
+    EXPECT_EQ(a.tta_cells[c], b.tta_cells[c]);
+    EXPECT_EQ(a.ttsf_cells[c], b.ttsf_cells[c]);
+    EXPECT_EQ(a.success_cells[c], b.success_cells[c]);
+  }
+}
+
+TEST_F(MeasurementParallelFixture, CampaignFactorialBitIdenticalAcrossThreads) {
+  const attack::ThreatProfile profile = attack::ThreatProfile::stuxnet();
+  PipelineOptions serial_opts;
+  serial_opts.measurement = options(Engine::kCampaign, 40, &serial);
+  PipelineOptions parallel_opts;
+  parallel_opts.measurement = options(Engine::kCampaign, 40, &threaded);
+
+  const Pipeline serial_pipeline(desc, profile, serial_opts);
+  const Pipeline parallel_pipeline(desc, profile, parallel_opts);
+  const auto a = serial_pipeline.measure_full_factorial({"plc.firmware", "firewall"}, 2);
+  const auto b =
+      parallel_pipeline.measure_full_factorial({"plc.firmware", "firewall"}, 2);
+
+  ASSERT_EQ(a.configuration_count(), b.configuration_count());
+  for (std::size_t c = 0; c < a.configuration_count(); ++c)
+    expect_bit_identical(a.summaries[c], b.summaries[c]);
+}
+
+TEST_F(MeasurementParallelFixture, MeasureIndicatorsMatchesEngineForBothEngines) {
+  const attack::ThreatProfile profile = attack::ThreatProfile::stuxnet();
+  for (const Engine engine : {Engine::kCampaign, Engine::kStagedSan}) {
+    const auto serial_summary = measure_indicators(
+        desc, desc.baseline_configuration(), profile, options(engine, 50, &serial));
+    const auto parallel_summary = measure_indicators(
+        desc, desc.baseline_configuration(), profile, options(engine, 50, &threaded));
+    expect_bit_identical(serial_summary, parallel_summary);
+  }
+}
+
+TEST_F(MeasurementParallelFixture, RatioCurveBitIdenticalAcrossThreads) {
+  const attack::ThreatProfile profile = attack::ThreatProfile::stuxnet();
+  const std::vector<double> grid{0.0, 100.0, 500.0, 1000.0, 2160.0};
+  const auto a = mean_compromised_ratio_curve(desc, desc.baseline_configuration(),
+                                              profile,
+                                              options(Engine::kCampaign, 40, &serial),
+                                              grid);
+  const auto b = mean_compromised_ratio_curve(desc, desc.baseline_configuration(),
+                                              profile,
+                                              options(Engine::kCampaign, 40, &threaded),
+                                              grid);
+  EXPECT_EQ(a, b);  // exact: the reduction folds in replication order
+}
+
+TEST_F(MeasurementParallelFixture, KeepSamplesOffDropsRawSamplesOnly) {
+  const attack::ThreatProfile profile = attack::ThreatProfile::stuxnet();
+  MeasurementOptions with = options(Engine::kStagedSan, 80, &serial);
+  MeasurementOptions without = with;
+  without.keep_samples = false;
+
+  const auto a = measure_indicators(desc, desc.baseline_configuration(), profile, with);
+  const auto b =
+      measure_indicators(desc, desc.baseline_configuration(), profile, without);
+  EXPECT_EQ(a.samples.size(), 80u);
+  EXPECT_TRUE(b.samples.empty());
+  EXPECT_EQ(a.tta.mean(), b.tta.mean());
+  EXPECT_EQ(a.ttsf.variance(), b.ttsf.variance());
+  EXPECT_EQ(a.successes, b.successes);
+
+  // A MeasurementTable still gets its per-replicate response cells.
+  PipelineOptions po;
+  po.measurement = without;
+  const Pipeline p(desc, profile, po);
+  const auto table = p.measure_full_factorial({"plc.firmware", "firewall"}, 2);
+  for (std::size_t c = 0; c < table.configuration_count(); ++c) {
+    EXPECT_TRUE(table.summaries[c].samples.empty());
+    EXPECT_EQ(table.tta_cells[c].size(), 80u);
+    EXPECT_EQ(table.success_cells[c].size(), 80u);
+  }
+}
+
+TEST(ReplicationStreams, RunReplicationsPreservesPerIndexStreams) {
+  // Replication i must consume exactly the (seed, i) stream, executor or
+  // not: this is the invariant all measurement determinism rests on.
+  const sim::Experiment experiment = [](stats::Rng& rng) { return rng.uniform(); };
+  constexpr std::uint64_t kSeed = 424242;
+
+  const auto serial = sim::run_replications(experiment, 32, kSeed);
+  ASSERT_EQ(serial.samples.size(), 32u);
+  for (std::size_t i = 0; i < 32; ++i) {
+    stats::Rng rng(kSeed, i);
+    EXPECT_EQ(serial.samples[i], rng.uniform()) << "stream " << i;
+  }
+
+  const sim::Executor threaded(4);
+  const auto parallel = sim::run_replications(experiment, 32, kSeed, &threaded);
+  EXPECT_EQ(serial.samples, parallel.samples);
+  EXPECT_EQ(serial.stats.mean(), parallel.stats.mean());
+  EXPECT_EQ(serial.stats.variance(), parallel.stats.variance());
+
+  // Prefix property: a shorter run is a prefix of a longer one.
+  const auto shorter = sim::run_replications(experiment, 8, kSeed, &threaded);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(shorter.samples[i], serial.samples[i]);
+}
+
+TEST(ReplicationStreams, SequentialStoppingRuleMatchesSerialExactly) {
+  const sim::Experiment experiment = [](stats::Rng& rng) {
+    return 10.0 + rng.uniform();  // tight spread: stops quickly
+  };
+  sim::SequentialOptions opts;
+  opts.min_replications = 10;
+  opts.max_replications = 500;
+  opts.relative_precision = 0.01;
+
+  const auto serial = sim::run_sequential(experiment, opts, 7);
+  const sim::Executor threaded(4);
+  const auto parallel = sim::run_sequential(experiment, opts, 7, &threaded);
+
+  // Same stopping point, same retained samples, same statistics: surplus
+  // batch samples past the stopping index are discarded.
+  EXPECT_EQ(serial.samples, parallel.samples);
+  EXPECT_EQ(serial.stats.count(), parallel.stats.count());
+  EXPECT_EQ(serial.stats.mean(), parallel.stats.mean());
+  EXPECT_EQ(serial.stats.variance(), parallel.stats.variance());
+}
+
+}  // namespace
+}  // namespace divsec::core
