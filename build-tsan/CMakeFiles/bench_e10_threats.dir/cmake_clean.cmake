@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_threats.dir/bench/bench_e10_threats.cpp.o"
+  "CMakeFiles/bench_e10_threats.dir/bench/bench_e10_threats.cpp.o.d"
+  "bench_e10_threats"
+  "bench_e10_threats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_threats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

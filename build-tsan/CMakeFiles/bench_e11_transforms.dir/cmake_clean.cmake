@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_transforms.dir/bench/bench_e11_transforms.cpp.o"
+  "CMakeFiles/bench_e11_transforms.dir/bench/bench_e11_transforms.cpp.o.d"
+  "bench_e11_transforms"
+  "bench_e11_transforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_transforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_san_validation.dir/bench/bench_e12_san_validation.cpp.o"
+  "CMakeFiles/bench_e12_san_validation.dir/bench/bench_e12_san_validation.cpp.o.d"
+  "bench_e12_san_validation"
+  "bench_e12_san_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_san_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e12_san_validation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_two_machines.dir/bench/bench_e1_two_machines.cpp.o"
+  "CMakeFiles/bench_e1_two_machines.dir/bench/bench_e1_two_machines.cpp.o.d"
+  "bench_e1_two_machines"
+  "bench_e1_two_machines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_two_machines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

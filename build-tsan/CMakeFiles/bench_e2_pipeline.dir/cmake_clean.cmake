@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_pipeline.dir/bench/bench_e2_pipeline.cpp.o"
+  "CMakeFiles/bench_e2_pipeline.dir/bench/bench_e2_pipeline.cpp.o.d"
+  "bench_e2_pipeline"
+  "bench_e2_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_tta.dir/bench/bench_e3_tta.cpp.o"
+  "CMakeFiles/bench_e3_tta.dir/bench/bench_e3_tta.cpp.o.d"
+  "bench_e3_tta"
+  "bench_e3_tta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_tta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_ttsf.dir/bench/bench_e4_ttsf.cpp.o"
+  "CMakeFiles/bench_e4_ttsf.dir/bench/bench_e4_ttsf.cpp.o.d"
+  "bench_e4_ttsf"
+  "bench_e4_ttsf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_ttsf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

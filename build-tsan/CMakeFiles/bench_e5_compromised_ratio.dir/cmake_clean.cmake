@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_compromised_ratio.dir/bench/bench_e5_compromised_ratio.cpp.o"
+  "CMakeFiles/bench_e5_compromised_ratio.dir/bench/bench_e5_compromised_ratio.cpp.o.d"
+  "bench_e5_compromised_ratio"
+  "bench_e5_compromised_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_compromised_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_doe.dir/bench/bench_e6_doe.cpp.o"
+  "CMakeFiles/bench_e6_doe.dir/bench/bench_e6_doe.cpp.o.d"
+  "bench_e6_doe"
+  "bench_e6_doe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_doe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

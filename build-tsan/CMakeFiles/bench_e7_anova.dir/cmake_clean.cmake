@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_anova.dir/bench/bench_e7_anova.cpp.o"
+  "CMakeFiles/bench_e7_anova.dir/bench/bench_e7_anova.cpp.o.d"
+  "bench_e7_anova"
+  "bench_e7_anova.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_anova.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_sensitivity.dir/bench/bench_e8_sensitivity.cpp.o"
+  "CMakeFiles/bench_e8_sensitivity.dir/bench/bench_e8_sensitivity.cpp.o.d"
+  "bench_e8_sensitivity"
+  "bench_e8_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_stealth.dir/bench/bench_e9_stealth.cpp.o"
+  "CMakeFiles/bench_e9_stealth.dir/bench/bench_e9_stealth.cpp.o.d"
+  "bench_e9_stealth"
+  "bench_e9_stealth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_stealth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/attack_tree.cpp" "CMakeFiles/divsec.dir/src/attack/attack_tree.cpp.o" "gcc" "CMakeFiles/divsec.dir/src/attack/attack_tree.cpp.o.d"
+  "/root/repo/src/attack/bayes.cpp" "CMakeFiles/divsec.dir/src/attack/bayes.cpp.o" "gcc" "CMakeFiles/divsec.dir/src/attack/bayes.cpp.o.d"
+  "/root/repo/src/attack/campaign.cpp" "CMakeFiles/divsec.dir/src/attack/campaign.cpp.o" "gcc" "CMakeFiles/divsec.dir/src/attack/campaign.cpp.o.d"
+  "/root/repo/src/attack/san_model.cpp" "CMakeFiles/divsec.dir/src/attack/san_model.cpp.o" "gcc" "CMakeFiles/divsec.dir/src/attack/san_model.cpp.o.d"
+  "/root/repo/src/attack/stages.cpp" "CMakeFiles/divsec.dir/src/attack/stages.cpp.o" "gcc" "CMakeFiles/divsec.dir/src/attack/stages.cpp.o.d"
+  "/root/repo/src/attack/threat.cpp" "CMakeFiles/divsec.dir/src/attack/threat.cpp.o" "gcc" "CMakeFiles/divsec.dir/src/attack/threat.cpp.o.d"
+  "/root/repo/src/core/configuration.cpp" "CMakeFiles/divsec.dir/src/core/configuration.cpp.o" "gcc" "CMakeFiles/divsec.dir/src/core/configuration.cpp.o.d"
+  "/root/repo/src/core/indicators.cpp" "CMakeFiles/divsec.dir/src/core/indicators.cpp.o" "gcc" "CMakeFiles/divsec.dir/src/core/indicators.cpp.o.d"
+  "/root/repo/src/core/measurement.cpp" "CMakeFiles/divsec.dir/src/core/measurement.cpp.o" "gcc" "CMakeFiles/divsec.dir/src/core/measurement.cpp.o.d"
+  "/root/repo/src/core/optimizer.cpp" "CMakeFiles/divsec.dir/src/core/optimizer.cpp.o" "gcc" "CMakeFiles/divsec.dir/src/core/optimizer.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "CMakeFiles/divsec.dir/src/core/pipeline.cpp.o" "gcc" "CMakeFiles/divsec.dir/src/core/pipeline.cpp.o.d"
+  "/root/repo/src/core/probability_space.cpp" "CMakeFiles/divsec.dir/src/core/probability_space.cpp.o" "gcc" "CMakeFiles/divsec.dir/src/core/probability_space.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "CMakeFiles/divsec.dir/src/core/report.cpp.o" "gcc" "CMakeFiles/divsec.dir/src/core/report.cpp.o.d"
+  "/root/repo/src/divers/aslr.cpp" "CMakeFiles/divsec.dir/src/divers/aslr.cpp.o" "gcc" "CMakeFiles/divsec.dir/src/divers/aslr.cpp.o.d"
+  "/root/repo/src/divers/gadgets.cpp" "CMakeFiles/divsec.dir/src/divers/gadgets.cpp.o" "gcc" "CMakeFiles/divsec.dir/src/divers/gadgets.cpp.o.d"
+  "/root/repo/src/divers/ir.cpp" "CMakeFiles/divsec.dir/src/divers/ir.cpp.o" "gcc" "CMakeFiles/divsec.dir/src/divers/ir.cpp.o.d"
+  "/root/repo/src/divers/transforms.cpp" "CMakeFiles/divsec.dir/src/divers/transforms.cpp.o" "gcc" "CMakeFiles/divsec.dir/src/divers/transforms.cpp.o.d"
+  "/root/repo/src/divers/variants.cpp" "CMakeFiles/divsec.dir/src/divers/variants.cpp.o" "gcc" "CMakeFiles/divsec.dir/src/divers/variants.cpp.o.d"
+  "/root/repo/src/net/epidemic.cpp" "CMakeFiles/divsec.dir/src/net/epidemic.cpp.o" "gcc" "CMakeFiles/divsec.dir/src/net/epidemic.cpp.o.d"
+  "/root/repo/src/net/firewall.cpp" "CMakeFiles/divsec.dir/src/net/firewall.cpp.o" "gcc" "CMakeFiles/divsec.dir/src/net/firewall.cpp.o.d"
+  "/root/repo/src/net/reachability.cpp" "CMakeFiles/divsec.dir/src/net/reachability.cpp.o" "gcc" "CMakeFiles/divsec.dir/src/net/reachability.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "CMakeFiles/divsec.dir/src/net/topology.cpp.o" "gcc" "CMakeFiles/divsec.dir/src/net/topology.cpp.o.d"
+  "/root/repo/src/san/analysis.cpp" "CMakeFiles/divsec.dir/src/san/analysis.cpp.o" "gcc" "CMakeFiles/divsec.dir/src/san/analysis.cpp.o.d"
+  "/root/repo/src/san/model.cpp" "CMakeFiles/divsec.dir/src/san/model.cpp.o" "gcc" "CMakeFiles/divsec.dir/src/san/model.cpp.o.d"
+  "/root/repo/src/san/simulator.cpp" "CMakeFiles/divsec.dir/src/san/simulator.cpp.o" "gcc" "CMakeFiles/divsec.dir/src/san/simulator.cpp.o.d"
+  "/root/repo/src/scada/cooling_system.cpp" "CMakeFiles/divsec.dir/src/scada/cooling_system.cpp.o" "gcc" "CMakeFiles/divsec.dir/src/scada/cooling_system.cpp.o.d"
+  "/root/repo/src/scada/historian.cpp" "CMakeFiles/divsec.dir/src/scada/historian.cpp.o" "gcc" "CMakeFiles/divsec.dir/src/scada/historian.cpp.o.d"
+  "/root/repo/src/scada/plant.cpp" "CMakeFiles/divsec.dir/src/scada/plant.cpp.o" "gcc" "CMakeFiles/divsec.dir/src/scada/plant.cpp.o.d"
+  "/root/repo/src/scada/plc.cpp" "CMakeFiles/divsec.dir/src/scada/plc.cpp.o" "gcc" "CMakeFiles/divsec.dir/src/scada/plc.cpp.o.d"
+  "/root/repo/src/scada/protocol.cpp" "CMakeFiles/divsec.dir/src/scada/protocol.cpp.o" "gcc" "CMakeFiles/divsec.dir/src/scada/protocol.cpp.o.d"
+  "/root/repo/src/sim/executor.cpp" "CMakeFiles/divsec.dir/src/sim/executor.cpp.o" "gcc" "CMakeFiles/divsec.dir/src/sim/executor.cpp.o.d"
+  "/root/repo/src/sim/replication.cpp" "CMakeFiles/divsec.dir/src/sim/replication.cpp.o" "gcc" "CMakeFiles/divsec.dir/src/sim/replication.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "CMakeFiles/divsec.dir/src/sim/simulator.cpp.o" "gcc" "CMakeFiles/divsec.dir/src/sim/simulator.cpp.o.d"
+  "/root/repo/src/stats/anova.cpp" "CMakeFiles/divsec.dir/src/stats/anova.cpp.o" "gcc" "CMakeFiles/divsec.dir/src/stats/anova.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "CMakeFiles/divsec.dir/src/stats/descriptive.cpp.o" "gcc" "CMakeFiles/divsec.dir/src/stats/descriptive.cpp.o.d"
+  "/root/repo/src/stats/distributions.cpp" "CMakeFiles/divsec.dir/src/stats/distributions.cpp.o" "gcc" "CMakeFiles/divsec.dir/src/stats/distributions.cpp.o.d"
+  "/root/repo/src/stats/doe.cpp" "CMakeFiles/divsec.dir/src/stats/doe.cpp.o" "gcc" "CMakeFiles/divsec.dir/src/stats/doe.cpp.o.d"
+  "/root/repo/src/stats/rng.cpp" "CMakeFiles/divsec.dir/src/stats/rng.cpp.o" "gcc" "CMakeFiles/divsec.dir/src/stats/rng.cpp.o.d"
+  "/root/repo/src/stats/sensitivity.cpp" "CMakeFiles/divsec.dir/src/stats/sensitivity.cpp.o" "gcc" "CMakeFiles/divsec.dir/src/stats/sensitivity.cpp.o.d"
+  "/root/repo/src/stats/special.cpp" "CMakeFiles/divsec.dir/src/stats/special.cpp.o" "gcc" "CMakeFiles/divsec.dir/src/stats/special.cpp.o.d"
+  "/root/repo/src/stats/survival.cpp" "CMakeFiles/divsec.dir/src/stats/survival.cpp.o" "gcc" "CMakeFiles/divsec.dir/src/stats/survival.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

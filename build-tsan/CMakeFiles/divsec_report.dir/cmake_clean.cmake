@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/divsec_report.dir/tools/divsec_report.cpp.o"
+  "CMakeFiles/divsec_report.dir/tools/divsec_report.cpp.o.d"
+  "divsec_report"
+  "divsec_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/divsec_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_diversity_planning.dir/examples/diversity_planning.cpp.o"
+  "CMakeFiles/example_diversity_planning.dir/examples/diversity_planning.cpp.o.d"
+  "example_diversity_planning"
+  "example_diversity_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_diversity_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

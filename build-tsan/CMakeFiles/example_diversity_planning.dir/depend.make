@@ -1,0 +1,2 @@
+# Empty dependencies file for example_diversity_planning.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_scope_cooling.dir/examples/scope_cooling.cpp.o"
+  "CMakeFiles/example_scope_cooling.dir/examples/scope_cooling.cpp.o.d"
+  "example_scope_cooling"
+  "example_scope_cooling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_scope_cooling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

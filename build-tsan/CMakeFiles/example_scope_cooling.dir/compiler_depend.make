@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_scope_cooling.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_stuxnet_campaign.dir/examples/stuxnet_campaign.cpp.o"
+  "CMakeFiles/example_stuxnet_campaign.dir/examples/stuxnet_campaign.cpp.o.d"
+  "example_stuxnet_campaign"
+  "example_stuxnet_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_stuxnet_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

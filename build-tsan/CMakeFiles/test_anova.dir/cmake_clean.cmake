@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_anova.dir/tests/test_anova.cpp.o"
+  "CMakeFiles/test_anova.dir/tests/test_anova.cpp.o.d"
+  "test_anova"
+  "test_anova.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_anova.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

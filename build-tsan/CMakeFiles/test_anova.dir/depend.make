@@ -1,0 +1,2 @@
+# Empty dependencies file for test_anova.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attack_san.dir/tests/test_attack_san.cpp.o"
+  "CMakeFiles/test_attack_san.dir/tests/test_attack_san.cpp.o.d"
+  "test_attack_san"
+  "test_attack_san.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attack_san.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

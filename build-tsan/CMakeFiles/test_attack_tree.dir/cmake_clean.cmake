@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attack_tree.dir/tests/test_attack_tree.cpp.o"
+  "CMakeFiles/test_attack_tree.dir/tests/test_attack_tree.cpp.o.d"
+  "test_attack_tree"
+  "test_attack_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attack_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bayes.dir/tests/test_bayes.cpp.o"
+  "CMakeFiles/test_bayes.dir/tests/test_bayes.cpp.o.d"
+  "test_bayes"
+  "test_bayes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bayes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

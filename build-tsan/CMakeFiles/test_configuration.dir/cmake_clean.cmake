@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_configuration.dir/tests/test_configuration.cpp.o"
+  "CMakeFiles/test_configuration.dir/tests/test_configuration.cpp.o.d"
+  "test_configuration"
+  "test_configuration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_configuration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

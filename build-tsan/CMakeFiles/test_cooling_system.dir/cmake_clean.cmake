@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cooling_system.dir/tests/test_cooling_system.cpp.o"
+  "CMakeFiles/test_cooling_system.dir/tests/test_cooling_system.cpp.o.d"
+  "test_cooling_system"
+  "test_cooling_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cooling_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

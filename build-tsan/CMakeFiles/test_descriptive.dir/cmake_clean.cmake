@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_descriptive.dir/tests/test_descriptive.cpp.o"
+  "CMakeFiles/test_descriptive.dir/tests/test_descriptive.cpp.o.d"
+  "test_descriptive"
+  "test_descriptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_descriptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_distributions.dir/tests/test_distributions.cpp.o"
+  "CMakeFiles/test_distributions.dir/tests/test_distributions.cpp.o.d"
+  "test_distributions"
+  "test_distributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

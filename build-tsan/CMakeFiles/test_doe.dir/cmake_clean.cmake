@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_doe.dir/tests/test_doe.cpp.o"
+  "CMakeFiles/test_doe.dir/tests/test_doe.cpp.o.d"
+  "test_doe"
+  "test_doe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_doe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_epidemic.dir/tests/test_epidemic.cpp.o"
+  "CMakeFiles/test_epidemic.dir/tests/test_epidemic.cpp.o.d"
+  "test_epidemic"
+  "test_epidemic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_epidemic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_executor.dir/tests/test_executor.cpp.o"
+  "CMakeFiles/test_executor.dir/tests/test_executor.cpp.o.d"
+  "test_executor"
+  "test_executor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_executor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

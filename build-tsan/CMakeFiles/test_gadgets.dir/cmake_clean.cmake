@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gadgets.dir/tests/test_gadgets.cpp.o"
+  "CMakeFiles/test_gadgets.dir/tests/test_gadgets.cpp.o.d"
+  "test_gadgets"
+  "test_gadgets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gadgets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

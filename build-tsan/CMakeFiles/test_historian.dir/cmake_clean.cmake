@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_historian.dir/tests/test_historian.cpp.o"
+  "CMakeFiles/test_historian.dir/tests/test_historian.cpp.o.d"
+  "test_historian"
+  "test_historian.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_historian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

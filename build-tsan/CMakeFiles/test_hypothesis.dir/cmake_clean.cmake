@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hypothesis.dir/tests/test_hypothesis.cpp.o"
+  "CMakeFiles/test_hypothesis.dir/tests/test_hypothesis.cpp.o.d"
+  "test_hypothesis"
+  "test_hypothesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hypothesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

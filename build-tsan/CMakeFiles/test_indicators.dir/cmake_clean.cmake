@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_indicators.dir/tests/test_indicators.cpp.o"
+  "CMakeFiles/test_indicators.dir/tests/test_indicators.cpp.o.d"
+  "test_indicators"
+  "test_indicators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_indicators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_measurement_parallel.dir/tests/test_measurement_parallel.cpp.o"
+  "CMakeFiles/test_measurement_parallel.dir/tests/test_measurement_parallel.cpp.o.d"
+  "test_measurement_parallel"
+  "test_measurement_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_measurement_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

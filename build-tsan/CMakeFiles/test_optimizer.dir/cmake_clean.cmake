@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_optimizer.dir/tests/test_optimizer.cpp.o"
+  "CMakeFiles/test_optimizer.dir/tests/test_optimizer.cpp.o.d"
+  "test_optimizer"
+  "test_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

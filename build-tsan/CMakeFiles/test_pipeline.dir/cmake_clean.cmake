@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline.dir/tests/test_pipeline.cpp.o"
+  "CMakeFiles/test_pipeline.dir/tests/test_pipeline.cpp.o.d"
+  "test_pipeline"
+  "test_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

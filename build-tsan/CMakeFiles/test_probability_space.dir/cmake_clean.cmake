@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_probability_space.dir/tests/test_probability_space.cpp.o"
+  "CMakeFiles/test_probability_space.dir/tests/test_probability_space.cpp.o.d"
+  "test_probability_space"
+  "test_probability_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_probability_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

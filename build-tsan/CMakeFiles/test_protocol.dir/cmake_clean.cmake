@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocol.dir/tests/test_protocol.cpp.o"
+  "CMakeFiles/test_protocol.dir/tests/test_protocol.cpp.o.d"
+  "test_protocol"
+  "test_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

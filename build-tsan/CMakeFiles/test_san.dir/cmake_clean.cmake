@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_san.dir/tests/test_san.cpp.o"
+  "CMakeFiles/test_san.dir/tests/test_san.cpp.o.d"
+  "test_san"
+  "test_san.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_san.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

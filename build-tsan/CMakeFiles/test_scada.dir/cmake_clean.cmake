@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scada.dir/tests/test_scada.cpp.o"
+  "CMakeFiles/test_scada.dir/tests/test_scada.cpp.o.d"
+  "test_scada"
+  "test_scada.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scada.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sensitivity.dir/tests/test_sensitivity.cpp.o"
+  "CMakeFiles/test_sensitivity.dir/tests/test_sensitivity.cpp.o.d"
+  "test_sensitivity"
+  "test_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

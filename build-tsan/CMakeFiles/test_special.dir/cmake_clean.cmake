@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_special.dir/tests/test_special.cpp.o"
+  "CMakeFiles/test_special.dir/tests/test_special.cpp.o.d"
+  "test_special"
+  "test_special.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_special.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_survival.dir/tests/test_survival.cpp.o"
+  "CMakeFiles/test_survival.dir/tests/test_survival.cpp.o.d"
+  "test_survival"
+  "test_survival.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_survival.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

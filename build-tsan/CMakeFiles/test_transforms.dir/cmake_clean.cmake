@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transforms.dir/tests/test_transforms.cpp.o"
+  "CMakeFiles/test_transforms.dir/tests/test_transforms.cpp.o.d"
+  "test_transforms"
+  "test_transforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
