@@ -4,16 +4,170 @@
 // for monoculture / partial / full diversity. Expected shape: the
 // monoculture curve rises fast and saturates high; diversity flattens and
 // caps it.
+//
+// Fleet phase: on a generated enterprise1024 preset, the indexed
+// campaign engine is validated statistically (same indicator
+// distributions, 5-sigma gate) against the preserved pre-refactor
+// implementation (legacy_campaign.h) and timed against it — the phase
+// fails unless the indexed engine is >= 5x faster per replication. A
+// MeasurementEngine scenario sweep is timed on top. Records land in
+// BENCH_e5_fleet.json. `--fleet-smoke` runs only this phase (CI's
+// Release smoke pass).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cmath>
+#include <cstring>
+
 #include "bench/bench_util.h"
+#include "bench/legacy_campaign.h"
 #include "core/indicators.h"
+#include "core/measurement.h"
 #include "core/optimizer.h"
 #include "net/epidemic.h"
+#include "scenario/presets.h"
+#include "sim/executor.h"
 
 namespace {
 
 using namespace divsec;
+
+double wall_ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   start)
+      .count();
+}
+
+/// Legacy-vs-indexed campaign on a generated fleet: verify statistical
+/// equivalence, time both, emit the perf-trajectory JSON. Returns false
+/// on indicator drift or a speedup below the 5x acceptance bar.
+bool fleet_speedup_phase() {
+  constexpr std::size_t kNodes = 1024;
+  constexpr std::size_t kReps = 96;
+  constexpr std::uint64_t kSeed = 2013;
+  const std::string preset = "enterprise" + std::to_string(kNodes);
+
+  const divers::VariantCatalog cat = divers::VariantCatalog::standard(2013);
+  const attack::ThreatProfile stuxnet = attack::ThreatProfile::stuxnet();
+  // The monoculture arm is the heavy one: the worm actually spreads, so
+  // compromise-volume-proportional work (ratio snapshots, spoof checks,
+  // per-root scanning) dominates — exactly what the paper's baseline
+  // configuration looks like at fleet scale.
+  const scenario::GeneratedScenario fleet = scenario::make_preset(
+      preset, cat, kSeed, scenario::VariantPolicy::kMonoculture);
+
+  bench::section("E5 fleet: " + preset + " campaign, legacy vs indexed engine");
+  std::printf("nodes=%zu links=%zu entries=%zu target PLCs=%zu\n",
+              fleet.scenario.topology.node_count(),
+              fleet.scenario.topology.link_count(),
+              fleet.scenario.entry_nodes.size(),
+              fleet.scenario.target_plcs.size());
+
+  // Sustained-throughput configuration: incident response does not
+  // freeze the attacker, so the worm keeps scanning until the horizon —
+  // the event-volume regime a fleet-scale engine must survive. Both
+  // engines run the identical configuration.
+  attack::CampaignOptions opts;
+  opts.detection_halts_attack = false;
+
+  const bench::legacy::CampaignSimulator legacy_sim(fleet.scenario, stuxnet, cat,
+                                                    {}, opts);
+  const attack::CampaignSimulator indexed_sim(fleet.scenario, stuxnet, cat, {},
+                                              opts);
+
+  // The indexed engine schedules the model's Poisson processes as exact
+  // superpositions, so it samples the SAME distribution as the
+  // pre-refactor per-node implementation through different draws.
+  // Equivalence gate: replication means of the three indicators must
+  // agree within 5 standard errors (a drifted model fails loudly).
+  stats::OnlineStats legacy_ratio, legacy_ttsf, legacy_success;
+  std::size_t legacy_events = 0;
+  const auto legacy_start = std::chrono::steady_clock::now();
+  for (std::size_t r = 0; r < kReps; ++r) {
+    stats::Rng rng(kSeed, r);
+    const auto res = legacy_sim.run(rng);
+    legacy_ratio.add(res.compromised_ratio.back().second);
+    legacy_ttsf.add(res.time_to_detection.value_or(opts.t_max_hours));
+    legacy_success.add(res.attack_succeeded() ? 1.0 : 0.0);
+    legacy_events += res.events_executed;
+  }
+  const double legacy_ms = wall_ms_since(legacy_start) / kReps;
+
+  stats::OnlineStats indexed_ratio, indexed_ttsf, indexed_success;
+  std::size_t indexed_events = 0;
+  const auto indexed_start = std::chrono::steady_clock::now();
+  for (std::size_t r = 0; r < kReps; ++r) {
+    stats::Rng rng(kSeed, r);
+    const auto res = indexed_sim.run(rng);
+    indexed_ratio.add(res.compromised_ratio.back().second);
+    indexed_ttsf.add(res.time_to_detection.value_or(opts.t_max_hours));
+    indexed_success.add(res.attack_succeeded() ? 1.0 : 0.0);
+    indexed_events += res.events_executed;
+  }
+  const double indexed_ms = wall_ms_since(indexed_start) / kReps;
+
+  const auto close = [&](const stats::OnlineStats& a, const stats::OnlineStats& b,
+                         double floor) {
+    const double se = std::sqrt(a.variance() / static_cast<double>(kReps) +
+                                b.variance() / static_cast<double>(kReps));
+    return std::abs(a.mean() - b.mean()) <= 5.0 * se + floor;
+  };
+  const bool equivalent = close(legacy_ratio, indexed_ratio, 1e-3) &&
+                          close(legacy_ttsf, indexed_ttsf, 1e-6) &&
+                          close(legacy_success, indexed_success, 1e-3);
+
+  const double speedup = indexed_ms > 0.0 ? legacy_ms / indexed_ms : 0.0;
+  bench::row({"engine", "ms/replication", "events/rep", "speedup"}, 18);
+  bench::row({"legacy", bench::fmt(legacy_ms, 3),
+              bench::fmt_int(static_cast<long long>(legacy_events / kReps)),
+              bench::fmt(1.0, 2)},
+             18);
+  bench::row({"indexed", bench::fmt(indexed_ms, 3),
+              bench::fmt_int(static_cast<long long>(indexed_events / kReps)),
+              bench::fmt(speedup, 2)},
+             18);
+  std::printf(
+      "equivalence (%zu reps): %s  ratio %.4f vs %.4f | mean TTSF %.1f vs "
+      "%.1f | success %.3f vs %.3f\n",
+      kReps, equivalent ? "OK" : "FAILED", legacy_ratio.mean(),
+      indexed_ratio.mean(), legacy_ttsf.mean(), indexed_ttsf.mean(),
+      legacy_success.mean(), indexed_success.mean());
+
+  // The new measurement flavour: the same fleet swept through
+  // MeasurementEngine (monoculture + stratified cells) on the shared
+  // executor — the wall clock CI tracks for fleet-scale throughput.
+  core::MeasurementOptions mo;
+  mo.engine = core::Engine::kCampaign;
+  mo.replications = 32;
+  mo.seed = kSeed;
+  mo.keep_samples = false;
+  core::ScenarioSweepPlan plan;
+  plan.cells.push_back({fleet.scenario, kSeed});  // the monoculture arm
+  plan.cells.push_back(
+      {scenario::make_preset(preset, cat, kSeed,
+                             scenario::VariantPolicy::kZoneStratified)
+           .scenario,
+       kSeed + 1});
+  const core::MeasurementEngine engine(cat, stuxnet, mo);
+  const auto sweep_start = std::chrono::steady_clock::now();
+  const auto summaries = engine.measure_scenarios(plan);
+  const double sweep_ms = wall_ms_since(sweep_start);
+  const int threads = static_cast<int>(engine.executor().thread_count());
+  std::printf(
+      "sweep: %zu cells x %zu reps in %.1f ms on %d threads "
+      "(monoculture success=%.2f, stratified success=%.2f)\n",
+      plan.cell_count(), mo.replications, sweep_ms,
+      threads, summaries[0].attack_success_probability(),
+      summaries[1].attack_success_probability());
+
+  bench::write_bench_json(
+      "BENCH_e5_fleet.json",
+      {{"fleet_campaign_legacy_" + std::to_string(kNodes), legacy_ms, 1, 1.0},
+       {"fleet_campaign_indexed_" + std::to_string(kNodes), indexed_ms, 1, speedup},
+       {"fleet_sweep_2x32_" + std::to_string(kNodes), sweep_ms, threads,
+        speedup}});
+  return equivalent && speedup >= 5.0;
+}
 
 struct Setup {
   divers::VariantCatalog cat = divers::VariantCatalog::standard(2013);
@@ -100,9 +254,18 @@ BENCHMARK(BM_MeanRatioCurve)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  // CI smoke mode: only the fleet phase (generated-preset campaign +
+  // sweep, JSON emission), skipping the slower paper-curve tables and
+  // google-benchmark timings. Exits non-zero if the indexed engine ever
+  // diverges from the preserved legacy implementation.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fleet-smoke") == 0)
+      return fleet_speedup_phase() ? 0 : 1;
+  }
   print_curves();
+  const bool fleet_ok = fleet_speedup_phase();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return 0;
+  return fleet_ok ? 0 : 1;
 }

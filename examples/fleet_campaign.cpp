@@ -1,0 +1,79 @@
+// fleet_campaign.cpp — an enterprise{N} preset driven end to end:
+// generate the fleet, sweep attack campaigns over three diversity
+// policies through the measurement engine, and report the paper's
+// indicators (TTA / TTSF / compromised ratio) next to the mean-field
+// epidemic baseline computed on the campaign's own reachability index.
+//
+//   ./example_fleet_campaign [nodes] [seed]      (default: 256 2013)
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/measurement.h"
+#include "net/epidemic.h"
+#include "net/reachability_index.h"
+#include "scenario/presets.h"
+
+using namespace divsec;
+
+int main(int argc, char** argv) {
+  const std::size_t nodes = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 256;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 2013;
+  const std::string preset = "enterprise" + std::to_string(nodes);
+
+  const divers::VariantCatalog catalog = divers::VariantCatalog::standard(2013);
+  const attack::ThreatProfile stuxnet = attack::ThreatProfile::stuxnet();
+
+  // One fleet, three deployment policies: the sweep cells differ only in
+  // the seeded variant assignment.
+  const scenario::VariantPolicy policies[] = {
+      scenario::VariantPolicy::kMonoculture,
+      scenario::VariantPolicy::kZoneStratified,
+      scenario::VariantPolicy::kRandomPerNode,
+  };
+  core::ScenarioSweepPlan plan;
+  for (std::size_t i = 0; i < 3; ++i)
+    plan.cells.push_back(
+        {scenario::make_preset(preset, catalog, seed, policies[i]).scenario,
+         seed + i});
+
+  const attack::Scenario& fleet = plan.cells[0].scenario;
+  std::printf("== %s: %zu nodes, %zu links, %zu entry nodes, %zu target PLCs ==\n",
+              preset.c_str(), fleet.topology.node_count(),
+              fleet.topology.link_count(), fleet.entry_nodes.size(),
+              fleet.target_plcs.size());
+
+  core::MeasurementOptions mo;
+  mo.engine = core::Engine::kCampaign;
+  mo.replications = 100;
+  mo.seed = seed;
+  mo.keep_samples = false;
+  const core::MeasurementEngine engine(catalog, stuxnet, mo);
+  const auto summaries = engine.measure_scenarios(plan);
+
+  std::printf("\n%-18s %-12s %-14s %-14s %-12s\n", "policy", "P(success)",
+              "mean TTA (h)", "mean TTSF (h)", "final c(t)");
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto& s = summaries[i];
+    std::printf("%-18s %-12.3f %-14.1f %-14.1f %-12.4f\n",
+                to_string(policies[i]), s.attack_success_probability(),
+                s.tta.mean(), s.ttsf.mean(), s.final_ratio.mean());
+  }
+
+  // Mean-field SI baseline over the monoculture fleet's reachability,
+  // sharing the campaign's precomputed index instead of re-deriving the
+  // all-pairs relation.
+  const attack::CampaignSimulator sim(fleet, stuxnet, catalog);
+  net::MeanFieldEpidemic epidemic(
+      sim.reachability(),
+      {net::Channel::kUsb, net::Channel::kSmbShare, net::Channel::kPrintSpooler},
+      fleet.entry_nodes, {0.02, 0.5});
+  epidemic.advance(mo.campaign.t_max_hours);
+  std::printf("\nmean-field SI envelope at the horizon: c = %.4f\n",
+              epidemic.compromised_ratio());
+  std::printf(
+      "\nThe worm model ignores exploit failure and detection, so it bounds\n"
+      "what topology alone allows; each diversity policy pulls the campaign\n"
+      "curve further below that envelope.\n");
+  return 0;
+}

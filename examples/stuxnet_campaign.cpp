@@ -29,7 +29,7 @@ void trace_campaign(const char* title, const attack::Scenario& scenario,
 
   for (const auto& e : r.events) {
     std::printf("  t=%8.1f h  %-18s %s\n", e.time,
-                scenario.topology.node(e.node).name.c_str(), e.what.c_str());
+                scenario.topology.node(e.node).name.c_str(), to_string(e.kind));
   }
   std::printf("  outcome: %s\n", r.attack_succeeded()
                                      ? "ATTACK SUCCEEDED (device impaired)"

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
-#include "net/reachability.h"
-#include "sim/simulator.h"
+#include "net/reachability_index.h"
 
 namespace divsec::attack {
 
@@ -45,6 +45,21 @@ void Scenario::validate(const divers::VariantCatalog& catalog) const {
   }
 }
 
+const char* to_string(CampaignEventKind k) noexcept {
+  switch (k) {
+    case CampaignEventKind::kDelivered: return "delivered";
+    case CampaignEventKind::kDeliveredLateral: return "delivered-lateral";
+    case CampaignEventKind::kActivated: return "activated";
+    case CampaignEventKind::kRoot: return "root";
+    case CampaignEventKind::kPlcCompromised: return "plc-compromised";
+    case CampaignEventKind::kDeviceImpaired: return "device-impaired";
+    case CampaignEventKind::kFailedExploitDetected: return "failed-exploit-detected";
+    case CampaignEventKind::kHostIdsDetection: return "host-ids-detection";
+    case CampaignEventKind::kPlantAlarmDetection: return "plant-alarm-detection";
+  }
+  return "?";
+}
+
 double CampaignResult::ratio_at(double t) const noexcept {
   double r = 0.0;
   for (const auto& [time, ratio] : compromised_ratio) {
@@ -53,6 +68,78 @@ double CampaignResult::ratio_at(double t) const noexcept {
   }
   return r;
 }
+
+/// Everything run() reads per event, precomputed once per scenario into
+/// flat arrays indexed by NodeId. Deeply immutable after construction:
+/// concurrent replications share one Tables instance read-only.
+struct CampaignTables {
+  net::ReachabilityIndex reach;
+
+  std::size_t node_count = 0;
+
+  // Role-derived flags.
+  std::vector<std::uint8_t> is_plc;           // counts only when owned
+  std::vector<std::uint8_t> host_target;      // valid lateral victims
+  std::vector<std::uint8_t> monitoring_view;  // HMI / SCADA / engineering
+  std::vector<std::uint8_t> payload_source;   // can push a PLC payload
+
+  // Exploit tables: per-session success probability and exponential
+  // delay rate per node (the VariantCatalog walk, paid once).
+  std::vector<double> activation_p, activation_rate;
+  std::vector<double> privesc_p, privesc_rate;
+  std::vector<double> lateral_p;
+  std::vector<double> plc_direct_p;  // project-file route
+  std::vector<double> plc_modbus_p;  // fieldbus route (x protocol stack)
+  double firewall_bypass_p = 0.0;
+  double host_detection_rate = 0.0;  // stealth-discounted
+
+  CampaignTables(const Scenario& sc, const ThreatProfile& pr,
+                 const divers::VariantCatalog& cat, const DetectionModel& det)
+      : reach(sc.topology, sc.firewall), node_count(sc.topology.node_count()) {
+    const std::size_t n = node_count;
+    is_plc.assign(n, 0);
+    host_target.assign(n, 0);
+    monitoring_view.assign(n, 0);
+    payload_source.assign(n, 0);
+    activation_p.resize(n);
+    activation_rate.resize(n);
+    privesc_p.resize(n);
+    privesc_rate.resize(n);
+    lateral_p.resize(n);
+    plc_direct_p.assign(n, 0.0);
+    plc_modbus_p.assign(n, 0.0);
+    for (NodeId i = 0; i < n; ++i) {
+      const net::Role role = sc.topology.node(i).role;
+      is_plc[i] = role == net::Role::kPlc;
+      host_target[i] =
+          role != net::Role::kPlc && role != net::Role::kSensorGateway;
+      monitoring_view[i] = role == net::Role::kHmi ||
+                           role == net::Role::kScadaServer ||
+                           role == net::Role::kEngineering;
+      payload_source[i] =
+          pr.has_sabotage_payload && (role == net::Role::kEngineering ||
+                                      role == net::Role::kScadaServer);
+      const std::size_t os = sc.software[i].os;
+      activation_p[i] = cat.exploit_success(pr.activation_exploit, os);
+      activation_rate[i] =
+          pr.activation_rate / cat.exploit_work_factor(pr.activation_exploit, os);
+      privesc_p[i] = cat.exploit_success(pr.privesc_exploit, os);
+      privesc_rate[i] =
+          pr.privesc_rate / cat.exploit_work_factor(pr.privesc_exploit, os);
+      lateral_p[i] = cat.exploit_success(pr.lateral_exploit, os);
+    }
+    for (NodeId plc : sc.target_plcs) {
+      plc_direct_p[plc] =
+          cat.exploit_success(pr.plc_exploit, *sc.software[plc].plc_firmware);
+      // The fieldbus route also has to abuse the protocol stack.
+      plc_modbus_p[plc] =
+          plc_direct_p[plc] *
+          cat.exploit_success(pr.protocol_exploit, sc.software[plc].protocol);
+    }
+    firewall_bypass_p = cat.exploit_success(pr.firewall_exploit, sc.firewall_variant);
+    host_detection_rate = det.host_detection_rate * (1.0 - pr.stealth);
+  }
+};
 
 CampaignSimulator::CampaignSimulator(Scenario scenario, ThreatProfile profile,
                                      const divers::VariantCatalog& catalog,
@@ -67,64 +154,137 @@ CampaignSimulator::CampaignSimulator(Scenario scenario, ThreatProfile profile,
   scenario_.validate(catalog_);
   if (!(options_.t_max_hours > 0.0))
     throw std::invalid_argument("CampaignOptions: t_max_hours must be > 0");
+  tables_ = std::make_unique<const CampaignTables>(scenario_, profile_, catalog_, detection_);
+}
+
+CampaignSimulator::~CampaignSimulator() = default;
+CampaignSimulator::CampaignSimulator(CampaignSimulator&&) noexcept = default;
+
+const net::ReachabilityIndex& CampaignSimulator::reachability() const noexcept {
+  return tables_->reach;
 }
 
 namespace {
 
-/// Mutable campaign state shared by the event handlers of one run().
+/// The campaign's stochastic processes are superposed Poisson streams,
+/// and the engine schedules them as such instead of keeping one pending
+/// event per node in a shared queue (what the generic sim::Simulator
+/// forced). Per class:
+///
+///  * worm scanning   — every root scans at rate lambda_p; the
+///    superposition is one aggregate process of rate lambda_p * R(t)
+///    whose firing owner is uniform over the R roots (exponential race);
+///  * payload pushes  — rate lambda_pl * S(t) over rooted
+///    engineering/SCADA sources, same construction;
+///  * host IDS        — each activated node is detected after an
+///    exponential delay; only the FIRST detection matters, and before it
+///    the hazard is rate_h * A(t) — one aggregate first-passage process;
+///  * plant alarms    — one poll chain per owned PLC in the old model,
+///    i.e. rate_a * P(t) aggregated, thinned by the current spoofing;
+///  * sabotage        — first-passage of rate_s * P(t), owner uniform
+///    over owned PLCs (constant hazards are memoryless).
+///
+/// When a membership count changes, the aggregate's next firing is
+/// redrawn from `now` at the new rate — exact by memorylessness
+/// (min(Exp(a), Exp(b)) ~ Exp(a+b), and the remaining wait of a Poisson
+/// superposition at any instant is Exp(total rate)). The event law of
+/// the model is exactly the per-node construction's; only the RNG draw
+/// sequence differs. What remains per-node — activation and privilege
+/// escalation retries — lives in a small binary heap that stays a few
+/// entries deep, so the per-event cost no longer grows with fleet
+/// compromise the way a per-node event queue's does.
+struct QEvent {
+  double at = 0.0;
+  std::uint32_t seq = 0;  // FIFO tie-break among equal timestamps
+  std::uint32_t node = 0;
+  std::uint8_t kind = 0;  // 0 = activation, 1 = privesc
+};
+
+struct QLater {
+  [[nodiscard]] bool operator()(const QEvent& x, const QEvent& y) const noexcept {
+    if (x.at != y.at) return x.at > y.at;
+    return x.seq > y.seq;
+  }
+};
+
+constexpr double kNever = std::numeric_limits<double>::infinity();
+
+/// Mutable state of one run() over the read-only CampaignTables.
 struct RunState {
   const Scenario& sc;
   const ThreatProfile& pr;
-  const divers::VariantCatalog& cat;
   const DetectionModel& det;
   const CampaignOptions& opt;
-  sim::Simulator sim;
+  const CampaignTables& tb;
   stats::Rng& rng;
   CampaignResult result;
 
-  std::vector<NodeState> state;
-  std::vector<bool> plc_owned;
-  bool halted = false;  // incident response froze the attacker
+  double now = 0.0;
+  bool stopped = false;  // both terminal indicators settled
 
-  RunState(const Scenario& s, const ThreatProfile& p, const divers::VariantCatalog& c,
-           const DetectionModel& d, const CampaignOptions& o, stats::Rng& r)
-      : sc(s), pr(p), cat(c), det(d), opt(o), rng(r) {
-    state.assign(sc.topology.node_count(), NodeState::kClean);
-    plc_owned.assign(sc.topology.node_count(), false);
+  // Aggregate process clocks (kNever = disarmed).
+  double t_entry = kNever;
+  double t_prop = kNever;
+  double t_payload = kNever;
+  double t_host = kNever;
+  double t_alarm = kNever;
+  double t_sabotage = kNever;
+
+  // Per-node transient events (activation / privesc retries).
+  std::vector<QEvent> heap;  // min-heap via std::push_heap/pop_heap
+  std::uint32_t next_seq = 0;
+
+  std::vector<NodeState> state;
+  std::vector<std::uint8_t> plc_owned;
+  std::vector<NodeId> roots;            // nodes at kRoot, in promotion order
+  std::vector<NodeId> payload_sources;  // rooted engineering/SCADA nodes
+  std::vector<NodeId> owned_plcs;       // owned targets, in capture order
+  std::vector<NodeId> unowned_targets;  // target_plcs minus owned, in order
+  std::size_t hosts_owned = 0;     // non-PLC nodes at >= kActivated
+  std::size_t activated_count = 0;  // A(t): host-IDS exposure pool
+
+  RunState(const Scenario& s, const ThreatProfile& p,
+           const CampaignTables& t, const DetectionModel& d,
+           const CampaignOptions& o, stats::Rng& r)
+      : sc(s), pr(p), det(d), opt(o), tb(t), rng(r) {
+    state.assign(tb.node_count, NodeState::kClean);
+    plc_owned.assign(tb.node_count, 0);
+    unowned_targets = sc.target_plcs;
+    heap.reserve(64);
     result.compromised_ratio.emplace_back(0.0, 0.0);
   }
 
-  void note(NodeId n, const char* what) {
-    if (opt.record_events) result.events.push_back({sim.now(), n, what});
+  void note(NodeId n, CampaignEventKind kind) {
+    if (opt.record_events) result.events.push_back({now, n, kind});
   }
 
   [[nodiscard]] double exp_delay(double rate) {
     return -std::log(1.0 - rng.uniform()) / rate;
   }
 
-  [[nodiscard]] std::size_t compromised_count() const {
-    std::size_t c = 0;
-    for (NodeId n = 0; n < state.size(); ++n) {
-      if (sc.topology.node(n).role == net::Role::kPlc) {
-        if (plc_owned[n]) ++c;
-      } else if (state[n] >= NodeState::kActivated) {
-        ++c;
-      }
-    }
-    return c;
+  /// Next firing of an aggregate process at `rate`, from now.
+  [[nodiscard]] double exp_in(double rate) {
+    return rate > 0.0 ? now + exp_delay(rate) : kNever;
+  }
+
+  void push(std::uint8_t kind, NodeId node, double delay) {
+    heap.push_back(QEvent{now + delay, next_seq++,
+                          static_cast<std::uint32_t>(node), kind});
+    std::push_heap(heap.begin(), heap.end(), QLater{});
   }
 
   void record_ratio() {
-    const double r = static_cast<double>(compromised_count()) /
-                     static_cast<double>(sc.topology.node_count());
-    result.compromised_ratio.emplace_back(sim.now(), r);
+    const double r = static_cast<double>(hosts_owned + owned_plcs.size()) /
+                     static_cast<double>(tb.node_count);
+    result.compromised_ratio.emplace_back(now, r);
   }
 
-  void record_detection(const char* what) {
+  void record_detection(CampaignEventKind what) {
     if (result.time_to_detection) return;
-    result.time_to_detection = sim.now();
+    result.time_to_detection = now;
     note(0, what);
-    if (opt.detection_halts_attack) halted = true;
+    t_host = kNever;  // later detections would be ignored anyway
+    t_alarm = kNever;
     maybe_finish();
   }
 
@@ -132,14 +292,17 @@ struct RunState {
   /// Deliberately not stealth-discounted: crashes are loud.
   void failed_attempt() {
     const double p = det.failed_attempt_detection;
-    if (p > 0.0 && rng.bernoulli(p)) record_detection("failed-exploit-detected");
+    if (p > 0.0 && rng.bernoulli(p))
+      record_detection(CampaignEventKind::kFailedExploitDetected);
   }
 
   void maybe_finish() {
-    // Once both terminal indicators are known (or the attack is frozen
-    // and can make no further progress), stop simulating.
-    const bool tta_settled = result.time_to_attack.has_value() || halted;
-    if (tta_settled && result.time_to_detection.has_value()) sim.stop();
+    // Stop once both terminal indicators are known — or once detection
+    // triggered incident response (the attacker is frozen, so TTA can
+    // never happen).
+    if (result.time_to_detection.has_value() &&
+        (result.time_to_attack.has_value() || opt.detection_halts_attack))
+      stopped = true;
   }
 
   // --- Attack processes ------------------------------------------------
@@ -147,206 +310,209 @@ struct RunState {
   [[nodiscard]] bool effective_reach(NodeId from, NodeId to, net::Channel ch) {
     // Physical / policy reachability; a denied-by-policy hop can still be
     // attempted through a firewall exploit (tunnelling).
-    if (net::can_reach(sc.topology, sc.firewall, from, to, ch)) return true;
+    if (tb.reach.can_reach(from, to, ch)) return true;
     if (ch == net::Channel::kUsb) return false;
-    if (!sc.topology.linked(from, to)) return false;
-    const double bypass =
-        cat.exploit_success(pr.firewall_exploit, sc.firewall_variant);
-    return rng.bernoulli(bypass);
+    if (!tb.reach.linked(from, to)) return false;
+    return rng.bernoulli(tb.firewall_bypass_p);
   }
 
-  void schedule_entry() {
-    sim.schedule_in(exp_delay(pr.entry_rate), [this] {
-      if (!halted) {
-        const NodeId n = sc.entry_nodes[rng.below(sc.entry_nodes.size())];
-        if (state[n] == NodeState::kClean) {
-          state[n] = NodeState::kDelivered;
-          if (!result.time_of_entry) result.time_of_entry = sim.now();
-          note(n, "delivered");
-          schedule_activation(n);
-        }
+  void deliver(NodeId n, CampaignEventKind kind) {
+    state[n] = NodeState::kDelivered;
+    note(n, kind);
+    push(0, n, exp_delay(tb.activation_rate[n]));
+  }
+
+  void on_entry() {
+    const NodeId n = sc.entry_nodes[rng.below(sc.entry_nodes.size())];
+    if (state[n] == NodeState::kClean) {
+      if (!result.time_of_entry) result.time_of_entry = now;
+      deliver(n, CampaignEventKind::kDelivered);
+    }
+    t_entry = exp_in(pr.entry_rate);  // operators keep plugging media in
+  }
+
+  void on_activation(NodeId n) {
+    if (state[n] != NodeState::kDelivered) return;
+    if (rng.bernoulli(tb.activation_p[n])) {
+      state[n] = NodeState::kActivated;
+      if (!tb.is_plc[n]) ++hosts_owned;
+      ++activated_count;
+      if (!result.time_to_detection && tb.host_detection_rate > 0.0)
+        t_host = exp_in(tb.host_detection_rate *
+                        static_cast<double>(activated_count));
+      note(n, CampaignEventKind::kActivated);
+      record_ratio();
+      push(1, n, exp_delay(tb.privesc_rate[n]));
+    } else {
+      failed_attempt();
+      push(0, n, exp_delay(tb.activation_rate[n]));
+    }
+  }
+
+  void on_privesc(NodeId n) {
+    if (state[n] != NodeState::kActivated) return;
+    if (rng.bernoulli(tb.privesc_p[n])) {
+      state[n] = NodeState::kRoot;
+      if (!result.first_root) result.first_root = now;
+      note(n, CampaignEventKind::kRoot);
+      roots.push_back(n);
+      t_prop = exp_in(pr.propagation_rate * static_cast<double>(roots.size()));
+      if (tb.payload_source[n]) {
+        payload_sources.push_back(n);
+        if (!unowned_targets.empty())
+          t_payload = exp_in(pr.payload_rate *
+                             static_cast<double>(payload_sources.size()));
       }
-      schedule_entry();  // operators keep plugging media in
-    });
+    } else {
+      failed_attempt();
+      push(1, n, exp_delay(tb.privesc_rate[n]));
+    }
   }
 
-  void schedule_activation(NodeId n) {
-    const double wf = cat.exploit_work_factor(pr.activation_exploit, sc.software[n].os);
-    sim.schedule_in(exp_delay(pr.activation_rate / wf), [this, n] {
-      if (halted || state[n] != NodeState::kDelivered) return;
-      const double p = cat.exploit_success(pr.activation_exploit, sc.software[n].os);
-      if (rng.bernoulli(p)) {
-        state[n] = NodeState::kActivated;
-        note(n, "activated");
-        record_ratio();
-        schedule_privesc(n);
-        schedule_host_detection(n);
+  void on_propagation() {
+    // One scan of the aggregate worm process: owner uniform over roots,
+    // then a random victim and channel; most attempts fizzle, which is
+    // exactly how scanning worms behave.
+    const NodeId n = roots[rng.below(roots.size())];
+    const NodeId v = static_cast<NodeId>(rng.below(tb.node_count));
+    const net::Channel ch = pr.channels[rng.below(pr.channels.size())];
+    if (v != n && tb.host_target[v] && state[v] == NodeState::kClean &&
+        effective_reach(n, v, ch)) {
+      if (rng.bernoulli(tb.lateral_p[v])) {
+        deliver(v, CampaignEventKind::kDeliveredLateral);
       } else {
         failed_attempt();
-        schedule_activation(n);
       }
-    });
+    }
+    t_prop = exp_in(pr.propagation_rate * static_cast<double>(roots.size()));
   }
 
-  void schedule_privesc(NodeId n) {
-    const double wf = cat.exploit_work_factor(pr.privesc_exploit, sc.software[n].os);
-    sim.schedule_in(exp_delay(pr.privesc_rate / wf), [this, n] {
-      if (halted || state[n] != NodeState::kActivated) return;
-      const double p = cat.exploit_success(pr.privesc_exploit, sc.software[n].os);
-      if (rng.bernoulli(p)) {
-        state[n] = NodeState::kRoot;
-        if (!result.first_root) result.first_root = sim.now();
-        note(n, "root");
-        schedule_propagation(n);
-        if (can_deliver_payload(n)) schedule_payload(n);
-      } else {
-        failed_attempt();
-        schedule_privesc(n);
-      }
-    });
-  }
-
-  void schedule_propagation(NodeId n) {
-    sim.schedule_in(exp_delay(pr.propagation_rate), [this, n] {
-      if (halted || state[n] != NodeState::kRoot) return;
-      // Pick a random victim and channel; most attempts fizzle, which is
-      // exactly how scanning worms behave.
-      const NodeId v = static_cast<NodeId>(rng.below(sc.topology.node_count()));
-      const net::Channel ch = pr.channels[rng.below(pr.channels.size())];
-      const bool host_target = sc.topology.node(v).role != net::Role::kPlc &&
-                               sc.topology.node(v).role != net::Role::kSensorGateway;
-      if (v != n && host_target && state[v] == NodeState::kClean &&
-          effective_reach(n, v, ch)) {
-        const double p = cat.exploit_success(pr.lateral_exploit, sc.software[v].os);
+  void on_payload() {
+    // One push of the aggregate payload process: a rooted
+    // engineering/SCADA source tries an unowned target PLC over an
+    // engineering or fieldbus channel. Once every target is owned the
+    // process disarms — targets never refill, so later firings could
+    // only ever be no-ops.
+    if (!unowned_targets.empty()) {
+      const NodeId n = payload_sources[rng.below(payload_sources.size())];
+      const std::size_t pick = rng.below(unowned_targets.size());
+      const NodeId plc = unowned_targets[pick];
+      const bool via_project = effective_reach(n, plc, net::Channel::kProjectFile);
+      const bool via_modbus =
+          !via_project && effective_reach(n, plc, net::Channel::kModbus);
+      if (via_project || via_modbus) {
+        const double p = via_modbus ? tb.plc_modbus_p[plc] : tb.plc_direct_p[plc];
         if (rng.bernoulli(p)) {
-          state[v] = NodeState::kDelivered;
-          note(v, "delivered-lateral");
-          schedule_activation(v);
+          plc_owned[plc] = 1;
+          owned_plcs.push_back(plc);
+          unowned_targets.erase(unowned_targets.begin() +
+                                static_cast<std::ptrdiff_t>(pick));
+          if (!result.first_plc_compromise) result.first_plc_compromise = now;
+          note(plc, CampaignEventKind::kPlcCompromised);
+          record_ratio();
+          const double owned = static_cast<double>(owned_plcs.size());
+          if (!result.time_to_attack)
+            t_sabotage = exp_in(owned / pr.sabotage_mean_hours);
+          if (!result.time_to_detection)
+            t_alarm = exp_in(det.alarm_detection_rate * owned);
         } else {
           failed_attempt();
         }
       }
-      schedule_propagation(n);
-    });
+    }
+    t_payload =
+        unowned_targets.empty()
+            ? kNever
+            : exp_in(pr.payload_rate * static_cast<double>(payload_sources.size()));
   }
 
-  [[nodiscard]] bool can_deliver_payload(NodeId n) const {
-    const net::Role r = sc.topology.node(n).role;
-    return pr.has_sabotage_payload &&
-           (r == net::Role::kEngineering || r == net::Role::kScadaServer);
-  }
-
-  void schedule_payload(NodeId n) {
-    sim.schedule_in(exp_delay(pr.payload_rate), [this, n] {
-      if (halted || state[n] != NodeState::kRoot) return;
-      // Choose an unowned target PLC reachable over an engineering or
-      // fieldbus channel.
-      std::vector<NodeId> candidates;
-      for (NodeId plc : sc.target_plcs)
-        if (!plc_owned[plc]) candidates.push_back(plc);
-      if (!candidates.empty()) {
-        const NodeId plc = candidates[rng.below(candidates.size())];
-        const bool via_project = effective_reach(n, plc, net::Channel::kProjectFile);
-        const bool via_modbus =
-            !via_project && effective_reach(n, plc, net::Channel::kModbus);
-        if (via_project || via_modbus) {
-          double p = cat.exploit_success(pr.plc_exploit, *sc.software[plc].plc_firmware);
-          if (via_modbus)  // fieldbus route also has to abuse the stack
-            p *= cat.exploit_success(pr.protocol_exploit, sc.software[plc].protocol);
-          if (rng.bernoulli(p)) {
-            plc_owned[plc] = true;
-            if (!result.first_plc_compromise) result.first_plc_compromise = sim.now();
-            note(plc, "plc-compromised");
-            record_ratio();
-            schedule_sabotage(plc);
-            schedule_alarm_detection();
-          } else {
-            failed_attempt();
-          }
-        }
-      }
-      schedule_payload(n);
-    });
-  }
-
-  void schedule_sabotage(NodeId plc) {
-    sim.schedule_in(exp_delay(1.0 / pr.sabotage_mean_hours), [this, plc] {
-      if (halted || !plc_owned[plc]) return;
-      if (!result.time_to_attack) {
-        result.time_to_attack = sim.now();
-        note(plc, "device-impaired");
-        maybe_finish();
-      }
-    });
+  void on_sabotage() {
+    // First passage of the aggregate sabotage process: slow physical
+    // damage develops on one owned PLC (uniform by symmetry of the
+    // constant per-PLC hazards).
+    const NodeId plc = owned_plcs[rng.below(owned_plcs.size())];
+    result.time_to_attack = now;
+    note(plc, CampaignEventKind::kDeviceImpaired);
+    t_sabotage = kNever;
+    maybe_finish();
   }
 
   // --- Detection processes ----------------------------------------------
 
-  void schedule_host_detection(NodeId n) {
-    const double rate = det.host_detection_rate * (1.0 - pr.stealth);
-    if (rate <= 0.0) return;
-    sim.schedule_in(exp_delay(rate), [this, n] {
-      if (result.time_to_detection) return;
-      if (state[n] >= NodeState::kActivated) {
-        record_detection("host-ids-detection");
-        return;
-      }
-      schedule_host_detection(n);
-    });
+  void on_host_detect() {
+    // First passage of the aggregate host-IDS process over the activated
+    // pool: any activated node suffices to raise the incident.
+    record_detection(CampaignEventKind::kHostIdsDetection);
   }
 
-  [[nodiscard]] double effective_spoof() const {
+  void on_alarm_detect() {
+    // Thinning: poll at the undefended alarm rate (one chain per owned
+    // PLC), accept with the current spoof-adjusted probability.
     // Full-strength spoofing needs an owned monitoring view (HMI, SCADA
     // server, or the engineering station running the vendor tools, where
     // Stuxnet actually hooked the s7otbxdx DLL); otherwise replaying
     // recorded signals is only half effective.
     bool view_owned = false;
-    for (NodeId n = 0; n < state.size(); ++n) {
-      const net::Role r = sc.topology.node(n).role;
-      if ((r == net::Role::kHmi || r == net::Role::kScadaServer ||
-           r == net::Role::kEngineering) &&
-          state[n] == NodeState::kRoot) {
+    for (const NodeId n : roots)
+      if (tb.monitoring_view[n]) {
         view_owned = true;
         break;
       }
+    const double spoof = pr.spoof_effectiveness * (view_owned ? 1.0 : 0.5);
+    if (rng.bernoulli(1.0 - spoof)) {
+      record_detection(CampaignEventKind::kPlantAlarmDetection);
+      return;
     }
-    return pr.spoof_effectiveness * (view_owned ? 1.0 : 0.5);
+    t_alarm =
+        exp_in(det.alarm_detection_rate * static_cast<double>(owned_plcs.size()));
   }
 
-  void schedule_alarm_detection() {
-    // Thinning: poll at the undefended alarm rate, accept with the
-    // current spoof-adjusted probability.
-    if (det.alarm_detection_rate <= 0.0) return;
-    sim.schedule_in(exp_delay(det.alarm_detection_rate), [this] {
-      if (result.time_to_detection) return;
-      bool any_owned = false;
-      for (NodeId n = 0; n < plc_owned.size(); ++n)
-        if (plc_owned[n]) any_owned = true;
-      if (!any_owned) return;
-      if (rng.bernoulli(1.0 - effective_spoof())) {
-        record_detection("plant-alarm-detection");
-        return;
+  void run_until(double t_max) {
+    t_entry = exp_in(pr.entry_rate);
+    while (!stopped) {
+      // Next event: min over the aggregate clocks and the retry heap.
+      // Exact ties are measure-zero (all delays are continuous); the
+      // scan order below fixes them deterministically.
+      double at = t_entry;
+      int which = 0;
+      if (t_prop < at) { at = t_prop; which = 1; }
+      if (t_payload < at) { at = t_payload; which = 2; }
+      if (t_sabotage < at) { at = t_sabotage; which = 3; }
+      if (t_host < at) { at = t_host; which = 4; }
+      if (t_alarm < at) { at = t_alarm; which = 5; }
+      if (!heap.empty() && heap.front().at < at) { at = heap.front().at; which = 6; }
+      if (at > t_max) break;  // includes the all-disarmed (kNever) case
+      now = at;
+      ++result.events_executed;
+      switch (which) {
+        case 0: on_entry(); break;
+        case 1: on_propagation(); break;
+        case 2: on_payload(); break;
+        case 3: on_sabotage(); break;
+        case 4: on_host_detect(); break;
+        case 5: on_alarm_detect(); break;
+        case 6: {
+          const QEvent ev = heap.front();
+          std::pop_heap(heap.begin(), heap.end(), QLater{});
+          heap.pop_back();
+          if (ev.kind == 0)
+            on_activation(ev.node);
+          else
+            on_privesc(ev.node);
+          break;
+        }
       }
-      schedule_alarm_detection();
-    });
+    }
   }
 };
 
 }  // namespace
 
 CampaignResult CampaignSimulator::run(stats::Rng& rng) const {
-  RunState st(scenario_, profile_, catalog_, detection_, options_, rng);
-  st.schedule_entry();
-  st.sim.run_until(options_.t_max_hours);
-  st.result.hosts_compromised = 0;
-  st.result.plcs_compromised = 0;
-  for (NodeId n = 0; n < st.state.size(); ++n) {
-    if (st.sc.topology.node(n).role == net::Role::kPlc) {
-      if (st.plc_owned[n]) ++st.result.plcs_compromised;
-    } else if (st.state[n] >= NodeState::kActivated) {
-      ++st.result.hosts_compromised;
-    }
-  }
+  RunState st(scenario_, profile_, *tables_, detection_, options_, rng);
+  st.run_until(options_.t_max_hours);
+  st.result.hosts_compromised = st.hosts_owned;
+  st.result.plcs_compromised = st.owned_plcs.size();
   return std::move(st.result);
 }
 

@@ -13,10 +13,22 @@
 //   * Time-To-Attack            — sabotage completed,
 //   * Time-To-Security-Failure  — first perceived manifestation,
 //   * compromised ratio c(t)    — step curve of owned nodes over time.
+//
+// The simulator is built to run on generated enterprise fleets, not just
+// the paper's 11-node plant: construction precomputes a per-scenario
+// ReachabilityIndex and flat per-node exploit tables (success
+// probability, delay rate, role flags — all indexed by NodeId), and each
+// run() schedules the model's recurring Poisson processes as exact
+// superpositions (worm scanning at rate lambda*R(t) over R roots,
+// host-IDS first passage over the activated pool, and so on) next to a
+// small heap of per-node retry events. No string labels, no per-node
+// scans, no per-event catalog or firewall walks, no queue that grows
+// with fleet compromise. The precomputed state is read-only, so one
+// simulator serves any number of concurrent replications.
 #pragma once
 
+#include <memory>
 #include <optional>
-#include <string>
 #include <vector>
 
 #include "attack/threat.h"
@@ -24,6 +36,10 @@
 #include "net/firewall.h"
 #include "net/topology.h"
 #include "stats/rng.h"
+
+namespace divsec::net {
+class ReachabilityIndex;
+}
 
 namespace divsec::attack {
 
@@ -51,10 +67,26 @@ struct Scenario {
 
 enum class NodeState : std::uint8_t { kClean, kDelivered, kActivated, kRoot };
 
+/// What happened at a campaign event (dense enum; the old std::string
+/// labels did not survive fleet-scale event volumes).
+enum class CampaignEventKind : std::uint8_t {
+  kDelivered,
+  kDeliveredLateral,
+  kActivated,
+  kRoot,
+  kPlcCompromised,
+  kDeviceImpaired,
+  kFailedExploitDetected,
+  kHostIdsDetection,
+  kPlantAlarmDetection,
+};
+
+[[nodiscard]] const char* to_string(CampaignEventKind k) noexcept;
+
 struct CampaignEvent {
   double time = 0.0;
   net::NodeId node = 0;
-  std::string what;
+  CampaignEventKind kind = CampaignEventKind::kDelivered;
 };
 
 struct CampaignResult {
@@ -68,6 +100,8 @@ struct CampaignResult {
   std::vector<CampaignEvent> events;  // only when record_events
   std::size_t hosts_compromised = 0;  // final count (>= activated)
   std::size_t plcs_compromised = 0;
+  /// Scheduler events executed by this run (throughput accounting).
+  std::size_t events_executed = 0;
 
   /// The attack completed sabotage before being detected and within the
   /// horizon — the paper's "successful attack".
@@ -90,17 +124,27 @@ struct CampaignOptions {
   bool detection_halts_attack = true;
 };
 
+/// Precomputed flat per-node campaign state (defined in campaign.cpp).
+struct CampaignTables;
+
 class CampaignSimulator {
  public:
   CampaignSimulator(Scenario scenario, ThreatProfile profile,
                     const divers::VariantCatalog& catalog,
                     DetectionModel detection = {}, CampaignOptions options = {});
+  ~CampaignSimulator();
+  CampaignSimulator(CampaignSimulator&&) noexcept;
 
-  /// Run one stochastic campaign; deterministic in `rng`.
+  /// Run one stochastic campaign; deterministic in `rng`. Thread-safe for
+  /// concurrent calls on one simulator (all shared state is read-only).
   [[nodiscard]] CampaignResult run(stats::Rng& rng) const;
 
   [[nodiscard]] const Scenario& scenario() const noexcept { return scenario_; }
   [[nodiscard]] const ThreatProfile& profile() const noexcept { return profile_; }
+
+  /// The per-scenario reachability index built at construction; share it
+  /// with net::MeanFieldEpidemic instead of recomputing all pairs.
+  [[nodiscard]] const net::ReachabilityIndex& reachability() const noexcept;
 
  private:
   Scenario scenario_;
@@ -108,6 +152,7 @@ class CampaignSimulator {
   const divers::VariantCatalog& catalog_;
   DetectionModel detection_;
   CampaignOptions options_;
+  std::unique_ptr<const CampaignTables> tables_;
 };
 
 /// The SCoPE-like data-center cooling scenario used throughout the paper

@@ -72,10 +72,17 @@ IndicatorSample run_job(const CellContext& ctx, double horizon, stats::Rng rng) 
 
 }  // namespace
 
+/// unique_ptr slots sidestep CellContext's non-assignable members while
+/// still letting contexts be built by a parallel_for.
+struct MeasurementEngine::CellContextList {
+  std::vector<std::unique_ptr<CellContext>> slots;
+};
+
 MeasurementEngine::MeasurementEngine(const SystemDescription& description,
                                      const attack::ThreatProfile& profile,
                                      const MeasurementOptions& options)
     : description_(&description),
+      catalog_(&description.catalog()),
       profile_(&profile),
       options_(options),
       executor_(options.executor ? options.executor : &sim::Executor::shared()) {
@@ -83,34 +90,38 @@ MeasurementEngine::MeasurementEngine(const SystemDescription& description,
     throw std::invalid_argument("MeasurementEngine: need >= 1 replication");
 }
 
-std::vector<IndicatorSummary> MeasurementEngine::measure(
-    const MeasurementPlan& plan, const CellVisitor& visit) const {
-  const std::size_t cells = plan.cell_count();
+MeasurementEngine::MeasurementEngine(const divers::VariantCatalog& catalog,
+                                     const attack::ThreatProfile& profile,
+                                     const MeasurementOptions& options)
+    : description_(nullptr),
+      catalog_(&catalog),
+      profile_(&profile),
+      options_(options),
+      executor_(options.executor ? options.executor : &sim::Executor::shared()) {
+  if (options_.replications == 0)
+    throw std::invalid_argument("MeasurementEngine: need >= 1 replication");
+}
+
+std::vector<IndicatorSummary> MeasurementEngine::run_cells(
+    const CellContextList& contexts, std::span<const std::uint64_t> seeds,
+    const CellVisitor& visit) const {
+  const std::size_t cells = contexts.slots.size();
   const std::size_t reps = options_.replications;
   const double horizon = options_.campaign.t_max_hours;
 
-  // Phase 1 (parallel): instantiate each cell's read-only context.
-  // Contexts are independent, so building them is itself a parallel_for;
-  // unique_ptr slots sidestep CellContext's non-assignable members.
-  std::vector<std::unique_ptr<CellContext>> contexts(cells);
-  executor_->parallel_for(0, cells, [&](std::size_t c) {
-    contexts[c] = std::make_unique<CellContext>(make_context(
-        *description_, *profile_, options_, plan.cells[c].configuration));
-  });
-
-  // Phase 2 (parallel): the flattened (cell × replication) job list.
-  // Job j = cell (j / reps), replication (j % reps), RNG stream
-  // (cell.seed, rep) — deterministic for any thread count.
+  // The flattened (cell × replication) job list. Job j = cell (j / reps),
+  // replication (j % reps), RNG stream (cell.seed, rep) — deterministic
+  // for any thread count.
   std::vector<IndicatorSample> samples(cells * reps);
   executor_->parallel_for(0, cells * reps, [&](std::size_t j) {
     const std::size_t c = j / reps;
     const std::size_t rep = j % reps;
-    samples[j] = run_job(*contexts[c], horizon,
-                         stats::Rng(plan.cells[c].seed, rep));
+    samples[j] =
+        run_job(*contexts.slots[c], horizon, stats::Rng(seeds[c], rep));
   });
 
-  // Phase 3 (serial): fold per-cell summaries in replication order, so
-  // the Welford accumulators match a serial run bit for bit.
+  // Fold per-cell summaries serially in replication order, so the
+  // Welford accumulators match a serial run bit for bit.
   std::vector<IndicatorSummary> out(cells);
   for (std::size_t c = 0; c < cells; ++c) {
     IndicatorSummary& sum = out[c];
@@ -133,6 +144,51 @@ std::vector<IndicatorSummary> MeasurementEngine::measure(
   return out;
 }
 
+std::vector<IndicatorSummary> MeasurementEngine::measure(
+    const MeasurementPlan& plan, const CellVisitor& visit) const {
+  if (!description_)
+    throw std::logic_error(
+        "MeasurementEngine::measure: engine was built without a "
+        "SystemDescription (scenario-sweep-only)");
+  const std::size_t cells = plan.cell_count();
+
+  // Instantiate each cell's read-only context; contexts are independent,
+  // so building them is itself a parallel_for.
+  CellContextList contexts;
+  contexts.slots.resize(cells);
+  executor_->parallel_for(0, cells, [&](std::size_t c) {
+    contexts.slots[c] = std::make_unique<CellContext>(make_context(
+        *description_, *profile_, options_, plan.cells[c].configuration));
+  });
+
+  std::vector<std::uint64_t> seeds(cells);
+  for (std::size_t c = 0; c < cells; ++c) seeds[c] = plan.cells[c].seed;
+  return run_cells(contexts, seeds, visit);
+}
+
+std::vector<IndicatorSummary> MeasurementEngine::measure_scenarios(
+    const ScenarioSweepPlan& plan, const CellVisitor& visit) const {
+  if (options_.engine != Engine::kCampaign)
+    throw std::invalid_argument(
+        "measure_scenarios: requires the campaign engine");
+  const std::size_t cells = plan.cell_count();
+
+  // Campaign construction precomputes the per-scenario reachability index
+  // and exploit tables — worth a parallel_for of its own on big fleets.
+  CellContextList contexts;
+  contexts.slots.resize(cells);
+  executor_->parallel_for(0, cells, [&](std::size_t c) {
+    auto ctx = std::make_unique<CellContext>();
+    ctx->campaign.emplace(plan.cells[c].scenario, *profile_, *catalog_,
+                          options_.detection, options_.campaign);
+    contexts.slots[c] = std::move(ctx);
+  });
+
+  std::vector<std::uint64_t> seeds(cells);
+  for (std::size_t c = 0; c < cells; ++c) seeds[c] = plan.cells[c].seed;
+  return run_cells(contexts, seeds, visit);
+}
+
 IndicatorSummary MeasurementEngine::measure_one(const Configuration& config) const {
   MeasurementPlan plan;
   plan.cells.push_back({config, options_.seed});
@@ -141,6 +197,10 @@ IndicatorSummary MeasurementEngine::measure_one(const Configuration& config) con
 
 std::vector<double> MeasurementEngine::mean_ratio_curve(
     const Configuration& config, const std::vector<double>& time_grid_hours) const {
+  if (!description_)
+    throw std::logic_error(
+        "MeasurementEngine::mean_ratio_curve: engine was built without a "
+        "SystemDescription (scenario-sweep-only)");
   if (options_.engine != Engine::kCampaign)
     throw std::invalid_argument(
         "mean_ratio_curve: requires the campaign engine");

@@ -3,12 +3,19 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "net/reachability.h"
+#include "net/reachability_index.h"
 
 namespace divsec::net {
 
 MeanFieldEpidemic::MeanFieldEpidemic(const Topology& topology,
                                      const Firewall& firewall,
+                                     const std::vector<Channel>& channels,
+                                     const std::vector<NodeId>& seed_nodes,
+                                     EpidemicOptions options)
+    : MeanFieldEpidemic(ReachabilityIndex(topology, firewall), channels,
+                        seed_nodes, options) {}
+
+MeanFieldEpidemic::MeanFieldEpidemic(const ReachabilityIndex& index,
                                      const std::vector<Channel>& channels,
                                      const std::vector<NodeId>& seed_nodes,
                                      EpidemicOptions options)
@@ -20,38 +27,51 @@ MeanFieldEpidemic::MeanFieldEpidemic(const Topology& topology,
   if (seeds_.empty())
     throw std::invalid_argument("MeanFieldEpidemic: need at least one seed");
   for (NodeId s : seeds_)
-    if (s >= topology.node_count())
+    if (s >= index.node_count())
       throw std::out_of_range("MeanFieldEpidemic: seed out of range");
-  // Store incoming edges: out-edges j->i from reachability_graph.
-  const auto out_edges = reachability_graph(topology, firewall, channels);
-  in_edges_.resize(topology.node_count());
-  for (NodeId j = 0; j < out_edges.size(); ++j)
-    for (NodeId i : out_edges[j]) in_edges_[i].push_back(j);
+  build(index.union_graph(channels));
   reset();
 }
 
+void MeanFieldEpidemic::build(const std::vector<std::vector<NodeId>>& out_edges) {
+  // Invert out-edges j->i into CSR in-edge rows with a counting pass.
+  const std::size_t n = out_edges.size();
+  in_off_.assign(n + 1, 0);
+  for (const auto& outs : out_edges)
+    for (NodeId i : outs) ++in_off_[i + 1];
+  for (std::size_t i = 0; i < n; ++i) in_off_[i + 1] += in_off_[i];
+  in_edge_.resize(in_off_[n]);
+  std::vector<std::size_t> cursor(in_off_.begin(), in_off_.end() - 1);
+  for (NodeId j = 0; j < n; ++j)
+    for (NodeId i : out_edges[j]) in_edge_[cursor[i]++] = j;
+}
+
 void MeanFieldEpidemic::reset() {
-  infected_.assign(in_edges_.size(), 0.0);
+  infected_.assign(in_off_.size() - 1, 0.0);
+  next_.assign(infected_.size(), 0.0);
   for (NodeId s : seeds_) infected_[s] = 1.0;
   time_ = 0.0;
 }
 
 void MeanFieldEpidemic::advance(double hours) {
   if (hours < 0.0) throw std::invalid_argument("advance: negative duration");
-  double remaining = hours;
-  std::vector<double> next(infected_.size());
-  while (remaining > 0.0) {
-    const double h = std::min(remaining, opt_.dt_hours);
+  const double t_end = time_ + hours;
+  while (time_ < t_end) {
+    // Clamp the final step to the remaining interval: a horizon that is
+    // not a multiple of dt must not be overshot, and the clock must land
+    // on t_end exactly (no accumulated per-step rounding drift).
+    const double h = std::min(opt_.dt_hours, t_end - time_);
     for (NodeId i = 0; i < infected_.size(); ++i) {
       double pressure = 0.0;
-      for (NodeId j : in_edges_[i]) pressure += infected_[j];
+      for (std::size_t e = in_off_[i]; e < in_off_[i + 1]; ++e)
+        pressure += infected_[in_edge_[e]];
       const double di = (1.0 - infected_[i]) * opt_.beta * pressure;
-      next[i] = std::clamp(infected_[i] + h * di, 0.0, 1.0);
+      next_[i] = std::clamp(infected_[i] + h * di, 0.0, 1.0);
     }
-    infected_.swap(next);
+    infected_.swap(next_);
     time_ += h;
-    remaining -= h;
   }
+  time_ = t_end;
 }
 
 double MeanFieldEpidemic::infection_probability(NodeId i) const {

@@ -10,7 +10,11 @@
 //
 //   dI_i/dt = (1 - I_i) * beta * sum_{j -> i} I_j
 //
-// integrated with forward Euler (the node count is tiny).
+// integrated with forward Euler over a flat CSR adjacency, so the same
+// loop serves the paper's 11-node plant and a generated enterprise fleet.
+// The adjacency comes from a ReachabilityIndex — build it once per
+// scenario and share it with the campaign simulator instead of paying
+// the all-pairs reachability sweep again.
 #pragma once
 
 #include <vector>
@@ -19,6 +23,8 @@
 #include "net/topology.h"
 
 namespace divsec::net {
+
+class ReachabilityIndex;
 
 struct EpidemicOptions {
   /// Effective infections per (infected neighbor, hour).
@@ -30,12 +36,22 @@ class MeanFieldEpidemic {
  public:
   /// `channels` defines the directed reachability edges (see
   /// reachability_graph); `seed_nodes` start at infection probability 1.
+  /// Builds a throwaway ReachabilityIndex internally — prefer the index
+  /// overload when the caller already has one for the scenario.
   MeanFieldEpidemic(const Topology& topology, const Firewall& firewall,
                     const std::vector<Channel>& channels,
                     const std::vector<NodeId>& seed_nodes,
                     EpidemicOptions options = {});
 
-  /// Advance the ODE by `hours`.
+  /// Shares a precomputed per-scenario index with the campaign layer.
+  MeanFieldEpidemic(const ReachabilityIndex& index,
+                    const std::vector<Channel>& channels,
+                    const std::vector<NodeId>& seed_nodes,
+                    EpidemicOptions options = {});
+
+  /// Advance the ODE by `hours`. The final Euler step is clamped to the
+  /// remaining interval, so the model lands exactly on the requested
+  /// horizon even when `hours` is not a multiple of dt.
   void advance(double hours);
 
   /// P[node i infected] at the current time.
@@ -51,10 +67,15 @@ class MeanFieldEpidemic {
   [[nodiscard]] std::vector<double> ratio_curve(const std::vector<double>& grid_hours);
 
  private:
+  void build(const std::vector<std::vector<NodeId>>& out_edges);
   void reset();
-  std::vector<std::vector<NodeId>> in_edges_;  // j -> i stored per i
+  // In-edges j -> i in CSR form: the sources of node i occupy
+  // in_edge_[in_off_[i] .. in_off_[i + 1]).
+  std::vector<std::size_t> in_off_;
+  std::vector<NodeId> in_edge_;
   std::vector<NodeId> seeds_;
   std::vector<double> infected_;  // I_i in [0,1]
+  std::vector<double> next_;      // Euler scratch row
   EpidemicOptions opt_;
   double time_ = 0.0;
 };

@@ -5,6 +5,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "net/reachability_index.h"
+
 namespace divsec::net {
 
 bool can_reach(const Topology& topo, const Firewall& fw, NodeId a, NodeId b,
@@ -22,19 +24,7 @@ bool can_reach(const Topology& topo, const Firewall& fw, NodeId a, NodeId b,
 
 std::vector<std::vector<NodeId>> reachability_graph(
     const Topology& topo, const Firewall& fw, const std::vector<Channel>& channels) {
-  std::vector<std::vector<NodeId>> edges(topo.node_count());
-  for (NodeId a = 0; a < topo.node_count(); ++a) {
-    for (NodeId b = 0; b < topo.node_count(); ++b) {
-      if (a == b) continue;
-      for (Channel c : channels) {
-        if (can_reach(topo, fw, a, b, c)) {
-          edges[a].push_back(b);
-          break;
-        }
-      }
-    }
-  }
-  return edges;
+  return ReachabilityIndex(topo, fw).union_graph(channels);
 }
 
 std::optional<std::vector<NodeId>> shortest_attack_path(

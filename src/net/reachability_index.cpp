@@ -1,0 +1,90 @@
+#include "net/reachability_index.h"
+
+#include <bit>
+
+namespace divsec::net {
+
+namespace {
+
+inline void set_row_bit(std::uint64_t* row, NodeId b) noexcept {
+  row[b / 64] |= std::uint64_t{1} << (b % 64);
+}
+
+}  // namespace
+
+ReachabilityIndex::ReachabilityIndex(const Topology& topo, const Firewall& fw)
+    : n_(topo.node_count()), words_((topo.node_count() + 63) / 64) {
+  linked_bits_.assign(n_ * words_, 0);
+  for (const Link& l : topo.links()) {
+    set_row_bit(linked_bits_.data() + l.a * words_, l.b);
+    set_row_bit(linked_bits_.data() + l.b * words_, l.a);
+  }
+
+  // Policy is a pure (zone, zone, channel) relation: evaluate the rule
+  // list once per triple instead of once per node pair.
+  bool allow[kZoneCount][kZoneCount][kChannelCount];
+  for (std::size_t za = 0; za < kZoneCount; ++za)
+    for (std::size_t zb = 0; zb < kZoneCount; ++zb)
+      for (std::size_t ch = 0; ch < kChannelCount; ++ch)
+        allow[za][zb][ch] = fw.allows(static_cast<Zone>(za), static_cast<Zone>(zb),
+                                      static_cast<Channel>(ch));
+
+  // Per-channel destination masks: zone_ok[ch][za] marks every node b a
+  // source in zone za may address on channel ch; usb_mask marks every
+  // node with removable-media exposure.
+  std::array<std::array<std::vector<std::uint64_t>, kZoneCount>, kChannelCount>
+      zone_ok;
+  for (auto& per_zone : zone_ok)
+    for (auto& mask : per_zone) mask.assign(words_, 0);
+  std::vector<std::uint64_t> usb_mask(words_, 0);
+  for (NodeId b = 0; b < n_; ++b) {
+    const Node& node = topo.node(b);
+    if (node.usb_exposure) set_row_bit(usb_mask.data(), b);
+    for (std::size_t ch = 0; ch < kChannelCount; ++ch)
+      for (std::size_t za = 0; za < kZoneCount; ++za)
+        if (allow[za][static_cast<std::size_t>(node.zone)][ch])
+          set_row_bit(zone_ok[ch][za].data(), b);
+  }
+
+  for (std::size_t ch = 0; ch < kChannelCount; ++ch) {
+    auto& rows = reach_[ch];
+    rows.assign(n_ * words_, 0);
+    const bool is_usb = static_cast<Channel>(ch) == Channel::kUsb;
+    for (NodeId a = 0; a < n_; ++a) {
+      std::uint64_t* row = rows.data() + a * words_;
+      if (is_usb) {
+        // Removable media travel with operators, not over links.
+        if (!topo.node(a).usb_exposure) continue;
+        for (std::size_t w = 0; w < words_; ++w) row[w] = usb_mask[w];
+      } else {
+        const auto& ok = zone_ok[ch][static_cast<std::size_t>(topo.node(a).zone)];
+        const std::uint64_t* lnk = linked_bits_.data() + a * words_;
+        for (std::size_t w = 0; w < words_; ++w) row[w] = lnk[w] & ok[w];
+      }
+      row[a / 64] &= ~(std::uint64_t{1} << (a % 64));  // never self-reach
+    }
+  }
+}
+
+std::vector<std::vector<NodeId>> ReachabilityIndex::union_graph(
+    const std::vector<Channel>& channels) const {
+  std::vector<std::vector<NodeId>> out(n_);
+  std::vector<std::uint64_t> row(words_);
+  for (NodeId a = 0; a < n_; ++a) {
+    row.assign(words_, 0);
+    for (Channel c : channels) {
+      const std::uint64_t* r = reach_[static_cast<std::size_t>(c)].data() + a * words_;
+      for (std::size_t w = 0; w < words_; ++w) row[w] |= r[w];
+    }
+    for (std::size_t w = 0; w < words_; ++w) {
+      std::uint64_t bits = row[w];
+      while (bits) {
+        out[a].push_back(w * 64 + static_cast<std::size_t>(std::countr_zero(bits)));
+        bits &= bits - 1;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace divsec::net

@@ -1,0 +1,64 @@
+// reachability_index.h — precomputed O(1) attack-surface queries.
+//
+// reachability.h answers "can a reach b on channel c" by walking the
+// adjacency vector and the firewall rule list on every call. That is fine
+// for one 11-node plant and hopeless for the campaign simulator's inner
+// loop on a generated enterprise fleet, where every propagation event
+// probes a random (node, node, channel) triple. ReachabilityIndex
+// evaluates the whole (node x node x channel) relation once per scenario
+// — bit-matrix rows per channel, plus the raw link matrix — so campaign
+// and epidemic replications share one read-only index and every query is
+// a single word load.
+//
+// Build cost is O(zones^2 * channels) firewall evaluations plus
+// O(nodes^2 * channels / 64) word ops; ~1 MB for 1024 nodes. Instances
+// are deeply immutable after construction and safe to share across
+// executor threads.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "net/firewall.h"
+#include "net/topology.h"
+
+namespace divsec::net {
+
+class ReachabilityIndex {
+ public:
+  /// Evaluates every (from, to, channel) triple of `topo` under `fw`.
+  ReachabilityIndex(const Topology& topo, const Firewall& fw);
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return n_; }
+
+  /// Same relation as net::can_reach (link + policy; USB needs mutual
+  /// removable-media exposure, no link). Precondition: a, b < node_count().
+  [[nodiscard]] bool can_reach(NodeId a, NodeId b, Channel c) const noexcept {
+    return test(reach_[static_cast<std::size_t>(c)], a, b);
+  }
+
+  /// Same relation as Topology::linked. Precondition: a, b < node_count().
+  [[nodiscard]] bool linked(NodeId a, NodeId b) const noexcept {
+    return test(linked_bits_, a, b);
+  }
+
+  /// Directed union adjacency over `channels`: out[i] lists, ascending,
+  /// the nodes reachable from i over ANY of the given channels — the
+  /// reachability_graph contract, computed from the prebuilt rows.
+  [[nodiscard]] std::vector<std::vector<NodeId>> union_graph(
+      const std::vector<Channel>& channels) const;
+
+ private:
+  [[nodiscard]] bool test(const std::vector<std::uint64_t>& bits, NodeId a,
+                          NodeId b) const noexcept {
+    return (bits[a * words_ + b / 64] >> (b % 64)) & 1u;
+  }
+
+  std::size_t n_ = 0;
+  std::size_t words_ = 0;  // 64-bit words per row
+  std::vector<std::uint64_t> linked_bits_;  // n_ rows of words_ words
+  std::array<std::vector<std::uint64_t>, kChannelCount> reach_;
+};
+
+}  // namespace divsec::net

@@ -43,12 +43,18 @@ const char* to_string(Channel c) noexcept {
 
 NodeId Topology::add_node(std::string name, Zone zone, Role role, bool usb_exposure) {
   if (name.empty()) throw std::invalid_argument("add_node: empty name");
-  for (const auto& n : nodes_)
-    if (n.name == name)
-      throw std::invalid_argument("add_node: duplicate node name '" + name + "'");
+  const NodeId id = nodes_.size();
+  if (!name_index_.emplace(name, id).second)
+    throw std::invalid_argument("add_node: duplicate node name '" + name + "'");
   nodes_.push_back(Node{std::move(name), zone, role, usb_exposure});
   adjacency_.emplace_back();
-  return nodes_.size() - 1;
+  return id;
+}
+
+void Topology::reserve(std::size_t nodes) {
+  nodes_.reserve(nodes);
+  adjacency_.reserve(nodes);
+  name_index_.reserve(nodes);
 }
 
 void Topology::connect(NodeId a, NodeId b) {
@@ -69,9 +75,10 @@ bool Topology::linked(NodeId a, NodeId b) const {
 }
 
 NodeId Topology::node_by_name(const std::string& name) const {
-  for (NodeId i = 0; i < nodes_.size(); ++i)
-    if (nodes_[i].name == name) return i;
-  throw std::out_of_range("node_by_name: no node named '" + name + "'");
+  const auto it = name_index_.find(name);
+  if (it == name_index_.end())
+    throw std::out_of_range("node_by_name: no node named '" + name + "'");
+  return it->second;
 }
 
 std::vector<NodeId> Topology::nodes_with_role(Role r) const {

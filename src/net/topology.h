@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace divsec::net {
@@ -19,6 +20,10 @@ using NodeId = std::size_t;
 
 /// Security zone (Purdue-ish level).
 enum class Zone : std::uint8_t { kCorporate, kDmz, kControl, kField };
+
+inline constexpr std::size_t kZoneCount = 4;
+static_assert(static_cast<std::size_t>(Zone::kField) + 1 == kZoneCount,
+              "update kZoneCount when adding Zone enumerators");
 
 [[nodiscard]] const char* to_string(Zone z) noexcept;
 
@@ -47,6 +52,10 @@ enum class Channel : std::uint8_t {
   kHttp,          // generic IT traffic / C2
 };
 
+inline constexpr std::size_t kChannelCount = 6;
+static_assert(static_cast<std::size_t>(Channel::kHttp) + 1 == kChannelCount,
+              "update kChannelCount when adding Channel enumerators");
+
 [[nodiscard]] const char* to_string(Channel c) noexcept;
 
 struct Node {
@@ -66,6 +75,9 @@ struct Link {
 class Topology {
  public:
   NodeId add_node(std::string name, Zone zone, Role role, bool usb_exposure = false);
+
+  /// Pre-size internal storage for `nodes` nodes (fleet generation).
+  void reserve(std::size_t nodes);
 
   /// Undirected link; both endpoints must exist; self-links are rejected.
   void connect(NodeId a, NodeId b);
@@ -94,6 +106,7 @@ class Topology {
   std::vector<Node> nodes_;
   std::vector<Link> links_;
   std::vector<std::vector<NodeId>> adjacency_;
+  std::unordered_map<std::string, NodeId> name_index_;  // O(1) name lookup
 };
 
 }  // namespace divsec::net

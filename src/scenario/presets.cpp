@@ -1,0 +1,135 @@
+#include "scenario/presets.h"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace divsec::scenario {
+
+using net::Role;
+using net::Zone;
+
+namespace {
+
+constexpr const char* kEnterprisePrefix = "enterprise";
+
+/// Parse "enterprise{N}"; returns 0 when `name` is not of that form.
+std::size_t parse_enterprise(const std::string& name) {
+  const std::string_view prefix(kEnterprisePrefix);
+  if (name.size() <= prefix.size() || name.compare(0, prefix.size(), prefix) != 0)
+    return 0;
+  std::size_t n = 0;
+  const char* first = name.data() + prefix.size();
+  const char* last = name.data() + name.size();
+  const auto [ptr, ec] = std::from_chars(first, last, n);
+  if (ec != std::errc{} || ptr != last) return 0;
+  return n;
+}
+
+net::Topology two_machine_topology() {
+  // The paper's minimal rig: an engineering workstation (USB-exposed,
+  // where the worm lands) programming one PLC.
+  net::Topology t;
+  const auto eng = t.add_node("rig.eng", Zone::kControl, Role::kEngineering, true);
+  const auto plc = t.add_node("rig.plc", Zone::kField, Role::kPlc, false);
+  t.connect(eng, plc);
+  return t;
+}
+
+FleetSpec plant_small_spec() {
+  FleetSpec spec;
+  spec.corporate_workstations = 4;
+  spec.corporate_servers = 1;
+  spec.dmz_historians = 1;
+  spec.control_sites = 1;
+  spec.hmis_per_site = 1;
+  spec.historians_per_site = 1;
+  spec.plc_cells_per_site = 2;
+  spec.plcs_per_cell = 2;
+  spec.sensor_gateways_per_site = 1;
+  return spec;  // 15 nodes
+}
+
+FleetSpec plant_medium_spec() {
+  FleetSpec spec;
+  spec.corporate_workstations = 12;
+  spec.corporate_servers = 2;
+  spec.dmz_historians = 2;
+  spec.control_sites = 2;
+  spec.hmis_per_site = 2;
+  spec.historians_per_site = 1;
+  spec.plc_cells_per_site = 3;
+  spec.plcs_per_cell = 4;
+  spec.sensor_gateways_per_site = 2;
+  return spec;  // 54 nodes
+}
+
+}  // namespace
+
+FleetSpec enterprise_spec(std::size_t total_nodes) {
+  if (total_nodes < kMinEnterpriseNodes)
+    throw std::invalid_argument("enterprise preset needs >= " +
+                                std::to_string(kMinEnterpriseNodes) + " nodes");
+  FleetSpec spec;
+  spec.control_sites = std::max<std::size_t>(1, total_nodes / 32);
+  spec.hmis_per_site = 2;
+  spec.historians_per_site = 1;
+  spec.plc_cells_per_site = 2;
+  spec.plcs_per_cell = 4;
+  spec.sensor_gateways_per_site = 1;
+  spec.corporate_servers = std::max<std::size_t>(1, total_nodes / 64);
+  spec.dmz_historians = std::max<std::size_t>(1, spec.control_sites / 4);
+  const std::size_t fixed = spec.control_sites * spec.nodes_per_site() +
+                            spec.corporate_servers + spec.dmz_historians;
+  if (fixed + 1 > total_nodes)
+    throw std::invalid_argument("enterprise preset: node budget too small");
+  spec.corporate_workstations = total_nodes - fixed;
+  return spec;
+}
+
+std::vector<std::string> preset_names() {
+  return {"paper_two_machines", "scope_cooling", "plant_small", "plant_medium",
+          "enterprise{N}"};
+}
+
+bool has_preset(const std::string& name) {
+  if (name == "paper_two_machines" || name == "scope_cooling" ||
+      name == "plant_small" || name == "plant_medium")
+    return true;
+  return parse_enterprise(name) >= kMinEnterpriseNodes;
+}
+
+GeneratedScenario make_preset(const std::string& name,
+                              const divers::VariantCatalog& catalog,
+                              std::uint64_t seed, VariantPolicy policy) {
+  if (name == "paper_two_machines") {
+    return ScenarioBuilder(two_machine_topology(), catalog)
+        .variant_policy(policy)
+        .build(name, seed);
+  }
+  if (name == "scope_cooling") {
+    if (policy == VariantPolicy::kMonoculture) {
+      // The curated case-study description: hand-picked component
+      // grouping over the hand-built plant, all-baseline variants.
+      const core::SystemDescription desc = core::make_scope_description(catalog);
+      return GeneratedScenario{name, desc.baseline(), desc.components()};
+    }
+    return ScenarioBuilder(attack::make_scope_cooling_scenario().topology, catalog)
+        .variant_policy(policy)
+        .build(name, seed);
+  }
+  FleetSpec spec;
+  if (name == "plant_small") {
+    spec = plant_small_spec();
+  } else if (name == "plant_medium") {
+    spec = plant_medium_spec();
+  } else if (const std::size_t n = parse_enterprise(name); n > 0) {
+    spec = enterprise_spec(n);
+  } else {
+    throw std::out_of_range("make_preset: unknown preset '" + name + "'");
+  }
+  return ScenarioBuilder(TopologyGenerator(spec).generate(seed), catalog)
+      .variant_policy(policy)
+      .build(name, seed);
+}
+
+}  // namespace divsec::scenario

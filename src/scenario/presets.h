@@ -1,0 +1,56 @@
+// presets.h — the named scenario registry.
+//
+// One call turns a preset name into a runnable GeneratedScenario:
+//
+//   auto fleet = scenario::make_preset("enterprise1024", catalog, seed);
+//
+// Fixed presets:
+//   * paper_two_machines — the paper's minimal case study: one
+//     engineering workstation driving one PLC;
+//   * scope_cooling      — the 11-node SCoPE data-center cooling plant
+//     used throughout the reproduction (topology + the curated
+//     seven-component DoE grouping of make_scope_description);
+//   * plant_small        — a 15-node single-site plant;
+//   * plant_medium       — a 54-node two-site plant.
+//
+// Parameterized family:
+//   * enterprise{N}      — an N-node fleet (N >= 24), e.g. enterprise64,
+//     enterprise256, enterprise1024: multi-site control zones with field
+//     cells, a DMZ historian tier and a corporate zone that absorbs the
+//     remaining headcount. node_count() == N exactly.
+//
+// Every preset is deterministic in (name, catalog, seed, policy).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario_builder.h"
+#include "scenario/topology_generator.h"
+
+namespace divsec::scenario {
+
+/// Fixed preset names plus the "enterprise{N}" template (listed
+/// literally; any N >= kMinEnterpriseNodes substitutes).
+[[nodiscard]] std::vector<std::string> preset_names();
+
+inline constexpr std::size_t kMinEnterpriseNodes = 24;
+
+/// True for fixed preset names and well-formed enterprise{N} instances.
+[[nodiscard]] bool has_preset(const std::string& name);
+
+/// The FleetSpec behind enterprise{N}: sites scale as N/32, servers as
+/// N/64, DMZ historians as sites/4; corporate workstations absorb the
+/// remainder so the total is exactly N.
+[[nodiscard]] FleetSpec enterprise_spec(std::size_t total_nodes);
+
+/// Build a preset. Throws std::out_of_range for unknown names, and
+/// std::invalid_argument for a well-formed enterprise{N} whose N is
+/// below kMinEnterpriseNodes (a recognizable-but-unsatisfiable request
+/// gets the more informative error).
+[[nodiscard]] GeneratedScenario make_preset(
+    const std::string& name, const divers::VariantCatalog& catalog,
+    std::uint64_t seed, VariantPolicy policy = VariantPolicy::kMonoculture);
+
+}  // namespace divsec::scenario

@@ -1,0 +1,118 @@
+#include "scenario/topology_generator.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "stats/rng.h"
+
+namespace divsec::scenario {
+
+using net::NodeId;
+using net::Role;
+using net::Zone;
+
+void FleetSpec::validate() const {
+  if (corporate_workstations == 0)
+    throw std::invalid_argument("FleetSpec: need >= 1 corporate workstation");
+  if (corporate_servers == 0)
+    throw std::invalid_argument("FleetSpec: need >= 1 corporate server");
+  if (dmz_historians == 0)
+    throw std::invalid_argument("FleetSpec: need >= 1 DMZ historian");
+  if (control_sites == 0)
+    throw std::invalid_argument("FleetSpec: need >= 1 control site");
+  if (plc_cells_per_site == 0 || plcs_per_cell == 0)
+    throw std::invalid_argument("FleetSpec: need >= 1 PLC per site");
+  if (!(workstation_usb_fraction >= 0.0 && workstation_usb_fraction <= 1.0))
+    throw std::invalid_argument("FleetSpec: usb fraction must be in [0,1]");
+}
+
+TopologyGenerator::TopologyGenerator(FleetSpec spec) : spec_(spec) {
+  spec_.validate();
+}
+
+net::Topology TopologyGenerator::generate(std::uint64_t seed) const {
+  // Independent substreams so adding a knob to one wiring stage never
+  // shifts the draws of another.
+  stats::Rng root(seed);
+  stats::Rng usb_rng = root.stream(1);
+  stats::Rng wire_rng = root.stream(2);
+
+  net::Topology t;
+  t.reserve(spec_.node_count());
+
+  // --- Corporate zone -----------------------------------------------------
+  std::vector<NodeId> servers;
+  servers.reserve(spec_.corporate_servers);
+  for (std::size_t i = 0; i < spec_.corporate_servers; ++i)
+    servers.push_back(
+        t.add_node("corp.srv" + std::to_string(i), Zone::kCorporate, Role::kServer));
+  for (std::size_t i = 1; i < servers.size(); ++i)  // backbone chain
+    t.connect(servers[i - 1], servers[i]);
+
+  std::vector<NodeId> workstations;
+  workstations.reserve(spec_.corporate_workstations);
+  for (std::size_t i = 0; i < spec_.corporate_workstations; ++i) {
+    // At least one workstation always carries removable media so the
+    // paper's delivery channel exists on every generated fleet.
+    const bool usb = i == 0 || usb_rng.bernoulli(spec_.workstation_usb_fraction);
+    const NodeId ws = t.add_node("corp.ws" + std::to_string(i), Zone::kCorporate,
+                                 Role::kWorkstation, usb);
+    workstations.push_back(ws);
+    t.connect(ws, servers[wire_rng.below(servers.size())]);
+    // Occasional peer-to-peer office link (file shares move laterally).
+    if (i > 0 && wire_rng.bernoulli(0.25))
+      t.connect(ws, workstations[wire_rng.below(i)]);
+  }
+
+  // --- DMZ ------------------------------------------------------------------
+  std::vector<NodeId> dmz;
+  dmz.reserve(spec_.dmz_historians);
+  for (std::size_t i = 0; i < spec_.dmz_historians; ++i) {
+    const NodeId h =
+        t.add_node("dmz.hist" + std::to_string(i), Zone::kDmz, Role::kHistorian);
+    dmz.push_back(h);
+    t.connect(h, servers[wire_rng.below(servers.size())]);
+  }
+
+  // --- Control sites + field cells -------------------------------------------
+  for (std::size_t s = 0; s < spec_.control_sites; ++s) {
+    const std::string p = "site" + std::to_string(s) + ".";
+    const NodeId scada = t.add_node(p + "scada", Zone::kControl, Role::kScadaServer);
+    const NodeId eng =
+        t.add_node(p + "eng", Zone::kControl, Role::kEngineering, /*usb=*/true);
+    t.connect(scada, eng);
+
+    for (std::size_t k = 0; k < spec_.hmis_per_site; ++k) {
+      const NodeId hmi =
+          t.add_node(p + "hmi" + std::to_string(k), Zone::kControl, Role::kHmi);
+      t.connect(scada, hmi);
+      if (k == 0) t.connect(eng, hmi);
+    }
+    for (std::size_t k = 0; k < spec_.historians_per_site; ++k) {
+      const NodeId hist = t.add_node(p + "hist" + std::to_string(k), Zone::kControl,
+                                     Role::kHistorian);
+      t.connect(scada, hist);
+      // Historian replication to a seeded DMZ mirror: the only
+      // corporate-facing path out of the control zone.
+      t.connect(hist, dmz[wire_rng.below(dmz.size())]);
+    }
+    for (std::size_t c = 0; c < spec_.plc_cells_per_site; ++c) {
+      for (std::size_t k = 0; k < spec_.plcs_per_cell; ++k) {
+        const NodeId plc = t.add_node(
+            p + "cell" + std::to_string(c) + ".plc" + std::to_string(k),
+            Zone::kField, Role::kPlc);
+        t.connect(scada, plc);  // polling
+        t.connect(eng, plc);    // engineering downloads
+      }
+    }
+    for (std::size_t k = 0; k < spec_.sensor_gateways_per_site; ++k) {
+      const NodeId gw = t.add_node(p + "gw" + std::to_string(k), Zone::kField,
+                                   Role::kSensorGateway);
+      t.connect(scada, gw);
+    }
+  }
+
+  return t;
+}
+
+}  // namespace divsec::scenario

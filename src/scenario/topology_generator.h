@@ -1,0 +1,64 @@
+// topology_generator.h — parameterized enterprise-fleet topologies.
+//
+// The paper evaluates one hand-built 11-node cooling plant. Scaling the
+// reproduction to "as many scenarios as you can imagine" means topologies
+// must be generated, not hand-assembled: TopologyGenerator expands a
+// FleetSpec — zoned subnets in the classic Purdue shape (corporate IT,
+// DMZ historians, per-site control rooms, field cells of PLCs) — into a
+// concrete net::Topology, deterministically in a seed. Same spec + same
+// seed, same fleet, bit for bit; that determinism is what lets campaign
+// sweeps over generated fleets honour the measurement engine's
+// reproducibility contract.
+#pragma once
+
+#include <cstdint>
+
+#include "net/topology.h"
+
+namespace divsec::scenario {
+
+/// Sizing and shape of a generated fleet. One "site" is a control room
+/// (SCADA server + engineering workstation + operator HMIs + historian)
+/// plus its field cells; sites share the corporate/DMZ backbone.
+struct FleetSpec {
+  std::size_t corporate_workstations = 4;
+  std::size_t corporate_servers = 1;
+  std::size_t dmz_historians = 1;
+  std::size_t control_sites = 1;
+  std::size_t hmis_per_site = 1;
+  std::size_t historians_per_site = 1;
+  std::size_t plc_cells_per_site = 2;
+  std::size_t plcs_per_cell = 2;
+  std::size_t sensor_gateways_per_site = 1;
+  /// Fraction of corporate workstations whose operators plug removable
+  /// media in (seeded per-node draw). Engineering stations always do —
+  /// that is the air-gap-crossing path Stuxnet used.
+  double workstation_usb_fraction = 0.5;
+
+  [[nodiscard]] std::size_t nodes_per_site() const noexcept {
+    return 2 /* scada + engineering */ + hmis_per_site + historians_per_site +
+           plc_cells_per_site * plcs_per_cell + sensor_gateways_per_site;
+  }
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return corporate_workstations + corporate_servers + dmz_historians +
+           control_sites * nodes_per_site();
+  }
+
+  void validate() const;
+};
+
+class TopologyGenerator {
+ public:
+  explicit TopologyGenerator(FleetSpec spec);
+
+  [[nodiscard]] const FleetSpec& spec() const noexcept { return spec_; }
+
+  /// Generate the fleet. Deterministic in `seed`: node order, names,
+  /// zones, roles, USB flags and links are all reproducible.
+  [[nodiscard]] net::Topology generate(std::uint64_t seed) const;
+
+ private:
+  FleetSpec spec_;
+};
+
+}  // namespace divsec::scenario

@@ -126,6 +126,27 @@ TEST_F(CampaignFixture, EventsRecordedOnlyWhenRequested) {
   EXPECT_FALSE(events.empty());
   for (std::size_t i = 1; i < events.size(); ++i)
     EXPECT_GE(events[i].time, events[i - 1].time);
+  // A node's first recorded event is a delivery (the only way in).
+  EXPECT_TRUE(events.front().kind == CampaignEventKind::kDelivered ||
+              events.front().kind == CampaignEventKind::kDeliveredLateral);
+}
+
+TEST(CampaignEvents, KindLabelsAreStable) {
+  // The enum replaced the old per-event std::string labels; keep the
+  // printable names identical to what traces used to show.
+  EXPECT_STREQ(to_string(CampaignEventKind::kDelivered), "delivered");
+  EXPECT_STREQ(to_string(CampaignEventKind::kDeliveredLateral),
+               "delivered-lateral");
+  EXPECT_STREQ(to_string(CampaignEventKind::kActivated), "activated");
+  EXPECT_STREQ(to_string(CampaignEventKind::kRoot), "root");
+  EXPECT_STREQ(to_string(CampaignEventKind::kPlcCompromised), "plc-compromised");
+  EXPECT_STREQ(to_string(CampaignEventKind::kDeviceImpaired), "device-impaired");
+  EXPECT_STREQ(to_string(CampaignEventKind::kFailedExploitDetected),
+               "failed-exploit-detected");
+  EXPECT_STREQ(to_string(CampaignEventKind::kHostIdsDetection),
+               "host-ids-detection");
+  EXPECT_STREQ(to_string(CampaignEventKind::kPlantAlarmDetection),
+               "plant-alarm-detection");
 }
 
 TEST_F(CampaignFixture, DuquNeverImpairsDevices) {

@@ -3,6 +3,7 @@
 
 #include "attack/campaign.h"
 #include "net/epidemic.h"
+#include "net/reachability_index.h"
 
 namespace divsec::net {
 namespace {
@@ -84,6 +85,50 @@ TEST(MeanFieldEpidemic, Validation) {
                std::invalid_argument);
   MeanFieldEpidemic epi(t, Firewall::permissive(), {Channel::kSmbShare}, {0});
   EXPECT_THROW(epi.advance(-1.0), std::invalid_argument);
+}
+
+TEST(MeanFieldEpidemic, FinalEulerStepIsClampedToTheHorizon) {
+  // advance() with a horizon that is not a multiple of dt must land on
+  // the horizon exactly — no overshoot, no per-step rounding drift.
+  const Topology t = chain(3);
+  MeanFieldEpidemic epi(t, Firewall::permissive(), {Channel::kSmbShare}, {0},
+                        {0.2, 0.1});
+  // advance() must land on time + hours exactly, however ragged the
+  // steps; expected values fold the same way the clock does.
+  double expected = 0.0;
+  for (const double step : {0.35, 0.07, 0.013, 1.9, 0.0001}) {
+    epi.advance(step);
+    expected += step;
+    EXPECT_EQ(epi.now_hours(), expected) << "step " << step;
+  }
+  epi.advance(0.0);
+  EXPECT_EQ(epi.now_hours(), expected);
+
+  // A clamped partial step infects strictly less than a full dt step.
+  MeanFieldEpidemic full(t, Firewall::permissive(), {Channel::kSmbShare}, {0},
+                         {0.2, 0.1});
+  MeanFieldEpidemic partial(t, Firewall::permissive(), {Channel::kSmbShare}, {0},
+                            {0.2, 0.1});
+  full.advance(0.1);
+  partial.advance(0.05);
+  EXPECT_LT(partial.infection_probability(1), full.infection_probability(1));
+  EXPECT_GT(partial.infection_probability(1), 0.0);
+}
+
+TEST(MeanFieldEpidemic, SharedReachabilityIndexMatchesTopologyConstructor) {
+  // The index overload (one reachability sweep shared with the campaign
+  // layer) must integrate the exact same ODE.
+  const attack::Scenario sc = attack::make_scope_cooling_scenario();
+  const std::vector<Channel> channels{Channel::kUsb, Channel::kSmbShare,
+                                      Channel::kPrintSpooler};
+  const ReachabilityIndex index(sc.topology, sc.firewall);
+  MeanFieldEpidemic via_topology(sc.topology, sc.firewall, channels,
+                                 sc.entry_nodes, {0.02, 0.5});
+  MeanFieldEpidemic via_index(index, channels, sc.entry_nodes, {0.02, 0.5});
+  const std::vector<double> grid{0.0, 100.0, 500.0, 1234.5, 2160.0};
+  EXPECT_EQ(via_topology.ratio_curve(grid), via_index.ratio_curve(grid));
+  EXPECT_THROW(MeanFieldEpidemic(index, channels, {}, {0.02, 0.5}),
+               std::invalid_argument);
 }
 
 TEST(MeanFieldEpidemic, TracksCampaignShapeOnScope) {

@@ -1,0 +1,94 @@
+// Tests for net/reachability_index.h — the precomputed reachability
+// index must agree with the per-call reference relation (net::can_reach,
+// Topology::linked) on every (node, node, channel) triple, hand-built or
+// generated.
+#include <gtest/gtest.h>
+
+#include "attack/campaign.h"
+#include "net/reachability.h"
+#include "net/reachability_index.h"
+#include "scenario/presets.h"
+
+namespace divsec::net {
+namespace {
+
+void expect_index_matches_reference(const Topology& topo, const Firewall& fw) {
+  const ReachabilityIndex index(topo, fw);
+  ASSERT_EQ(index.node_count(), topo.node_count());
+  for (NodeId a = 0; a < topo.node_count(); ++a) {
+    for (NodeId b = 0; b < topo.node_count(); ++b) {
+      EXPECT_EQ(index.linked(a, b), a != b && topo.linked(a, b))
+          << "linked(" << a << "," << b << ")";
+      for (std::size_t ch = 0; ch < kChannelCount; ++ch) {
+        const Channel channel = static_cast<Channel>(ch);
+        EXPECT_EQ(index.can_reach(a, b, channel),
+                  can_reach(topo, fw, a, b, channel))
+            << "can_reach(" << a << "," << b << "," << to_string(channel) << ")";
+      }
+    }
+  }
+}
+
+TEST(ReachabilityIndex, MatchesReferenceOnScopePlant) {
+  const attack::Scenario sc = attack::make_scope_cooling_scenario();
+  expect_index_matches_reference(sc.topology, sc.firewall);
+}
+
+TEST(ReachabilityIndex, MatchesReferenceOnPermissivePolicy) {
+  const attack::Scenario sc = attack::make_scope_cooling_scenario();
+  expect_index_matches_reference(sc.topology, Firewall::permissive());
+}
+
+TEST(ReachabilityIndex, MatchesReferenceOnGeneratedFleet) {
+  const divers::VariantCatalog cat = divers::VariantCatalog::standard(2013);
+  const auto fleet = scenario::make_preset("plant_medium", cat, 7);
+  expect_index_matches_reference(fleet.scenario.topology, fleet.scenario.firewall);
+}
+
+TEST(ReachabilityIndex, UnionGraphMatchesPerChannelUnion) {
+  const attack::Scenario sc = attack::make_scope_cooling_scenario();
+  const std::vector<Channel> channels{Channel::kUsb, Channel::kSmbShare,
+                                      Channel::kHttp};
+  const ReachabilityIndex index(sc.topology, sc.firewall);
+  const auto graph = index.union_graph(channels);
+  ASSERT_EQ(graph.size(), sc.topology.node_count());
+  for (NodeId a = 0; a < sc.topology.node_count(); ++a) {
+    std::vector<NodeId> expected;
+    for (NodeId b = 0; b < sc.topology.node_count(); ++b)
+      for (Channel c : channels)
+        if (can_reach(sc.topology, sc.firewall, a, b, c)) {
+          expected.push_back(b);
+          break;
+        }
+    EXPECT_EQ(graph[a], expected) << "node " << a;
+    // Ascending, as documented.
+    EXPECT_TRUE(std::is_sorted(graph[a].begin(), graph[a].end()));
+  }
+}
+
+TEST(ReachabilityIndex, ReachabilityGraphDelegatesToTheSameRelation) {
+  // reachability_graph is now a thin wrapper; keep its public contract.
+  const attack::Scenario sc = attack::make_scope_cooling_scenario();
+  const std::vector<Channel> channels{Channel::kUsb, Channel::kSmbShare};
+  const auto via_function = reachability_graph(sc.topology, sc.firewall, channels);
+  const auto via_index =
+      ReachabilityIndex(sc.topology, sc.firewall).union_graph(channels);
+  EXPECT_EQ(via_function, via_index);
+}
+
+TEST(ReachabilityIndex, CampaignSimulatorExposesItsIndex) {
+  const divers::VariantCatalog cat = divers::VariantCatalog::standard(2013);
+  const attack::Scenario sc = attack::make_scope_cooling_scenario();
+  const attack::CampaignSimulator sim(sc, attack::ThreatProfile::stuxnet(), cat);
+  const ReachabilityIndex& index = sim.reachability();
+  EXPECT_EQ(index.node_count(), sc.topology.node_count());
+  // USB between the two exposed workstations, no modbus corp -> field.
+  const NodeId ws1 = sc.topology.node_by_name("corp.ws1");
+  const NodeId ws2 = sc.topology.node_by_name("corp.ws2");
+  const NodeId plc = sc.topology.node_by_name("fld.plc-chiller");
+  EXPECT_TRUE(index.can_reach(ws1, ws2, Channel::kUsb));
+  EXPECT_FALSE(index.can_reach(ws1, plc, Channel::kModbus));
+}
+
+}  // namespace
+}  // namespace divsec::net
