@@ -9,6 +9,7 @@
 #include "attack/attack_tree.h"
 #include "attack/bayes.h"
 #include "bench/bench_util.h"
+#include "core/measurement.h"
 #include "core/pipeline.h"
 #include "san/analysis.h"
 #include "sim/executor.h"
@@ -188,6 +189,83 @@ void print_parallel_speedup() {
         static_cast<int>(threaded.thread_count()), speedup}});
 }
 
+/// Streaming vs buffered aggregation on the staged-SAN engine: the same
+/// 4-cell × many-replication measurement once with keep_samples=false
+/// (streaming backend, O(cells + threads × block) state) and once with
+/// the retain-everything sample matrix. Summaries must match exactly —
+/// both paths fold through the same blocked reduction — and the returned
+/// verdict gates the process exit code.
+bool print_streaming_vs_buffered() {
+  const core::SystemDescription desc = core::make_scope_description(catalog());
+  constexpr std::size_t kReps = 50000;
+
+  core::MeasurementOptions mo = options().measurement;
+  mo.replications = kReps;
+  mo.keep_samples = false;
+
+  core::MeasurementPlan plan;
+  for (std::size_t c = 0; c < 4; ++c) {
+    core::Configuration config = desc.baseline_configuration();
+    config.variant[1] = c % 2;       // control OS
+    config.variant[2] = (c / 2) % 2; // PLC firmware
+    plan.cells.push_back({std::move(config), mo.seed + 7919 * c});
+  }
+
+  const attack::ThreatProfile profile = attack::ThreatProfile::stuxnet();
+  bench::section("E2 extra: streaming vs buffered aggregation (staged SAN)");
+  std::printf("cells=%zu replications=%zu\n", plan.cell_count(), kReps);
+
+  const double rss_base = bench::peak_rss_mb();
+  const core::MeasurementEngine streaming_engine(desc, profile, mo);
+  auto t0 = std::chrono::steady_clock::now();
+  const auto streamed = streaming_engine.measure(plan);
+  const double stream_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const double rss_stream = bench::peak_rss_mb();
+
+  mo.keep_samples = true;
+  const core::MeasurementEngine buffered_engine(desc, profile, mo);
+  t0 = std::chrono::steady_clock::now();
+  const auto buffered = buffered_engine.measure(plan);
+  const double buffered_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const double rss_buffered = bench::peak_rss_mb();
+
+  bool identical = true;
+  for (std::size_t c = 0; c < plan.cell_count(); ++c)
+    identical = identical &&
+                streamed[c].tta.mean() == buffered[c].tta.mean() &&
+                streamed[c].successes == buffered[c].successes &&
+                streamed[c].tta_event.restricted_mean ==
+                    buffered[c].tta_event.restricted_mean;
+
+  const double buffered_mb = static_cast<double>(plan.cell_count()) *
+                             static_cast<double>(kReps) *
+                             static_cast<double>(sizeof(core::IndicatorSample)) /
+                             (1024.0 * 1024.0);
+  bench::row({"path", "wall ms", "sample matrix MiB", "peak-RSS delta MiB"}, 20);
+  bench::row({"streaming", bench::fmt(stream_ms, 1), "0.000",
+              bench::fmt(rss_stream - rss_base, 1)},
+             20);
+  bench::row({"buffered", bench::fmt(buffered_ms, 1), bench::fmt(buffered_mb, 3),
+              bench::fmt(rss_buffered - rss_stream, 1)},
+             20);
+  std::printf("summaries identical: %s\n", identical ? "yes" : "NO (BUG)");
+
+  const int threads =
+      static_cast<int>(streaming_engine.executor().thread_count());
+  bench::write_bench_json(
+      "BENCH_e2_streaming.json",
+      {{"e2.streaming_4x" + std::to_string(kReps), stream_ms, threads, 1.0,
+        rss_stream - rss_base},
+       {"e2.buffered_4x" + std::to_string(kReps), buffered_ms, threads,
+        stream_ms > 0.0 ? buffered_ms / stream_ms : 0.0,
+        rss_buffered - rss_stream}});
+  return identical;
+}
+
 void BM_Step1_AttackModeling(benchmark::State& state) {
   const core::SystemDescription desc = core::make_scope_description(catalog());
   const core::Pipeline pipeline(desc, attack::ThreatProfile::stuxnet(), options());
@@ -227,8 +305,9 @@ int main(int argc, char** argv) {
   print_pipeline_run();
   print_formalism_agreement();
   print_parallel_speedup();
+  const bool streaming_ok = print_streaming_vs_buffered();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return 0;
+  return streaming_ok ? 0 : 1;
 }

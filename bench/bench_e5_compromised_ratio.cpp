@@ -15,18 +15,21 @@
 // Release smoke pass).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstring>
 
 #include "bench/bench_util.h"
 #include "bench/legacy_campaign.h"
+#include "core/indicator_accumulator.h"
 #include "core/indicators.h"
 #include "core/measurement.h"
 #include "core/optimizer.h"
 #include "net/epidemic.h"
 #include "scenario/presets.h"
 #include "sim/executor.h"
+#include "sim/streaming.h"
 
 namespace {
 
@@ -169,6 +172,155 @@ bool fleet_speedup_phase() {
   return equivalent && speedup >= 5.0;
 }
 
+/// Streaming vs buffered aggregation at fleet scale: the identical
+/// enterprise256 sweep once through the streaming backend
+/// (keep_samples=false → O(cells + threads × block) aggregation state)
+/// and once through the retain-everything path (the full cells × reps
+/// sample matrix). Both fold through the same blocked reduction, so the
+/// summaries must be bit-identical; the phase gates on that, on the
+/// aggregation-footprint reduction (>= 10x), and on streaming wall time
+/// no worse than buffered (15% noise allowance). The streaming pass runs
+/// first so the peak-RSS high-water deltas attribute the sample matrix
+/// to the buffered pass.
+bool streaming_aggregation_phase(std::size_t reps) {
+  constexpr std::uint64_t kSeed = 2013;
+  const std::string preset = "enterprise256";
+  const divers::VariantCatalog cat = divers::VariantCatalog::standard(2013);
+  const attack::ThreatProfile stuxnet = attack::ThreatProfile::stuxnet();
+
+  core::ScenarioSweepPlan plan;
+  plan.cells.push_back(
+      {scenario::make_preset(preset, cat, kSeed,
+                             scenario::VariantPolicy::kMonoculture)
+           .scenario,
+       kSeed});
+  plan.cells.push_back(
+      {scenario::make_preset(preset, cat, kSeed,
+                             scenario::VariantPolicy::kZoneStratified)
+           .scenario,
+       kSeed + 1});
+
+  core::MeasurementOptions mo;
+  mo.engine = core::Engine::kCampaign;
+  mo.replications = reps;
+  mo.seed = kSeed;
+  mo.keep_samples = false;
+
+  bench::section("E5 streaming: " + preset + " sweep, streaming vs buffered");
+  std::printf("cells=%zu replications=%zu block=%zu\n", plan.cell_count(), reps,
+              sim::kDefaultReductionBlock);
+
+  const core::MeasurementEngine streaming_engine(cat, stuxnet, mo);
+  {
+    // Warm-up pass (allocator, page cache, code paths): the streaming
+    // pass runs first for RSS attribution and must not also pay the
+    // process cold-start.
+    core::MeasurementOptions warm = mo;
+    warm.replications = 512;
+    const core::MeasurementEngine warm_engine(cat, stuxnet, warm);
+    (void)warm_engine.measure_scenarios(plan);
+  }
+
+  const double rss_base = bench::peak_rss_mb();
+  const auto stream_start = std::chrono::steady_clock::now();
+  const auto streamed = streaming_engine.measure_scenarios(plan);
+  double stream_ms = wall_ms_since(stream_start);
+  const double rss_stream = bench::peak_rss_mb();
+
+  mo.keep_samples = true;
+  const core::MeasurementEngine buffered_engine(cat, stuxnet, mo);
+  const auto buffered_start = std::chrono::steady_clock::now();
+  const auto buffered = buffered_engine.measure_scenarios(plan);
+  double buffered_ms = wall_ms_since(buffered_start);
+  const double rss_buffered = bench::peak_rss_mb();
+
+  // Second timed pass of each path (ABAB), keeping the minimum: the
+  // wall-clock comparison must not hinge on which path ran first on a
+  // cold cache — the RSS deltas above already needed streaming first.
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    (void)streaming_engine.measure_scenarios(plan);
+    stream_ms = std::min(stream_ms, wall_ms_since(t0));
+    const auto t1 = std::chrono::steady_clock::now();
+    (void)buffered_engine.measure_scenarios(plan);
+    buffered_ms = std::min(buffered_ms, wall_ms_since(t1));
+  }
+
+  // Both paths fold through the same blocked reduction: exact agreement.
+  bool identical = streamed.size() == buffered.size();
+  for (std::size_t c = 0; identical && c < streamed.size(); ++c)
+    identical = streamed[c].tta.mean() == buffered[c].tta.mean() &&
+                streamed[c].ttsf.variance() == buffered[c].ttsf.variance() &&
+                streamed[c].successes == buffered[c].successes &&
+                streamed[c].tta_censored == buffered[c].tta_censored &&
+                streamed[c].tta_event.restricted_mean ==
+                    buffered[c].tta_event.restricted_mean &&
+                streamed[c].samples.empty() &&
+                buffered[c].samples.size() == reps;
+
+  // Aggregation state the two backends allocate (deterministic, unlike
+  // the RSS high-water deltas also recorded below): the buffered sample
+  // matrix vs the per-cell + in-flight block accumulators.
+  const double accumulator_bytes =
+      static_cast<double>(sizeof(core::IndicatorAccumulator)) +
+      2.0 * static_cast<double>((mo.survival_bins + (mo.survival_bins + 1)) *
+                                sizeof(std::uint64_t));
+  const std::size_t round =
+      sim::blocked_round_size(streaming_engine.executor());
+  const double streaming_mb =
+      static_cast<double>(plan.cell_count() + round) * accumulator_bytes /
+      (1024.0 * 1024.0);
+  const double buffered_mb = static_cast<double>(plan.cell_count()) *
+                             static_cast<double>(reps) *
+                             static_cast<double>(sizeof(core::IndicatorSample)) /
+                             (1024.0 * 1024.0);
+  const double footprint_ratio =
+      streaming_mb > 0.0 ? buffered_mb / streaming_mb : 0.0;
+  const double rss_stream_delta = rss_stream - rss_base;
+  const double rss_buffered_delta = rss_buffered - rss_stream;
+  const double wall_ratio = stream_ms > 0.0 ? buffered_ms / stream_ms : 0.0;
+
+  bench::row({"path", "wall ms", "agg MiB", "peak-RSS delta MiB"}, 20);
+  bench::row({"streaming", bench::fmt(stream_ms, 1), bench::fmt(streaming_mb, 3),
+              bench::fmt(rss_stream_delta, 1)},
+             20);
+  bench::row({"buffered", bench::fmt(buffered_ms, 1), bench::fmt(buffered_mb, 3),
+              bench::fmt(rss_buffered_delta, 1)},
+             20);
+  std::printf(
+      "aggregation footprint reduction: %.0fx   wall buffered/streaming: "
+      "%.2f   summaries identical: %s\n",
+      footprint_ratio, wall_ratio, identical ? "yes" : "NO (BUG)");
+  std::printf(
+      "censor-aware TTA (monoculture): rmean=%.1f h  biased mean=%.1f h  "
+      "censored=%zu/%zu\n",
+      streamed[0].tta_event.restricted_mean, streamed[0].tta.mean(),
+      streamed[0].tta_censored, reps);
+
+  const int threads = static_cast<int>(streaming_engine.executor().thread_count());
+  bench::write_bench_json(
+      "BENCH_e5_streaming.json",
+      {{"e5.streaming_sweep_2x" + std::to_string(reps), stream_ms, threads, 1.0,
+        streaming_mb},
+       {"e5.buffered_sweep_2x" + std::to_string(reps), buffered_ms, threads,
+        stream_ms > 0.0 ? buffered_ms / stream_ms : 0.0, buffered_mb},
+       {"e5.streaming_peak_rss_delta", stream_ms, threads, 1.0, rss_stream_delta},
+       {"e5.buffered_peak_rss_delta", buffered_ms, threads, 1.0,
+        rss_buffered_delta}});
+
+  // Measured backstop for the analytic footprint ratio: had the
+  // streaming path materialized the sample matrix after all, its
+  // peak-RSS delta would grow by ~buffered_mb — require it to stay well
+  // under half that (1 MiB floor for allocator noise; skipped where
+  // getrusage is unavailable).
+  const bool rss_ok = !std::isfinite(rss_stream_delta) ||
+                      rss_stream_delta <= std::max(1.0, 0.5 * buffered_mb);
+  // Wall-clock gate with tolerance: the paths do the same simulation
+  // work; anything past 15% is a real streaming-backend regression.
+  return identical && footprint_ratio >= 10.0 && rss_ok &&
+         stream_ms <= buffered_ms * 1.15;
+}
+
 struct Setup {
   divers::VariantCatalog cat = divers::VariantCatalog::standard(2013);
   core::SystemDescription desc = core::make_scope_description(cat);
@@ -254,18 +406,26 @@ BENCHMARK(BM_MeanRatioCurve)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  // CI smoke mode: only the fleet phase (generated-preset campaign +
-  // sweep, JSON emission), skipping the slower paper-curve tables and
-  // google-benchmark timings. Exits non-zero if the indexed engine ever
-  // diverges from the preserved legacy implementation.
+  // The acceptance-scale streaming comparison: >= 1e5 replications per
+  // enterprise256 cell.
+  constexpr std::size_t kStreamingReps = 100000;
+  // CI smoke mode: only the fleet and streaming phases (generated-preset
+  // campaign + sweep + aggregation comparison, JSON emission), skipping
+  // the slower paper-curve tables and google-benchmark timings. Exits
+  // non-zero if the indexed engine diverges from the preserved legacy
+  // implementation or the streaming backend regresses.
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--fleet-smoke") == 0)
-      return fleet_speedup_phase() ? 0 : 1;
+    if (std::strcmp(argv[i], "--fleet-smoke") == 0) {
+      const bool fleet_ok = fleet_speedup_phase();
+      const bool streaming_ok = streaming_aggregation_phase(kStreamingReps);
+      return fleet_ok && streaming_ok ? 0 : 1;
+    }
   }
   print_curves();
   const bool fleet_ok = fleet_speedup_phase();
+  const bool streaming_ok = streaming_aggregation_phase(kStreamingReps);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return fleet_ok ? 0 : 1;
+  return fleet_ok && streaming_ok ? 0 : 1;
 }

@@ -7,11 +7,35 @@
 // the paper's reported shape while still profiling the library.
 #pragma once
 
+#include <cmath>
 #include <cstdio>
+#include <limits>
 #include <string>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace divsec::bench {
+
+/// Process peak RSS (high-water mark) in MiB; NaN where unavailable.
+/// Because it is a high-water mark, phase-attributable memory is the
+/// *delta* across a phase, and a low-footprint phase must run before a
+/// high-footprint one to get a meaningful reading.
+inline double peak_rss_mb() {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+#if defined(__APPLE__)
+    return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);  // bytes
+#else
+    return static_cast<double>(usage.ru_maxrss) / 1024.0;  // KiB
+#endif
+  }
+#endif
+  return std::numeric_limits<double>::quiet_NaN();
+}
 
 /// Print a separator + header for one experiment section.
 inline void section(const std::string& title) {
@@ -35,13 +59,52 @@ inline std::string fmt_int(long long v) { return std::to_string(v); }
 
 /// One machine-readable timing record for the perf trajectory. `speedup`
 /// is relative to whatever the bench defines as its serial baseline
-/// (1.0 for standalone timings).
+/// (1.0 for standalone timings). `peak_mb` is an optional memory datum
+/// (peak RSS or aggregation footprint, in MiB); NaN serializes as null.
 struct BenchRecord {
   std::string name;
   double wall_ms = 0.0;
   int threads = 1;
   double speedup = 1.0;
+  double peak_mb = std::numeric_limits<double>::quiet_NaN();
 };
+
+/// JSON string escaping: quotes, backslashes, and control characters.
+/// Record names come from free-form bench code — an unescaped quote or
+/// newline would silently corrupt the whole BENCH_*.json artifact.
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char raw : s) {
+    const auto c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += raw;
+        }
+    }
+  }
+  return out;
+}
+
+/// JSON number or null: printf's "%f" renders non-finite doubles as
+/// nan/inf, which no JSON parser accepts — a single timer glitch or 0/0
+/// speedup used to invalidate the whole artifact.
+inline std::string json_number(double v, int precision = 3) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
 
 /// Write records as a JSON array to `path` (BENCH_*.json convention), so
 /// CI can track wall time and parallel speedup across commits. Emits
@@ -54,9 +117,11 @@ inline void write_bench_json(const std::string& path,
   for (std::size_t i = 0; i < records.size(); ++i) {
     const BenchRecord& r = records[i];
     std::fprintf(f,
-                 "  {\"name\": \"%s\", \"wall_ms\": %.3f, \"threads\": %d, "
-                 "\"speedup\": %.3f}%s\n",
-                 r.name.c_str(), r.wall_ms, r.threads, r.speedup,
+                 "  {\"name\": \"%s\", \"wall_ms\": %s, \"threads\": %d, "
+                 "\"speedup\": %s, \"peak_mb\": %s}%s\n",
+                 json_escape(r.name).c_str(), json_number(r.wall_ms).c_str(),
+                 r.threads, json_number(r.speedup).c_str(),
+                 json_number(r.peak_mb).c_str(),
                  i + 1 < records.size() ? "," : "");
   }
   std::fprintf(f, "]\n");

@@ -9,6 +9,8 @@
 //   ./quickstart [seed]
 #include <cstdlib>
 #include <iostream>
+#include <optional>
+#include <string>
 
 #include "core/configuration.h"
 #include "core/indicators.h"
@@ -19,15 +21,24 @@ using namespace divsec;
 namespace {
 
 void print_summary(const char* label, const core::IndicatorSummary& s) {
+  // The censored-at-horizon means are biased low when many runs censor;
+  // print the product-limit (censoring-aware) estimates next to them.
+  const auto median = [](const std::optional<double>& m) {
+    return m ? std::to_string(*m) : std::string(">horizon");
+  };
   std::cout << "  " << label << "\n"
             << "    attack success probability: " << s.attack_success_probability()
             << "\n"
             << "    mean TTA  (h, censored at " << s.horizon_hours
             << "): " << s.tta.mean() << "  (censored " << s.tta_censored << "/"
             << s.replications << ")\n"
+            << "      censor-aware: restricted mean " << s.tta_event.restricted_mean
+            << " h, median " << median(s.tta_event.median) << "\n"
             << "    mean TTSF (h, censored at " << s.horizon_hours
             << "): " << s.ttsf.mean() << "  (censored " << s.ttsf_censored << "/"
             << s.replications << ")\n"
+            << "      censor-aware: restricted mean " << s.ttsf_event.restricted_mean
+            << " h, median " << median(s.ttsf_event.median) << "\n"
             << "    mean final compromised ratio: " << s.final_ratio.mean() << "\n";
 }
 

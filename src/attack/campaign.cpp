@@ -61,12 +61,15 @@ const char* to_string(CampaignEventKind k) noexcept {
 }
 
 double CampaignResult::ratio_at(double t) const noexcept {
-  double r = 0.0;
-  for (const auto& [time, ratio] : compromised_ratio) {
-    if (time > t) break;
-    r = ratio;
-  }
-  return r;
+  // The step curve is sorted by time: binary-search the first step past t
+  // (mean_ratio_curve calls this per grid point per replication — a
+  // linear scan over a fleet-sized curve was the hot spot).
+  const auto it = std::upper_bound(
+      compromised_ratio.begin(), compromised_ratio.end(), t,
+      [](double value, const std::pair<double, double>& step) {
+        return value < step.first;
+      });
+  return it == compromised_ratio.begin() ? 0.0 : std::prev(it)->second;
 }
 
 /// Everything run() reads per event, precomputed once per scenario into

@@ -1,0 +1,47 @@
+#include "core/indicator_accumulator.h"
+
+namespace divsec::core {
+
+IndicatorAccumulator::IndicatorAccumulator(double horizon_hours,
+                                           std::size_t survival_bins)
+    : horizon_(horizon_hours),
+      tta_(horizon_hours, survival_bins),
+      ttsf_(horizon_hours, survival_bins) {}
+
+void IndicatorAccumulator::add(const IndicatorSample& sample) {
+  ++n_;
+  if (sample.attack_succeeded) ++successes_;
+  tta_.add(sample.tta, sample.tta_censored);
+  ttsf_.add(sample.ttsf, sample.ttsf_censored);
+  final_ratio_.add(sample.final_ratio);
+}
+
+void IndicatorAccumulator::merge(const IndicatorAccumulator& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0 && horizon_ == 0.0) {
+    *this = other;
+    return;
+  }
+  n_ += other.n_;
+  successes_ += other.successes_;
+  tta_.merge(other.tta_);
+  ttsf_.merge(other.ttsf_);
+  final_ratio_.merge(other.final_ratio_);
+}
+
+IndicatorSummary IndicatorAccumulator::summarize() const {
+  IndicatorSummary s;
+  s.replications = n_;
+  s.horizon_hours = horizon_;
+  s.tta = tta_.moments();
+  s.tta_censored = tta_.censored();
+  s.ttsf = ttsf_.moments();
+  s.ttsf_censored = ttsf_.censored();
+  s.final_ratio = final_ratio_;
+  s.successes = successes_;
+  s.tta_event = tta_.summarize();
+  s.ttsf_event = ttsf_.summarize();
+  return s;
+}
+
+}  // namespace divsec::core

@@ -1,0 +1,44 @@
+// indicator_accumulator.h — streaming per-cell aggregation of indicator
+// samples.
+//
+// One accumulator holds everything an IndicatorSummary reports — Welford
+// moments, censor counts, success count, and the censoring-aware
+// product-limit / P² state for TTA and TTSF — in O(survival bins)
+// memory, so a measurement sweep can reduce its (cell × replication)
+// jobs without ever materializing the sample matrix. merge() combines
+// block partials; the engine merges them in ascending block order
+// (sim::blocked_reduce_groups), which keeps every summary bit-identical
+// for any DIVSEC_THREADS. The retain-everything path folds its samples
+// through the same accumulator, so streaming and retained summaries are
+// bit-identical too.
+#pragma once
+
+#include "core/indicators.h"
+#include "stats/survival.h"
+
+namespace divsec::core {
+
+class IndicatorAccumulator {
+ public:
+  IndicatorAccumulator() = default;  // mergeable empty state
+  IndicatorAccumulator(double horizon_hours, std::size_t survival_bins);
+
+  void add(const IndicatorSample& sample);
+  void merge(const IndicatorAccumulator& other);
+
+  /// Aggregate view; `samples` is left empty (retention is the caller's
+  /// concern, not the accumulator's).
+  [[nodiscard]] IndicatorSummary summarize() const;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+
+ private:
+  double horizon_ = 0.0;
+  std::size_t n_ = 0;
+  std::size_t successes_ = 0;
+  stats::CensoredTimeAccumulator tta_;
+  stats::CensoredTimeAccumulator ttsf_;
+  stats::OnlineStats final_ratio_;
+};
+
+}  // namespace divsec::core

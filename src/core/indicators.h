@@ -24,6 +24,7 @@
 #include "attack/stages.h"
 #include "core/configuration.h"
 #include "stats/descriptive.h"
+#include "stats/survival.h"
 
 namespace divsec::sim {
 class Executor;
@@ -57,8 +58,26 @@ struct IndicatorSummary {
   stats::OnlineStats final_ratio;
   std::size_t successes = 0;
 
+  /// Censoring-aware estimates of the event times (streaming
+  /// product-limit restricted mean / median + P² quantile sketches).
+  /// `tta.mean()` / `ttsf.mean()` silently average censored-at-horizon
+  /// values — a downward-biased estimate under censoring; these are the
+  /// unbiased companions to report next to them.
+  stats::CensoredTimeSummary tta_event;
+  stats::CensoredTimeSummary ttsf_event;
+
   [[nodiscard]] double attack_success_probability() const noexcept {
     return replications ? static_cast<double>(successes) /
+                              static_cast<double>(replications)
+                        : 0.0;
+  }
+  [[nodiscard]] double tta_censor_fraction() const noexcept {
+    return replications ? static_cast<double>(tta_censored) /
+                              static_cast<double>(replications)
+                        : 0.0;
+  }
+  [[nodiscard]] double ttsf_censor_fraction() const noexcept {
+    return replications ? static_cast<double>(ttsf_censored) /
                               static_cast<double>(replications)
                         : 0.0;
   }
@@ -72,10 +91,22 @@ struct MeasurementOptions {
   std::uint64_t seed = 2013;  // DSN 2013
   attack::CampaignOptions campaign{};
   attack::DetectionModel detection{};
-  /// Retain per-replication IndicatorSummary::samples. Disable for large
-  /// factorials where only the aggregates (and the per-cell response
-  /// vectors a MeasurementTable extracts) are needed.
+  /// Retain per-replication IndicatorSummary::samples. When off (and no
+  /// cell visitor asks for samples), measurement runs on the streaming
+  /// aggregation backend: per-cell accumulators fed by fixed-size
+  /// replication blocks, O(cells + threads × block) memory instead of
+  /// O(cells × replications). Summaries are bit-identical either way.
   bool keep_samples = true;
+  /// Replications per aggregation block of the streaming backend. The
+  /// block decomposition is part of the determinism contract (partial
+  /// accumulators merge in ascending block order), so it is a fixed
+  /// number — never derived from the thread count. 0 resolves to
+  /// sim::kDefaultReductionBlock.
+  std::size_t replication_block = 0;
+  /// Bins of the streaming product-limit (survival) estimators over
+  /// [0, horizon]; bounds the bias of the censor-aware restricted mean
+  /// and median to one bin width.
+  std::size_t survival_bins = 64;
   /// Executor for (cell × replication) jobs; null falls back to
   /// sim::Executor::shared() (DIVSEC_THREADS-sized). Non-owning.
   /// Note the deliberate asymmetry with the low-level controllers

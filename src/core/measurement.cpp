@@ -5,8 +5,10 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/indicator_accumulator.h"
 #include "san/simulator.h"
 #include "sim/executor.h"
+#include "sim/streaming.h"
 
 namespace divsec::core {
 
@@ -78,6 +80,21 @@ struct MeasurementEngine::CellContextList {
   std::vector<std::unique_ptr<CellContext>> slots;
 };
 
+namespace {
+
+void validate_options(const MeasurementOptions& options) {
+  if (options.replications == 0)
+    throw std::invalid_argument("MeasurementEngine: need >= 1 replication");
+  if (!(options.campaign.t_max_hours > 0.0))
+    throw std::invalid_argument(
+        "MeasurementEngine: campaign.t_max_hours (the measurement horizon) "
+        "must be > 0");
+  if (options.survival_bins == 0)
+    throw std::invalid_argument("MeasurementEngine: need >= 1 survival bin");
+}
+
+}  // namespace
+
 MeasurementEngine::MeasurementEngine(const SystemDescription& description,
                                      const attack::ThreatProfile& profile,
                                      const MeasurementOptions& options)
@@ -86,8 +103,7 @@ MeasurementEngine::MeasurementEngine(const SystemDescription& description,
       profile_(&profile),
       options_(options),
       executor_(options.executor ? options.executor : &sim::Executor::shared()) {
-  if (options_.replications == 0)
-    throw std::invalid_argument("MeasurementEngine: need >= 1 replication");
+  validate_options(options_);
 }
 
 MeasurementEngine::MeasurementEngine(const divers::VariantCatalog& catalog,
@@ -98,8 +114,7 @@ MeasurementEngine::MeasurementEngine(const divers::VariantCatalog& catalog,
       profile_(&profile),
       options_(options),
       executor_(options.executor ? options.executor : &sim::Executor::shared()) {
-  if (options_.replications == 0)
-    throw std::invalid_argument("MeasurementEngine: need >= 1 replication");
+  validate_options(options_);
 }
 
 std::vector<IndicatorSummary> MeasurementEngine::run_cells(
@@ -108,38 +123,44 @@ std::vector<IndicatorSummary> MeasurementEngine::run_cells(
   const std::size_t cells = contexts.slots.size();
   const std::size_t reps = options_.replications;
   const double horizon = options_.campaign.t_max_hours;
+  const std::size_t block = options_.replication_block
+                                ? options_.replication_block
+                                : sim::kDefaultReductionBlock;
+  const auto make = [&](std::size_t) {
+    return IndicatorAccumulator(horizon, options_.survival_bins);
+  };
 
-  // The flattened (cell × replication) job list. Job j = cell (j / reps),
-  // replication (j % reps), RNG stream (cell.seed, rep) — deterministic
-  // for any thread count.
-  std::vector<IndicatorSample> samples(cells * reps);
-  executor_->parallel_for(0, cells * reps, [&](std::size_t j) {
-    const std::size_t c = j / reps;
-    const std::size_t rep = j % reps;
-    samples[j] =
-        run_job(*contexts.slots[c], horizon, stats::Rng(seeds[c], rep));
-  });
+  // One blocked accumulator fold serves both paths: the replication range
+  // splits into fixed-size blocks (independent of the thread count), each
+  // block job runs its replications and folds the samples on the spot,
+  // and block partials merge in ascending block order — summaries are
+  // bit-identical for any DIVSEC_THREADS. Streaming (the default with
+  // keep_samples off and no visitor) keeps memory at
+  // O(cells + threads × block); the retain-everything path additionally
+  // stores each sample into the (cell × replication) matrix the visitor
+  // contract and keep_samples hand out, with the identical fold sequence.
+  const bool retain = options_.keep_samples || static_cast<bool>(visit);
+  std::vector<IndicatorSample> samples(retain ? cells * reps : 0);
+  std::vector<IndicatorAccumulator> acc =
+      sim::blocked_reduce_groups<IndicatorAccumulator>(
+          *executor_, cells, reps, block, make,
+          [&](IndicatorAccumulator& a, std::size_t c, std::size_t rep) {
+            const IndicatorSample s =
+                run_job(*contexts.slots[c], horizon, stats::Rng(seeds[c], rep));
+            if (retain) samples[c * reps + rep] = s;
+            a.add(s);
+          });
 
-  // Fold per-cell summaries serially in replication order, so the
-  // Welford accumulators match a serial run bit for bit.
   std::vector<IndicatorSummary> out(cells);
   for (std::size_t c = 0; c < cells; ++c) {
-    IndicatorSummary& sum = out[c];
-    sum.replications = reps;
-    sum.horizon_hours = horizon;
+    out[c] = acc[c].summarize();
+    out[c].replications = reps;
+    out[c].horizon_hours = horizon;
+    if (!retain) continue;
     const auto first = samples.begin() + static_cast<std::ptrdiff_t>(c * reps);
-    for (std::size_t rep = 0; rep < reps; ++rep) {
-      const IndicatorSample& s = first[static_cast<std::ptrdiff_t>(rep)];
-      sum.tta.add(s.tta);
-      if (s.tta_censored) ++sum.tta_censored;
-      sum.ttsf.add(s.ttsf);
-      if (s.ttsf_censored) ++sum.ttsf_censored;
-      sum.final_ratio.add(s.final_ratio);
-      if (s.attack_succeeded) ++sum.successes;
-    }
     if (visit) visit(c, std::span<const IndicatorSample>(&*first, reps));
     if (options_.keep_samples)
-      sum.samples.assign(first, first + static_cast<std::ptrdiff_t>(reps));
+      out[c].samples.assign(first, first + static_cast<std::ptrdiff_t>(reps));
   }
   return out;
 }
@@ -209,22 +230,31 @@ std::vector<double> MeasurementEngine::mean_ratio_curve(
                                       options_.campaign);
   const std::size_t reps = options_.replications;
   const std::size_t grid = time_grid_hours.size();
+  const std::size_t block = options_.replication_block
+                                ? options_.replication_block
+                                : sim::kDefaultReductionBlock;
 
-  // Per-replication rows, then an ordered reduction: floating-point sums
-  // stay bit-identical to the serial loop regardless of thread count.
-  std::vector<double> rows(reps * grid, 0.0);
-  executor_->parallel_for(0, reps, [&](std::size_t rep) {
-    stats::Rng rng(options_.seed, rep);
-    const attack::CampaignResult r = sim.run(rng);
-    for (std::size_t i = 0; i < grid; ++i)
-      rows[rep * grid + i] = r.ratio_at(time_grid_hours[i]);
-  });
-
-  std::vector<double> acc(grid, 0.0);
-  for (std::size_t rep = 0; rep < reps; ++rep)
-    for (std::size_t i = 0; i < grid; ++i) acc[i] += rows[rep * grid + i];
-  for (double& v : acc) v /= static_cast<double>(reps);
-  return acc;
+  // Blocked streaming reduction of the per-replication curve rows: each
+  // block sums its replications' grid samples in replication order, block
+  // partials merge in ascending block order — deterministic for any
+  // thread count, O(threads × grid) memory instead of reps × grid rows.
+  struct CurveSum {
+    std::vector<double> sum;
+    void merge(const CurveSum& o) {
+      for (std::size_t i = 0; i < sum.size(); ++i) sum[i] += o.sum[i];
+    }
+  };
+  CurveSum acc = sim::blocked_reduce<CurveSum>(
+      executor_, reps, block,
+      [grid] { return CurveSum{std::vector<double>(grid, 0.0)}; },
+      [&](CurveSum& a, std::size_t rep) {
+        stats::Rng rng(options_.seed, rep);
+        const attack::CampaignResult r = sim.run(rng);
+        for (std::size_t i = 0; i < grid; ++i)
+          a.sum[i] += r.ratio_at(time_grid_hours[i]);
+      });
+  for (double& v : acc.sum) v /= static_cast<double>(reps);
+  return std::move(acc.sum);
 }
 
 }  // namespace divsec::core

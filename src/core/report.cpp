@@ -21,12 +21,17 @@ std::string escape(const std::string& field) {
 
 }  // namespace
 
-std::string measurement_csv(const MeasurementTable& table) {
+std::string measurement_csv(const MeasurementTable& table,
+                            double censor_warn_fraction) {
   std::ostringstream os;
   for (std::size_t f = 0; f < table.space.factor_count(); ++f)
     os << escape(table.space.factor(f).name) << ",";
-  os << "success_prob,tta_mean,tta_censored,ttsf_mean,ttsf_censored,"
-        "final_ratio_mean\n";
+  os << "success_prob,tta_mean,tta_censored,tta_rmean,tta_median,"
+        "ttsf_mean,ttsf_censored,ttsf_rmean,ttsf_median,"
+        "final_ratio_mean,censor_warning\n";
+  const auto median_cell = [](const std::optional<double>& m) {
+    return m ? std::to_string(*m) : std::string{};
+  };
   for (std::size_t c = 0; c < table.configuration_count(); ++c) {
     const auto levels = table.space.decode(c);
     for (std::size_t f = 0; f < table.space.factor_count(); ++f)
@@ -34,8 +39,17 @@ std::string measurement_csv(const MeasurementTable& table) {
          << ",";
     const auto& s = table.summaries[c];
     os << s.attack_success_probability() << "," << s.tta.mean() << ","
-       << s.tta_censored << "," << s.ttsf.mean() << "," << s.ttsf_censored << ","
-       << s.final_ratio.mean() << "\n";
+       << s.tta_censored << "," << s.tta_event.restricted_mean << ","
+       << median_cell(s.tta_event.median) << "," << s.ttsf.mean() << ","
+       << s.ttsf_censored << "," << s.ttsf_event.restricted_mean << ","
+       << median_cell(s.ttsf_event.median) << "," << s.final_ratio.mean() << ",";
+    // Flag cells whose censored-at-horizon means are too biased to read
+    // on their own: use the rmean/median columns instead.
+    std::string warn;
+    if (s.tta_censor_fraction() > censor_warn_fraction) warn = "tta";
+    if (s.ttsf_censor_fraction() > censor_warn_fraction)
+      warn += warn.empty() ? "ttsf" : ";ttsf";
+    os << warn << "\n";
   }
   return os.str();
 }

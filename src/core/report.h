@@ -14,10 +14,19 @@
 namespace divsec::core {
 
 /// CSV of a measurement table: one row per configuration with the swept
-/// factor levels and summary indicator estimates.
-/// Columns: <factor names...>,success_prob,tta_mean,tta_censored,
-///          ttsf_mean,ttsf_censored,final_ratio_mean
-[[nodiscard]] std::string measurement_csv(const MeasurementTable& table);
+/// factor levels and summary indicator estimates. The censored-at-horizon
+/// means (tta_mean/ttsf_mean) are biased low under censoring, so every
+/// row also carries the censoring-aware product-limit estimates
+/// (restricted mean + median; the median cell is empty when censoring
+/// keeps the survival curve above 0.5) and a `censor_warning` column
+/// naming the indicators whose censor fraction exceeds
+/// `censor_warn_fraction` — a flagged mean must not be read unannotated.
+/// Columns: <factor names...>,success_prob,
+///          tta_mean,tta_censored,tta_rmean,tta_median,
+///          ttsf_mean,ttsf_censored,ttsf_rmean,ttsf_median,
+///          final_ratio_mean,censor_warning
+[[nodiscard]] std::string measurement_csv(const MeasurementTable& table,
+                                          double censor_warn_fraction = 0.2);
 
 /// CSV of one ANOVA table: effect,ss,df,ms,f,p,eta2 (+ Error/Total rows).
 [[nodiscard]] std::string anova_csv(const stats::AnovaTable& table);

@@ -2,37 +2,101 @@
 
 #include <stdexcept>
 
+#include "sim/streaming.h"
+
 namespace divsec::san {
+
+namespace {
+
+/// Shared streaming core of the scalar families: blocked deterministic
+/// reduction of experiment outputs over (seed, i) streams. A non-null
+/// `samples` additionally retains every output in replication order.
+stats::OnlineStats reduce_scalar(const sim::Experiment& experiment,
+                                 std::size_t replications, std::uint64_t seed,
+                                 const sim::Executor* executor, std::size_t block,
+                                 std::vector<double>* samples) {
+  if (replications == 0)
+    throw std::invalid_argument("san estimator: need >= 1 replication");
+  if (samples) samples->resize(replications);
+  return sim::blocked_reduce<stats::OnlineStats>(
+      executor, replications, block, [] { return stats::OnlineStats{}; },
+      [&](stats::OnlineStats& acc, std::size_t i) {
+        stats::Rng rng(seed, /*stream=*/i);
+        const double y = experiment(rng);
+        if (samples) (*samples)[i] = y;
+        acc.add(y);
+      });
+}
+
+sim::Experiment instant_experiment(const SanModel& model,
+                                   const std::function<double(const Marking&)>& f,
+                                   double t) {
+  if (!f) throw std::invalid_argument("instant_of_time: null function");
+  return [&model, &f, t](stats::Rng& rng) {
+    SanSimulator sim(model, rng);
+    sim.run_until(t);
+    return f(sim.marking());
+  };
+}
+
+sim::Experiment interval_experiment(const SanModel& model,
+                                    const std::function<double(const Marking&)>& rate,
+                                    double t) {
+  if (!rate) throw std::invalid_argument("interval_of_time_average: null function");
+  if (!(t > 0.0))
+    throw std::invalid_argument("interval_of_time_average: t must be > 0");
+  return [&model, &rate, t](stats::Rng& rng) {
+    SanSimulator sim(model, rng);
+    const std::size_t r = sim.add_rate_reward(rate);
+    sim.run_until(t);
+    return sim.rate_reward_average(r);
+  };
+}
+
+void validate_first_passage(const Predicate& absorbed, double t_max,
+                            std::size_t replications) {
+  if (!absorbed) throw std::invalid_argument("first_passage: null predicate");
+  if (!(t_max > 0.0)) throw std::invalid_argument("first_passage: t_max must be > 0");
+  if (replications == 0)
+    throw std::invalid_argument("first_passage: need >= 1 replication");
+}
+
+}  // namespace
 
 sim::ReplicationResult instant_of_time(const SanModel& model,
                                        const std::function<double(const Marking&)>& f,
                                        double t, std::size_t replications,
                                        std::uint64_t seed,
                                        const sim::Executor* executor) {
-  if (!f) throw std::invalid_argument("instant_of_time: null function");
-  return sim::run_replications(
-      [&model, &f, t](stats::Rng& rng) {
-        SanSimulator sim(model, rng);
-        sim.run_until(t);
-        return f(sim.marking());
-      },
-      replications, seed, executor);
+  sim::ReplicationResult r;
+  r.stats = reduce_scalar(instant_experiment(model, f, t), replications, seed,
+                          executor, 0, &r.samples);
+  return r;
+}
+
+stats::OnlineStats instant_of_time_streaming(
+    const SanModel& model, const std::function<double(const Marking&)>& f, double t,
+    const StreamingEstimateOptions& options) {
+  return reduce_scalar(instant_experiment(model, f, t), options.replications,
+                       options.seed, options.executor, options.replication_block,
+                       nullptr);
 }
 
 sim::ReplicationResult interval_of_time_average(
     const SanModel& model, const std::function<double(const Marking&)>& rate, double t,
     std::size_t replications, std::uint64_t seed, const sim::Executor* executor) {
-  if (!rate) throw std::invalid_argument("interval_of_time_average: null function");
-  if (!(t > 0.0))
-    throw std::invalid_argument("interval_of_time_average: t must be > 0");
-  return sim::run_replications(
-      [&model, &rate, t](stats::Rng& rng) {
-        SanSimulator sim(model, rng);
-        const std::size_t r = sim.add_rate_reward(rate);
-        sim.run_until(t);
-        return sim.rate_reward_average(r);
-      },
-      replications, seed, executor);
+  sim::ReplicationResult r;
+  r.stats = reduce_scalar(interval_experiment(model, rate, t), replications, seed,
+                          executor, 0, &r.samples);
+  return r;
+}
+
+stats::OnlineStats interval_of_time_average_streaming(
+    const SanModel& model, const std::function<double(const Marking&)>& rate, double t,
+    const StreamingEstimateOptions& options) {
+  return reduce_scalar(interval_experiment(model, rate, t), options.replications,
+                       options.seed, options.executor, options.replication_block,
+                       nullptr);
 }
 
 double FirstPassageResult::conditional_mean() const noexcept {
@@ -45,22 +109,29 @@ double FirstPassageResult::conditional_mean() const noexcept {
 FirstPassageResult first_passage(const SanModel& model, const Predicate& absorbed,
                                  double t_max, std::size_t replications,
                                  std::uint64_t seed, const sim::Executor* executor) {
-  if (!absorbed) throw std::invalid_argument("first_passage: null predicate");
-  if (!(t_max > 0.0)) throw std::invalid_argument("first_passage: t_max must be > 0");
-  if (replications == 0)
-    throw std::invalid_argument("first_passage: need >= 1 replication");
+  validate_first_passage(absorbed, t_max, replications);
   FirstPassageResult r;
   r.replications = replications;
   r.t_max = t_max;
-  // Per-replication absorption times by (seed, i) stream, then a fold in
-  // replication order — identical to the serial loop for any thread count.
+  // Per-replication absorption times by (seed, i) stream, aggregated
+  // through the shared censored-time accumulator; the retained outcomes
+  // feed the times vector in replication order afterwards.
   std::vector<std::optional<double>> outcomes(replications);
-  sim::for_each_index(executor, 0, replications,
-                      [&model, &absorbed, t_max, seed, &outcomes](std::size_t i) {
-                        stats::Rng rng(seed, i);
-                        SanSimulator sim(model, rng);
-                        outcomes[i] = sim.run_until_predicate(absorbed, t_max);
-                      });
+  // Same survival grid as the streaming flavour's default, so the two
+  // report identical event_time summaries for identical inputs.
+  const std::size_t bins = StreamingEstimateOptions{}.survival_bins;
+  const auto acc = sim::blocked_reduce<stats::CensoredTimeAccumulator>(
+      executor, replications, /*block=*/0,
+      [t_max, bins] { return stats::CensoredTimeAccumulator(t_max, bins); },
+      [&model, &absorbed, t_max, seed, &outcomes](
+          stats::CensoredTimeAccumulator& a, std::size_t i) {
+        stats::Rng rng(seed, i);
+        SanSimulator sim(model, rng);
+        const auto t = sim.run_until_predicate(absorbed, t_max);
+        outcomes[i] = t;
+        a.add(t.value_or(t_max), /*censored=*/!t.has_value());
+      });
+  r.event_time = acc.summarize();
   for (const auto& t : outcomes) {
     if (t.has_value())
       r.times.push_back(*t);
@@ -68,6 +139,31 @@ FirstPassageResult first_passage(const SanModel& model, const Predicate& absorbe
       ++r.censored;
   }
   return r;
+}
+
+FirstPassageSummary first_passage_streaming(const SanModel& model,
+                                            const Predicate& absorbed, double t_max,
+                                            const StreamingEstimateOptions& options) {
+  validate_first_passage(absorbed, t_max, options.replications);
+  const auto acc = sim::blocked_reduce<stats::CensoredTimeAccumulator>(
+      options.executor, options.replications, options.replication_block,
+      [&options, t_max] {
+        return stats::CensoredTimeAccumulator(t_max, options.survival_bins);
+      },
+      [&model, &absorbed, t_max, &options](stats::CensoredTimeAccumulator& a,
+                                           std::size_t i) {
+        stats::Rng rng(options.seed, i);
+        SanSimulator sim(model, rng);
+        const auto t = sim.run_until_predicate(absorbed, t_max);
+        a.add(t.value_or(t_max), /*censored=*/!t.has_value());
+      });
+  FirstPassageSummary s;
+  s.replications = options.replications;
+  s.t_max = t_max;
+  s.censored = acc.censored();
+  s.censored_at_horizon = acc.moments();
+  s.event_time = acc.summarize();
+  return s;
 }
 
 }  // namespace divsec::san

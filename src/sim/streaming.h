@@ -1,0 +1,99 @@
+// streaming.h — deterministic blocked map-reduce on an Executor.
+//
+// The streaming measurement backends reduce (group × index-range)
+// workloads into one accumulator per group without materializing
+// per-index samples. The index range of every group is split into
+// fixed-size blocks; each block folds locally into a fresh accumulator,
+// and the block accumulators merge into the group result in ascending
+// block order. Two contracts make this bit-identical for any thread
+// count:
+//  * the block size must not depend on the thread count (it is part of
+//    the caller's determinism contract, like the RNG stream derivation);
+//  * merges happen only on the calling thread, in ascending block order.
+// Scheduling runs in rounds of O(threads) block jobs, so at most
+// O(groups + threads) accumulators are alive at once — memory is
+// O(groups + threads × block-state), never O(groups × count).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "sim/executor.h"
+
+namespace divsec::sim {
+
+/// Default replications-per-block of the streaming backends. Small enough
+/// that round memory stays trivial, large enough that per-block overhead
+/// (accumulator construction, merge) vanishes against the simulation work.
+inline constexpr std::size_t kDefaultReductionBlock = 256;
+
+/// How many block jobs are in flight between ordered merges. Any value
+/// yields identical results (merges stay in ascending block order); more
+/// in-flight jobs just keeps wide executors busy.
+[[nodiscard]] inline std::size_t blocked_round_size(const Executor& executor) {
+  return std::max<std::size_t>(1, executor.thread_count() * 4);
+}
+
+/// Reduce indices [0, count) of each of `groups` groups into one
+/// accumulator per group. make(g) builds an empty accumulator for group
+/// g; fold(acc, g, i) folds index i of group g into acc; Acc::merge(const
+/// Acc&) combines block partials.
+template <typename Acc, typename Make, typename Fold>
+[[nodiscard]] std::vector<Acc> blocked_reduce_groups(const Executor& executor,
+                                                     std::size_t groups,
+                                                     std::size_t count,
+                                                     std::size_t block,
+                                                     const Make& make,
+                                                     const Fold& fold) {
+  if (block == 0) block = kDefaultReductionBlock;
+  const std::size_t nblocks = count == 0 ? 0 : (count + block - 1) / block;
+
+  std::vector<Acc> out;
+  out.reserve(groups);
+  for (std::size_t g = 0; g < groups; ++g) out.push_back(make(g));
+
+  const std::size_t jobs = groups * nblocks;
+  if (jobs == 0) return out;
+
+  const std::size_t round = blocked_round_size(executor);
+  std::vector<Acc> partials;
+  for (std::size_t start = 0; start < jobs; start += round) {
+    const std::size_t n = std::min(round, jobs - start);
+    partials.clear();
+    partials.reserve(n);
+    for (std::size_t j = 0; j < n; ++j)
+      partials.push_back(make((start + j) / nblocks));
+    executor.parallel_for(0, n, [&](std::size_t j) {
+      const std::size_t job = start + j;
+      const std::size_t g = job / nblocks;
+      const std::size_t b = job % nblocks;
+      const std::size_t lo = b * block;
+      const std::size_t hi = std::min(count, lo + block);
+      for (std::size_t i = lo; i < hi; ++i) fold(partials[j], g, i);
+    });
+    // Ascending job order is ascending block order within each group: the
+    // reduction sequence is independent of the thread count and of the
+    // round size.
+    for (std::size_t j = 0; j < n; ++j)
+      out[(start + j) / nblocks].merge(partials[j]);
+  }
+  return out;
+}
+
+/// Single-group convenience: reduce [0, count) into one accumulator.
+/// fold(acc, i) folds index i. A null executor runs the identical block
+/// schedule serially (same merge sequence, same results).
+template <typename Acc, typename Make, typename Fold>
+[[nodiscard]] Acc blocked_reduce(const Executor* executor, std::size_t count,
+                                 std::size_t block, const Make& make,
+                                 const Fold& fold) {
+  static const Executor serial{1};
+  const Executor& ex = executor ? *executor : serial;
+  auto out = blocked_reduce_groups<Acc>(
+      ex, 1, count, block, [&make](std::size_t) { return make(); },
+      [&fold](Acc& acc, std::size_t, std::size_t i) { fold(acc, i); });
+  return std::move(out.front());
+}
+
+}  // namespace divsec::sim

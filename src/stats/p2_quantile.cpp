@@ -1,0 +1,203 @@
+#include "stats/p2_quantile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace divsec::stats {
+
+namespace {
+
+/// Linear interpolation of F(x) over a sketch's (height, fraction) knots;
+/// 0 below the first knot, 1 above the last.
+double cdf_at(const std::array<double, 5>& x, const std::array<double, 5>& f,
+              double at) {
+  if (at < x.front()) return 0.0;
+  if (at >= x.back()) return 1.0;
+  for (std::size_t i = 0; i + 1 < x.size(); ++i) {
+    if (at < x[i + 1]) {
+      const double dx = x[i + 1] - x[i];
+      if (dx <= 0.0) return f[i + 1];
+      return f[i] + (f[i + 1] - f[i]) * (at - x[i]) / dx;
+    }
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  if (!(q > 0.0 && q < 1.0))
+    throw std::invalid_argument("P2Quantile: q must be in (0,1)");
+}
+
+double P2Quantile::desired_fraction(std::size_t i) const noexcept {
+  switch (i) {
+    case 0: return 0.0;
+    case 1: return q_ / 2.0;
+    case 2: return q_;
+    case 3: return (1.0 + q_) / 2.0;
+    default: return 1.0;
+  }
+}
+
+void P2Quantile::init_markers() {
+  std::sort(heights_.begin(), heights_.end());
+  for (std::size_t i = 0; i < kMarkers; ++i)
+    pos_[i] = static_cast<double>(i + 1);
+}
+
+void P2Quantile::add(double x) {
+  if (count_ < kMarkers) {
+    heights_[count_++] = x;
+    if (count_ == kMarkers) init_markers();
+    return;
+  }
+
+  // Locate the cell and update the extremes.
+  std::size_t k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+
+  ++count_;
+  for (std::size_t i = k + 1; i < kMarkers; ++i) pos_[i] += 1.0;
+
+  // Nudge the interior markers toward their desired positions with the
+  // piecewise-parabolic (P²) update, falling back to linear when the
+  // parabola would leave the bracketing heights.
+  for (std::size_t i = 1; i <= 3; ++i) {
+    const double desired =
+        1.0 + (static_cast<double>(count_) - 1.0) * desired_fraction(i);
+    const double d = desired - pos_[i];
+    if ((d >= 1.0 && pos_[i + 1] - pos_[i] > 1.0) ||
+        (d <= -1.0 && pos_[i - 1] - pos_[i] < -1.0)) {
+      const double s = d >= 0.0 ? 1.0 : -1.0;
+      const double np = pos_[i + 1], pp = pos_[i - 1], p = pos_[i];
+      const double parabolic =
+          heights_[i] +
+          s / (np - pp) *
+              ((p - pp + s) * (heights_[i + 1] - heights_[i]) / (np - p) +
+               (np - p - s) * (heights_[i] - heights_[i - 1]) / (p - pp));
+      if (heights_[i - 1] < parabolic && parabolic < heights_[i + 1]) {
+        heights_[i] = parabolic;
+      } else {
+        const std::size_t j = s > 0.0 ? i + 1 : i - 1;
+        heights_[i] += s * (heights_[j] - heights_[i]) / (pos_[j] - p);
+      }
+      pos_[i] += s;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  if (count_ == 0) return 0.0;
+  if (count_ < kMarkers) {
+    // Exact type-7 quantile of the few stored observations.
+    std::vector<double> v(heights_.begin(),
+                          heights_.begin() + static_cast<std::ptrdiff_t>(count_));
+    std::sort(v.begin(), v.end());
+    if (count_ == 1) return v[0];
+    const double rank = q_ * (static_cast<double>(count_) - 1.0);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, count_ - 1);
+    const double w = rank - static_cast<double>(lo);
+    return v[lo] + w * (v[hi] - v[lo]);
+  }
+  return heights_[2];
+}
+
+void P2Quantile::rebuild(std::size_t count,
+                         const std::array<double, kMarkers>& heights) {
+  count_ = count;
+  heights_ = heights;
+  std::sort(heights_.begin(), heights_.end());
+  const auto n = static_cast<double>(count);
+  for (std::size_t i = 1; i + 1 < kMarkers; ++i)
+    pos_[i] = std::round(1.0 + (n - 1.0) * desired_fraction(i));
+  // The end markers are pinned (pos_[0] == 1, pos_[4] == count) and the
+  // interior must stay strictly increasing between them; only the
+  // interior participates in the clamps, so the pins survive.
+  pos_[0] = 1.0;
+  pos_[kMarkers - 1] = n;
+  for (std::size_t i = 1; i + 1 < kMarkers; ++i)
+    pos_[i] = std::max(pos_[i], pos_[i - 1] + 1.0);
+  for (std::size_t i = kMarkers - 1; i-- > 1;)
+    pos_[i] = std::min(pos_[i], pos_[i + 1] - 1.0);
+}
+
+void P2Quantile::merge(const P2Quantile& other) {
+  if (other.q_ != q_)
+    throw std::invalid_argument("P2Quantile::merge: quantile mismatch");
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  if (other.count_ < kMarkers) {
+    // The other side still holds raw observations: replay them.
+    for (std::size_t i = 0; i < other.count_; ++i) add(other.heights_[i]);
+    return;
+  }
+  if (count_ < kMarkers) {
+    const auto raw = heights_;
+    const std::size_t n = count_;
+    *this = other;
+    for (std::size_t i = 0; i < n; ++i) add(raw[i]);
+    return;
+  }
+
+  // Both sides are sketches: resample the pooled piecewise-linear CDF at
+  // this sketch's desired marker fractions.
+  std::array<double, kMarkers> fa{}, fb{};
+  const auto na = static_cast<double>(count_);
+  const auto nb = static_cast<double>(other.count_);
+  for (std::size_t i = 0; i < kMarkers; ++i) {
+    fa[i] = (pos_[i] - 1.0) / (na - 1.0);
+    fb[i] = (other.pos_[i] - 1.0) / (nb - 1.0);
+  }
+  const double wa = na / (na + nb);
+
+  std::vector<double> breaks(heights_.begin(), heights_.end());
+  breaks.insert(breaks.end(), other.heights_.begin(), other.heights_.end());
+  std::sort(breaks.begin(), breaks.end());
+
+  const auto pooled_cdf = [&](double x) {
+    return wa * cdf_at(heights_, fa, x) +
+           (1.0 - wa) * cdf_at(other.heights_, fb, x);
+  };
+  const auto invert = [&](double target) {
+    if (target <= 0.0) return breaks.front();
+    if (target >= 1.0) return breaks.back();
+    double prev_x = breaks.front();
+    double prev_f = 0.0;
+    for (double x : breaks) {
+      const double f = pooled_cdf(x);
+      if (f >= target) {
+        const double df = f - prev_f;
+        if (df <= 0.0) return x;
+        return prev_x + (x - prev_x) * (target - prev_f) / df;
+      }
+      prev_x = x;
+      prev_f = f;
+    }
+    return breaks.back();
+  };
+
+  std::array<double, kMarkers> merged{};
+  for (std::size_t i = 0; i < kMarkers; ++i)
+    merged[i] = invert(desired_fraction(i));
+  merged[0] = std::min(heights_[0], other.heights_[0]);
+  merged[kMarkers - 1] = std::max(heights_[4], other.heights_[4]);
+  rebuild(count_ + other.count_, merged);
+}
+
+}  // namespace divsec::stats

@@ -1,0 +1,54 @@
+// p2_quantile.h — the P² (piecewise-parabolic) streaming quantile
+// estimator of Jain & Chlamtac, CACM 1985.
+//
+// Five markers track a running q-quantile in O(1) memory and O(1) work
+// per observation — the piece the streaming measurement backend needs to
+// report TTA/TTSF quantiles without retaining cells × replications
+// samples. merge() combines two sketches by resampling the pooled
+// piecewise-linear CDF of their markers; it is a deterministic function
+// of the two states, so a blocked reduction that merges partial sketches
+// in a fixed block order yields thread-count-independent results. The
+// estimate is approximate by construction (like the base algorithm);
+// only the determinism, not exactness, is contractual.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace divsec::stats {
+
+class P2Quantile {
+ public:
+  /// q in (0, 1): the quantile to track. Throws std::invalid_argument
+  /// otherwise.
+  explicit P2Quantile(double q = 0.5);
+
+  void add(double x);
+
+  /// Combine another sketch tracking the same q (std::invalid_argument
+  /// otherwise). Deterministic in (this state, other state).
+  void merge(const P2Quantile& other);
+
+  /// Current estimate; exact (order statistic with linear interpolation)
+  /// while fewer than 5 observations have been seen, 0 when empty.
+  [[nodiscard]] double value() const;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double probability() const noexcept { return q_; }
+
+ private:
+  static constexpr std::size_t kMarkers = 5;
+
+  void init_markers();
+  /// Rebuild the marker state from (count, 5 heights at the desired
+  /// quantile fractions) — used after a merge.
+  void rebuild(std::size_t count, const std::array<double, kMarkers>& heights);
+  [[nodiscard]] double desired_fraction(std::size_t i) const noexcept;
+
+  double q_;
+  std::size_t count_ = 0;
+  std::array<double, kMarkers> heights_{};  // marker values, ascending
+  std::array<double, kMarkers> pos_{};      // marker positions (1-based)
+};
+
+}  // namespace divsec::stats

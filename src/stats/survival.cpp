@@ -40,12 +40,13 @@ KaplanMeier::KaplanMeier(std::vector<SurvivalObservation> observations) {
 }
 
 double KaplanMeier::survival_at(double t) const noexcept {
-  double s = 1.0;
-  for (const auto& step : steps_) {
-    if (step.time > t) break;
-    s = step.survival;
-  }
-  return s;
+  // steps_ is sorted by time: binary-search the first step past t (this
+  // is called per grid point per replication — a linear scan was the
+  // hot spot).
+  const auto it = std::upper_bound(
+      steps_.begin(), steps_.end(), t,
+      [](double value, const KaplanMeierStep& s) { return value < s.time; });
+  return it == steps_.begin() ? 1.0 : std::prev(it)->survival;
 }
 
 std::optional<double> KaplanMeier::quantile(double q) const {
@@ -70,6 +71,144 @@ double KaplanMeier::restricted_mean(double tau) const {
   }
   area += prev_s * (tau - prev_t);
   return area;
+}
+
+StreamingSurvival::StreamingSurvival(double horizon, std::size_t bins)
+    : horizon_(horizon) {
+  if (!(horizon > 0.0))
+    throw std::invalid_argument("StreamingSurvival: horizon must be > 0");
+  if (bins == 0)
+    throw std::invalid_argument("StreamingSurvival: need >= 1 bin");
+  events_in_.assign(bins, 0);
+  censored_in_.assign(bins + 1, 0);
+}
+
+void StreamingSurvival::add(double time, bool event) {
+  if (events_in_.empty())
+    throw std::logic_error("StreamingSurvival::add: default-constructed state");
+  if (time < 0.0)
+    throw std::invalid_argument("StreamingSurvival: negative time");
+  ++n_;
+  const std::size_t k = std::min(
+      bins() - 1,
+      static_cast<std::size_t>(time / horizon_ * static_cast<double>(bins())));
+  if (event) {
+    ++events_;
+    ++events_in_[k];
+  } else if (time >= horizon_) {
+    ++censored_in_[bins()];  // at risk through every bin
+  } else {
+    ++censored_in_[k];
+  }
+}
+
+void StreamingSurvival::merge(const StreamingSurvival& other) {
+  if (other.n_ == 0 && other.events_in_.empty()) return;
+  if (n_ == 0 && events_in_.empty()) {
+    *this = other;
+    return;
+  }
+  if (other.horizon_ != horizon_ || other.events_in_.size() != events_in_.size())
+    throw std::invalid_argument("StreamingSurvival::merge: grid mismatch");
+  n_ += other.n_;
+  events_ += other.events_;
+  for (std::size_t k = 0; k < events_in_.size(); ++k)
+    events_in_[k] += other.events_in_[k];
+  for (std::size_t k = 0; k < censored_in_.size(); ++k)
+    censored_in_[k] += other.censored_in_[k];
+}
+
+std::vector<double> StreamingSurvival::survival_curve() const {
+  std::vector<double> s(bins() + 1, 1.0);
+  std::uint64_t removed = 0;  // events + censorings in earlier bins
+  for (std::size_t k = 0; k < bins(); ++k) {
+    const std::uint64_t at_risk = n_ - removed;
+    double factor = 1.0;
+    if (events_in_[k] > 0 && at_risk > 0)
+      factor = 1.0 - static_cast<double>(events_in_[k]) /
+                         static_cast<double>(at_risk);
+    s[k + 1] = s[k] * factor;
+    removed += events_in_[k] + censored_in_[k];
+  }
+  return s;
+}
+
+double StreamingSurvival::survival_at(double t) const {
+  return survival_at(t, survival_curve());
+}
+
+double StreamingSurvival::survival_at(double t,
+                                      std::span<const double> curve) const noexcept {
+  if (n_ == 0 || t < 0.0) return 1.0;
+  if (t >= horizon_) return curve.back();
+  // Bin-k events step the curve at the bin's upper edge, so t inside bin
+  // k still sees the value entering the bin.
+  const std::size_t k = std::min(
+      bins() - 1,
+      static_cast<std::size_t>(t / horizon_ * static_cast<double>(bins())));
+  return curve[k];
+}
+
+std::optional<double> StreamingSurvival::quantile(double q) const {
+  return quantile(q, survival_curve());
+}
+
+std::optional<double> StreamingSurvival::quantile(
+    double q, std::span<const double> curve) const {
+  if (!(q > 0.0 && q < 1.0))
+    throw std::invalid_argument("StreamingSurvival::quantile: q must be in (0,1)");
+  if (n_ == 0) return std::nullopt;
+  const double width = horizon_ / static_cast<double>(bins());
+  for (std::size_t k = 0; k < bins(); ++k)
+    if (curve[k + 1] <= 1.0 - q) return width * static_cast<double>(k + 1);
+  return std::nullopt;
+}
+
+double StreamingSurvival::restricted_mean() const {
+  return restricted_mean(survival_curve());
+}
+
+double StreamingSurvival::restricted_mean(
+    std::span<const double> curve) const noexcept {
+  if (n_ == 0) return 0.0;
+  const double width = horizon_ / static_cast<double>(bins());
+  double area = 0.0;
+  for (std::size_t k = 0; k < bins(); ++k) area += curve[k] * width;
+  return area;
+}
+
+CensoredTimeAccumulator::CensoredTimeAccumulator(double horizon, std::size_t bins)
+    : survival_(horizon, bins) {}
+
+void CensoredTimeAccumulator::add(double time, bool censored) {
+  moments_.add(time);
+  if (censored) ++censored_;
+  q50_.add(time);
+  q90_.add(time);
+  survival_.add(time, /*event=*/!censored);
+}
+
+void CensoredTimeAccumulator::merge(const CensoredTimeAccumulator& other) {
+  moments_.merge(other.moments_);
+  censored_ += other.censored_;
+  q50_.merge(other.q50_);
+  q90_.merge(other.q90_);
+  survival_.merge(other.survival_);
+}
+
+CensoredTimeSummary CensoredTimeAccumulator::summarize() const {
+  CensoredTimeSummary s;
+  s.observations = moments_.count();
+  s.censored = censored_;
+  if (s.observations) {
+    // One curve evaluation serves both product-limit statistics.
+    const std::vector<double> curve = survival_.survival_curve();
+    s.restricted_mean = survival_.restricted_mean(curve);
+    s.median = survival_.quantile(0.5, curve);
+  }
+  s.q50 = q50_.value();
+  s.q90 = q90_.value();
+  return s;
 }
 
 }  // namespace divsec::stats

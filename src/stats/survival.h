@@ -1,16 +1,33 @@
-// survival.h — Kaplan-Meier estimation for censored time data.
+// survival.h — censoring-aware estimation for event-time data.
 //
 // Time-To-Attack and Time-To-Security-Failure samples are right-censored
 // at the simulation horizon (an undetected / unfinished run tells us only
 // that the event time exceeds the horizon). Averaging censored-at-horizon
-// values (what the ANOVA cells do, documented there) biases the mean
-// down; the Kaplan-Meier product-limit estimator handles censoring
-// correctly and yields survival curves, median survival, and restricted
-// mean survival time — the right summary statistics for E3/E4.
+// values biases the mean down; the product-limit estimator handles
+// censoring correctly and yields survival curves, median survival, and
+// restricted mean survival time — the right summary statistics for E3/E4.
+//
+// Two estimators share that math:
+//  * KaplanMeier        — exact product-limit over a retained sample
+//    (step per distinct event time);
+//  * StreamingSurvival  — binned product-limit over a fixed grid on
+//    [0, horizon], O(bins) memory, with an exact merge (bin counts add),
+//    built for the streaming measurement backend where samples are never
+//    materialized.
+//
+// CensoredTimeAccumulator bundles StreamingSurvival with Welford moments
+// and P² quantile sketches of the censored-at-horizon values: the one
+// per-indicator aggregation state shared by the campaign measurement
+// engine and the SAN first-passage estimators.
 #pragma once
 
+#include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
+
+#include "stats/descriptive.h"
+#include "stats/p2_quantile.h"
 
 namespace divsec::stats {
 
@@ -59,6 +76,117 @@ class KaplanMeier {
   std::vector<KaplanMeierStep> steps_;
   std::size_t n_ = 0;
   std::size_t events_ = 0;
+};
+
+/// Streaming product-limit estimator on a fixed binned grid over
+/// [0, horizon]. Observations bucket into `bins` equal-width bins (events
+/// past the horizon clamp into the last bin; censorings at or past the
+/// horizon stay at risk through every bin); the survival curve treats a
+/// bin's events as occurring at its upper edge, so estimates converge to
+/// Kaplan-Meier as bins grow, with bias bounded by one bin width.
+/// merge() adds bin counts — exact and order-independent — which is what
+/// makes blocked parallel reduction of survival state deterministic.
+class StreamingSurvival {
+ public:
+  /// Mergeable empty state (adopts the first non-empty merge partner).
+  StreamingSurvival() = default;
+  /// horizon > 0, bins >= 1 (std::invalid_argument otherwise).
+  StreamingSurvival(double horizon, std::size_t bins);
+
+  /// Record one observation: `event` false means right-censored at `time`.
+  void add(double time, bool event);
+  /// Requires identical (horizon, bins) unless one side is empty.
+  void merge(const StreamingSurvival& other);
+
+  [[nodiscard]] double horizon() const noexcept { return horizon_; }
+  [[nodiscard]] std::size_t bins() const noexcept { return events_in_.size(); }
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] std::size_t event_count() const noexcept { return events_; }
+  [[nodiscard]] std::size_t censored_count() const noexcept { return n_ - events_; }
+
+  /// Survival entering each bin of the product-limit curve (size
+  /// bins() + 1; front() == 1, back() == the post-horizon plateau).
+  /// O(bins) per call: evaluate once and query against it when walking a
+  /// time grid.
+  [[nodiscard]] std::vector<double> survival_curve() const;
+
+  /// S(t) of the binned product-limit curve (step at bin upper edges).
+  /// The one-argument conveniences recompute the curve per call; the
+  /// curve-taking overloads query a precomputed survival_curve().
+  [[nodiscard]] double survival_at(double t) const;
+  [[nodiscard]] double survival_at(double t,
+                                   std::span<const double> curve) const noexcept;
+  /// Smallest bin upper edge with S <= 1 - q; nullopt when censoring
+  /// keeps the curve above that level. q in (0,1).
+  [[nodiscard]] std::optional<double> quantile(double q) const;
+  [[nodiscard]] std::optional<double> quantile(double q,
+                                               std::span<const double> curve) const;
+  [[nodiscard]] std::optional<double> median() const { return quantile(0.5); }
+  /// Integral of S(t) over [0, horizon] — the censoring-aware mean.
+  [[nodiscard]] double restricted_mean() const;
+  [[nodiscard]] double restricted_mean(std::span<const double> curve) const noexcept;
+
+ private:
+  double horizon_ = 0.0;
+  std::size_t n_ = 0;
+  std::size_t events_ = 0;
+  std::vector<std::uint64_t> events_in_;    // per bin
+  std::vector<std::uint64_t> censored_in_;  // per bin, index bins() = at horizon
+};
+
+/// Aggregated censoring-aware view of one time indicator.
+struct CensoredTimeSummary {
+  std::size_t observations = 0;
+  std::size_t censored = 0;
+  /// Product-limit restricted mean over [0, horizon] — the censoring-aware
+  /// replacement for the biased censored-at-horizon mean.
+  double restricted_mean = 0.0;
+  /// Product-limit median; nullopt when censoring keeps S(t) above 0.5.
+  std::optional<double> median;
+  /// P² sketches of the censored-at-horizon values (the same distribution
+  /// the biased mean summarizes; reported alongside for context).
+  double q50 = 0.0;
+  double q90 = 0.0;
+
+  [[nodiscard]] double censor_fraction() const noexcept {
+    return observations ? static_cast<double>(censored) /
+                              static_cast<double>(observations)
+                        : 0.0;
+  }
+};
+
+/// The streaming aggregation state of one censored time indicator:
+/// Welford moments of the censored-at-horizon values, censor count, P²
+/// quantile sketches, and the binned product-limit curve. add() is O(1);
+/// merge() combines block partials (exact for moments, counts and
+/// survival bins; the P² merge is deterministic given a fixed merge
+/// order). Shared by core::IndicatorAccumulator (TTA/TTSF) and the SAN
+/// first-passage estimator.
+class CensoredTimeAccumulator {
+ public:
+  CensoredTimeAccumulator() = default;  // mergeable empty state
+  CensoredTimeAccumulator(double horizon, std::size_t bins);
+
+  /// `time` is the censored-at-horizon value; `censored` true when the
+  /// event did not occur by the horizon.
+  void add(double time, bool censored);
+  void merge(const CensoredTimeAccumulator& other);
+
+  /// Moments of the censored-at-horizon values (the biased estimator —
+  /// kept because ANOVA cells and legacy reports are defined on it).
+  [[nodiscard]] const OnlineStats& moments() const noexcept { return moments_; }
+  [[nodiscard]] std::size_t censored() const noexcept { return censored_; }
+  [[nodiscard]] const StreamingSurvival& survival() const noexcept {
+    return survival_;
+  }
+  [[nodiscard]] CensoredTimeSummary summarize() const;
+
+ private:
+  OnlineStats moments_;
+  std::size_t censored_ = 0;
+  P2Quantile q50_{0.5};
+  P2Quantile q90_{0.9};
+  StreamingSurvival survival_;
 };
 
 }  // namespace divsec::stats

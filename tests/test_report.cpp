@@ -32,13 +32,31 @@ TEST_F(ReportFixture, MeasurementCsvShape) {
   std::getline(is, line);
   EXPECT_EQ(line,
             "plc.firmware,firewall,success_prob,tta_mean,tta_censored,"
-            "ttsf_mean,ttsf_censored,final_ratio_mean");
+            "tta_rmean,tta_median,ttsf_mean,ttsf_censored,ttsf_rmean,"
+            "ttsf_median,final_ratio_mean,censor_warning");
   std::size_t rows = 0;
   while (std::getline(is, line))
     if (!line.empty()) ++rows;
   EXPECT_EQ(rows, result.table.configuration_count());
   // First data row starts with the baseline variant names.
   EXPECT_NE(csv.find("plc.s7_stock,fw.stock,"), std::string::npos);
+}
+
+TEST_F(ReportFixture, MeasurementCsvFlagsHeavilyCensoredCells) {
+  // With the warn threshold at 0, every cell with any censoring must be
+  // flagged; with it at 1, none may be.
+  const std::string strict = measurement_csv(result.table, 0.0);
+  const std::string lax = measurement_csv(result.table, 1.0);
+  EXPECT_EQ(lax.find(",tta\n"), std::string::npos);
+  EXPECT_EQ(lax.find(",ttsf\n"), std::string::npos);
+  EXPECT_EQ(lax.find(",tta;ttsf\n"), std::string::npos);
+  bool any_censored = false;
+  for (const auto& s : result.table.summaries)
+    any_censored = any_censored || s.tta_censored > 0 || s.ttsf_censored > 0;
+  if (any_censored)
+    EXPECT_TRUE(strict.find(",tta\n") != std::string::npos ||
+                strict.find(",ttsf\n") != std::string::npos ||
+                strict.find(",tta;ttsf\n") != std::string::npos);
 }
 
 TEST_F(ReportFixture, AnovaCsvHasAllRows) {
