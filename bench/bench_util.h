@@ -13,11 +13,21 @@
 #include <string>
 #include <vector>
 
+#include "util/json.h"
+
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
 #endif
 
 namespace divsec::bench {
+
+// JSON emission lives in util/json.h (shared with the distributed-sweep
+// state/summary writers); the aliases keep existing bench code spelled
+// the same.
+using util::BenchRecord;
+using util::json_escape;
+using util::json_number;
+using util::write_bench_json;
 
 /// Process peak RSS (high-water mark) in MiB; NaN where unavailable.
 /// Because it is a high-water mark, phase-attributable memory is the
@@ -56,76 +66,5 @@ inline std::string fmt(double v, int precision = 4) {
 }
 
 inline std::string fmt_int(long long v) { return std::to_string(v); }
-
-/// One machine-readable timing record for the perf trajectory. `speedup`
-/// is relative to whatever the bench defines as its serial baseline
-/// (1.0 for standalone timings). `peak_mb` is an optional memory datum
-/// (peak RSS or aggregation footprint, in MiB); NaN serializes as null.
-struct BenchRecord {
-  std::string name;
-  double wall_ms = 0.0;
-  int threads = 1;
-  double speedup = 1.0;
-  double peak_mb = std::numeric_limits<double>::quiet_NaN();
-};
-
-/// JSON string escaping: quotes, backslashes, and control characters.
-/// Record names come from free-form bench code — an unescaped quote or
-/// newline would silently corrupt the whole BENCH_*.json artifact.
-inline std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 8);
-  for (const char raw : s) {
-    const auto c = static_cast<unsigned char>(raw);
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (c < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += raw;
-        }
-    }
-  }
-  return out;
-}
-
-/// JSON number or null: printf's "%f" renders non-finite doubles as
-/// nan/inf, which no JSON parser accepts — a single timer glitch or 0/0
-/// speedup used to invalidate the whole artifact.
-inline std::string json_number(double v, int precision = 3) {
-  if (!std::isfinite(v)) return "null";
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
-  return buf;
-}
-
-/// Write records as a JSON array to `path` (BENCH_*.json convention), so
-/// CI can track wall time and parallel speedup across commits. Emits
-/// nothing on I/O failure: benches must not fail on read-only filesystems.
-inline void write_bench_json(const std::string& path,
-                             const std::vector<BenchRecord>& records) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (!f) return;
-  std::fprintf(f, "[\n");
-  for (std::size_t i = 0; i < records.size(); ++i) {
-    const BenchRecord& r = records[i];
-    std::fprintf(f,
-                 "  {\"name\": \"%s\", \"wall_ms\": %s, \"threads\": %d, "
-                 "\"speedup\": %s, \"peak_mb\": %s}%s\n",
-                 json_escape(r.name).c_str(), json_number(r.wall_ms).c_str(),
-                 r.threads, json_number(r.speedup).c_str(),
-                 json_number(r.peak_mb).c_str(),
-                 i + 1 < records.size() ? "," : "");
-  }
-  std::fprintf(f, "]\n");
-  std::fclose(f);
-}
 
 }  // namespace divsec::bench

@@ -1,5 +1,7 @@
 #include "core/indicator_accumulator.h"
 
+#include <stdexcept>
+
 namespace divsec::core {
 
 IndicatorAccumulator::IndicatorAccumulator(double horizon_hours,
@@ -7,6 +9,25 @@ IndicatorAccumulator::IndicatorAccumulator(double horizon_hours,
     : horizon_(horizon_hours),
       tta_(horizon_hours, survival_bins),
       ttsf_(horizon_hours, survival_bins) {}
+
+IndicatorAccumulator::State IndicatorAccumulator::state() const {
+  return {horizon_, n_,           successes_,
+          tta_.state(), ttsf_.state(), final_ratio_.state()};
+}
+
+IndicatorAccumulator IndicatorAccumulator::from_state(const State& s) {
+  if (s.successes > s.n)
+    throw std::invalid_argument(
+        "IndicatorAccumulator::from_state: successes > replications");
+  IndicatorAccumulator out;
+  out.horizon_ = s.horizon;
+  out.n_ = s.n;
+  out.successes_ = s.successes;
+  out.tta_ = stats::CensoredTimeAccumulator::from_state(s.tta);
+  out.ttsf_ = stats::CensoredTimeAccumulator::from_state(s.ttsf);
+  out.final_ratio_ = stats::OnlineStats::from_state(s.final_ratio);
+  return out;
+}
 
 void IndicatorAccumulator::add(const IndicatorSample& sample) {
   ++n_;

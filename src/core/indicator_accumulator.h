@@ -20,8 +20,28 @@ namespace divsec::core {
 
 class IndicatorAccumulator {
  public:
+  /// The complete aggregation state, exposed for the distributed-sweep
+  /// serialization layer (dist/state_codec): a shard process exports its
+  /// partials with state(), the merge process restores them with
+  /// from_state() and merges exactly as the in-process reduction would
+  /// have. from_state(state()) is an exact round-trip — every subsequent
+  /// merge/summarize is bit-identical to the original's.
+  struct State {
+    double horizon = 0.0;
+    std::size_t n = 0;
+    std::size_t successes = 0;
+    stats::CensoredTimeAccumulator::State tta;
+    stats::CensoredTimeAccumulator::State ttsf;
+    stats::OnlineStats::State final_ratio;
+  };
+
   IndicatorAccumulator() = default;  // mergeable empty state
   IndicatorAccumulator(double horizon_hours, std::size_t survival_bins);
+
+  [[nodiscard]] State state() const;
+  /// Restores from exported state; constituent validation applies
+  /// (std::invalid_argument on corrupt state).
+  [[nodiscard]] static IndicatorAccumulator from_state(const State& s);
 
   void add(const IndicatorSample& sample);
   void merge(const IndicatorAccumulator& other);

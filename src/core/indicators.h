@@ -103,6 +103,15 @@ struct MeasurementOptions {
   /// number — never derived from the thread count. 0 resolves to
   /// sim::kDefaultReductionBlock.
   std::size_t replication_block = 0;
+  /// Replications per superblock — the distributable unit of the
+  /// two-level streaming reduction (sim/shard_plan.h). Superblock
+  /// partials merge in ascending order into each cell's result, so a
+  /// sweep can be split across OS processes at superblock boundaries and
+  /// merged back bit-identically. Like the block, it is part of the
+  /// determinism contract: a fixed number, never derived from thread or
+  /// shard counts; must be a multiple of the resolved block. 0 resolves
+  /// to sim::kDefaultSuperblockReps (block-aligned).
+  std::size_t superblock = 0;
   /// Bins of the streaming product-limit (survival) estimators over
   /// [0, horizon]; bounds the bias of the censor-aware restricted mean
   /// and median to one bin width.

@@ -8,6 +8,7 @@
 #include "core/indicator_accumulator.h"
 #include "san/simulator.h"
 #include "sim/executor.h"
+#include "sim/shard_plan.h"
 #include "sim/streaming.h"
 
 namespace divsec::core {
@@ -117,39 +118,65 @@ MeasurementEngine::MeasurementEngine(const divers::VariantCatalog& catalog,
   validate_options(options_);
 }
 
+sim::ShardPlan MeasurementEngine::shard_plan(std::size_t cells) const {
+  return sim::ShardPlan::make(cells, options_.replications,
+                              options_.replication_block, options_.superblock);
+}
+
+std::vector<IndicatorAccumulator> MeasurementEngine::run_task_range(
+    const CellContextList& contexts, std::span<const std::uint64_t> seeds,
+    const sim::ShardPlan& shard, std::size_t task_begin, std::size_t task_end,
+    std::vector<IndicatorSample>* samples) const {
+  const double horizon = options_.campaign.t_max_hours;
+  const std::size_t reps = options_.replications;
+  const auto make = [&](std::size_t) {
+    return IndicatorAccumulator(horizon, options_.survival_bins);
+  };
+  // One blocked fold per superblock task: block partials merge in
+  // ascending block order inside the task, so a task's partial depends
+  // only on (cell, superblock, RNG contract) — not on the thread count,
+  // the round size, or which process runs it. Tasks past a cell's
+  // replication count bound-check to no-ops (uniform task_span keeps the
+  // schedule rectangular).
+  return sim::blocked_reduce_groups<IndicatorAccumulator>(
+      *executor_, task_end - task_begin, shard.task_span(), shard.block(),
+      make, [&](IndicatorAccumulator& a, std::size_t g, std::size_t i) {
+        const sim::ShardPlan::Task task = shard.task(task_begin + g);
+        const std::size_t rep = task.begin + i;
+        if (rep >= task.end) return;
+        const IndicatorSample s = run_job(*contexts.slots[task.group], horizon,
+                                          stats::Rng(seeds[task.group], rep));
+        if (samples) (*samples)[task.group * reps + rep] = s;
+        a.add(s);
+      });
+}
+
 std::vector<IndicatorSummary> MeasurementEngine::run_cells(
     const CellContextList& contexts, std::span<const std::uint64_t> seeds,
     const CellVisitor& visit) const {
   const std::size_t cells = contexts.slots.size();
   const std::size_t reps = options_.replications;
   const double horizon = options_.campaign.t_max_hours;
-  const std::size_t block = options_.replication_block
-                                ? options_.replication_block
-                                : sim::kDefaultReductionBlock;
   const auto make = [&](std::size_t) {
     return IndicatorAccumulator(horizon, options_.survival_bins);
   };
 
-  // One blocked accumulator fold serves both paths: the replication range
-  // splits into fixed-size blocks (independent of the thread count), each
-  // block job runs its replications and folds the samples on the spot,
-  // and block partials merge in ascending block order — summaries are
-  // bit-identical for any DIVSEC_THREADS. Streaming (the default with
-  // keep_samples off and no visitor) keeps memory at
+  // The in-process path is the K = 1 instance of the distributed plan:
+  // every superblock task of every cell runs here, then the exact
+  // reducer folds task partials in ascending (cell, superblock) order —
+  // the identical code path and merge sequence divsec_sweep uses across
+  // OS processes, and bit-identical for any DIVSEC_THREADS. Streaming
+  // (the default with keep_samples off and no visitor) keeps memory at
   // O(cells + threads × block); the retain-everything path additionally
   // stores each sample into the (cell × replication) matrix the visitor
   // contract and keep_samples hand out, with the identical fold sequence.
   const bool retain = options_.keep_samples || static_cast<bool>(visit);
   std::vector<IndicatorSample> samples(retain ? cells * reps : 0);
+  const sim::ShardPlan plan = shard_plan(cells);
+  std::vector<IndicatorAccumulator> partials = run_task_range(
+      contexts, seeds, plan, 0, plan.task_count(), retain ? &samples : nullptr);
   std::vector<IndicatorAccumulator> acc =
-      sim::blocked_reduce_groups<IndicatorAccumulator>(
-          *executor_, cells, reps, block, make,
-          [&](IndicatorAccumulator& a, std::size_t c, std::size_t rep) {
-            const IndicatorSample s =
-                run_job(*contexts.slots[c], horizon, stats::Rng(seeds[c], rep));
-            if (retain) samples[c * reps + rep] = s;
-            a.add(s);
-          });
+      sim::reduce_task_partials(plan, std::move(partials), make);
 
   std::vector<IndicatorSummary> out(cells);
   for (std::size_t c = 0; c < cells; ++c) {
@@ -208,6 +235,46 @@ std::vector<IndicatorSummary> MeasurementEngine::measure_scenarios(
   std::vector<std::uint64_t> seeds(cells);
   for (std::size_t c = 0; c < cells; ++c) seeds[c] = plan.cells[c].seed;
   return run_cells(contexts, seeds, visit);
+}
+
+std::vector<IndicatorAccumulator> MeasurementEngine::measure_scenario_partials(
+    const ScenarioSweepPlan& plan, const sim::ShardPlan& shard,
+    std::size_t task_begin, std::size_t task_end) const {
+  if (options_.engine != Engine::kCampaign)
+    throw std::invalid_argument(
+        "measure_scenario_partials: requires the campaign engine");
+  const sim::ShardPlan expected = shard_plan(plan.cell_count());
+  if (shard.groups() != expected.groups() ||
+      shard.count() != expected.count() ||
+      shard.block() != expected.block() ||
+      shard.superblock() != expected.superblock())
+    throw std::invalid_argument(
+        "measure_scenario_partials: shard plan does not match the sweep "
+        "plan/options (cells, replications, block, and superblock must all "
+        "agree or partials will not merge bit-identically)");
+  if (task_begin > task_end || task_end > shard.task_count())
+    throw std::out_of_range("measure_scenario_partials: bad task range");
+  if (task_begin == task_end) return {};
+
+  // Only the cells this task range touches get a campaign context —
+  // shard processes of a huge sweep must not pay for the whole fleet's
+  // reachability indexes.
+  const std::size_t cell_lo = shard.task(task_begin).group;
+  const std::size_t cell_hi = shard.task(task_end - 1).group + 1;
+  CellContextList contexts;
+  contexts.slots.resize(plan.cell_count());
+  executor_->parallel_for(cell_lo, cell_hi, [&](std::size_t c) {
+    auto ctx = std::make_unique<CellContext>();
+    ctx->campaign.emplace(plan.cells[c].scenario, *profile_, *catalog_,
+                          options_.detection, options_.campaign);
+    contexts.slots[c] = std::move(ctx);
+  });
+
+  std::vector<std::uint64_t> seeds(plan.cell_count());
+  for (std::size_t c = 0; c < plan.cell_count(); ++c)
+    seeds[c] = plan.cells[c].seed;
+  return run_task_range(contexts, seeds, shard, task_begin, task_end,
+                        /*samples=*/nullptr);
 }
 
 IndicatorSummary MeasurementEngine::measure_one(const Configuration& config) const {

@@ -1,0 +1,458 @@
+#include "dist/state_codec.h"
+
+#include <bit>
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/json.h"
+
+namespace divsec::dist {
+
+namespace {
+
+constexpr char kMagic[8] = {'D', 'V', 'S', 'W', 'E', 'E', 'P', 'S'};
+
+// ---- primitive byte codec (little-endian, padding-free) --------------------
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void put_f64(std::string& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+void put_str(std::string& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out += s;
+}
+
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] std::size_t offset() const noexcept { return off_; }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return bytes_.size() - off_;
+  }
+
+  [[nodiscard]] std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(bytes_[off_++]);
+  }
+
+  [[nodiscard]] std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(
+               static_cast<unsigned char>(bytes_[off_ + static_cast<std::size_t>(i)]))
+           << (8 * i);
+    off_ += 4;
+    return v;
+  }
+
+  [[nodiscard]] std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(bytes_[off_ + static_cast<std::size_t>(i)]))
+           << (8 * i);
+    off_ += 8;
+    return v;
+  }
+
+  [[nodiscard]] double f64() { return std::bit_cast<double>(u64()); }
+
+  [[nodiscard]] std::string str() {
+    const std::uint32_t n = u32();
+    need(n);
+    std::string s(bytes_.substr(off_, n));
+    off_ += n;
+    return s;
+  }
+
+  void skip(std::size_t n) {
+    need(n);
+    off_ += n;
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (remaining() < n)
+      throw std::runtime_error("shard state: truncated input");
+  }
+
+  std::string_view bytes_;
+  std::size_t off_ = 0;
+};
+
+std::uint64_t fnv1a(std::string_view bytes) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x00000100000001B3ULL;
+  }
+  return h;
+}
+
+void fnv1a_mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= 0x00000100000001B3ULL;
+  }
+}
+
+void fnv1a_mix(std::uint64_t& h, const std::string& s) {
+  fnv1a_mix(h, static_cast<std::uint64_t>(s.size()));
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x00000100000001B3ULL;
+  }
+}
+
+// ---- state blobs -----------------------------------------------------------
+
+void put_online(std::string& out, const stats::OnlineStats::State& s) {
+  put_u64(out, s.n);
+  put_f64(out, s.mean);
+  put_f64(out, s.m2);
+  put_f64(out, s.min);
+  put_f64(out, s.max);
+}
+
+stats::OnlineStats::State get_online(Reader& r) {
+  stats::OnlineStats::State s;
+  s.n = r.u64();
+  s.mean = r.f64();
+  s.m2 = r.f64();
+  s.min = r.f64();
+  s.max = r.f64();
+  return s;
+}
+
+void put_p2(std::string& out, const stats::P2Quantile::State& s) {
+  put_f64(out, s.q);
+  put_u64(out, s.count);
+  for (const double h : s.heights) put_f64(out, h);
+  for (const double p : s.pos) put_f64(out, p);
+}
+
+stats::P2Quantile::State get_p2(Reader& r) {
+  stats::P2Quantile::State s;
+  s.q = r.f64();
+  s.count = r.u64();
+  for (double& h : s.heights) h = r.f64();
+  for (double& p : s.pos) p = r.f64();
+  return s;
+}
+
+void put_survival(std::string& out, const stats::StreamingSurvival::State& s) {
+  put_f64(out, s.horizon);
+  put_u64(out, s.n);
+  put_u64(out, s.events);
+  put_u64(out, s.events_in.size());
+  for (const auto v : s.events_in) put_u64(out, v);
+  put_u64(out, s.censored_in.size());
+  for (const auto v : s.censored_in) put_u64(out, v);
+}
+
+stats::StreamingSurvival::State get_survival(Reader& r) {
+  stats::StreamingSurvival::State s;
+  s.horizon = r.f64();
+  s.n = r.u64();
+  s.events = r.u64();
+  const std::uint64_t nbins = r.u64();
+  if (nbins > r.remaining() / 8)
+    throw std::runtime_error("shard state: survival bin count exceeds input");
+  s.events_in.reserve(nbins);
+  for (std::uint64_t i = 0; i < nbins; ++i) s.events_in.push_back(r.u64());
+  const std::uint64_t ncens = r.u64();
+  if (ncens > r.remaining() / 8)
+    throw std::runtime_error("shard state: censor bin count exceeds input");
+  s.censored_in.reserve(ncens);
+  for (std::uint64_t i = 0; i < ncens; ++i) s.censored_in.push_back(r.u64());
+  return s;
+}
+
+void put_censored(std::string& out,
+                  const stats::CensoredTimeAccumulator::State& s) {
+  put_online(out, s.moments);
+  put_u64(out, s.censored);
+  put_p2(out, s.q50);
+  put_p2(out, s.q90);
+  put_survival(out, s.survival);
+}
+
+stats::CensoredTimeAccumulator::State get_censored(Reader& r) {
+  stats::CensoredTimeAccumulator::State s;
+  s.moments = get_online(r);
+  s.censored = r.u64();
+  s.q50 = get_p2(r);
+  s.q90 = get_p2(r);
+  s.survival = get_survival(r);
+  return s;
+}
+
+void put_accumulator(std::string& out,
+                     const core::IndicatorAccumulator::State& s) {
+  put_f64(out, s.horizon);
+  put_u64(out, s.n);
+  put_u64(out, s.successes);
+  put_censored(out, s.tta);
+  put_censored(out, s.ttsf);
+  put_online(out, s.final_ratio);
+}
+
+core::IndicatorAccumulator::State get_accumulator(Reader& r) {
+  core::IndicatorAccumulator::State s;
+  s.horizon = r.f64();
+  s.n = r.u64();
+  s.successes = r.u64();
+  s.tta = get_censored(r);
+  s.ttsf = get_censored(r);
+  s.final_ratio = get_online(r);
+  return s;
+}
+
+void put_meta(std::string& out, const SweepMeta& m) {
+  put_str(out, m.preset);
+  put_str(out, m.threat);
+  put_u32(out, static_cast<std::uint32_t>(m.policies.size()));
+  for (const auto p : m.policies)
+    out.push_back(static_cast<char>(static_cast<std::uint8_t>(p)));
+  put_u64(out, m.seed);
+  put_u64(out, m.replications);
+  put_u64(out, m.replication_block);
+  put_u64(out, m.superblock);
+  put_u64(out, m.survival_bins);
+  put_f64(out, m.horizon_hours);
+  put_u64(out, m.cells);
+  put_u64(out, m.shard);
+  put_u64(out, m.shard_count);
+  put_u32(out, m.merged ? 1 : 0);
+  put_f64(out, m.wall_ms);
+  put_u32(out, m.threads);
+}
+
+}  // namespace
+
+std::uint64_t sweep_fingerprint(const SweepMeta& meta) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  fnv1a_mix(h, kStateFormatVersion);
+  fnv1a_mix(h, meta.preset);
+  fnv1a_mix(h, meta.threat);
+  fnv1a_mix(h, static_cast<std::uint64_t>(meta.policies.size()));
+  for (const auto p : meta.policies)
+    fnv1a_mix(h, static_cast<std::uint64_t>(p));
+  fnv1a_mix(h, meta.seed);
+  fnv1a_mix(h, meta.replications);
+  fnv1a_mix(h, meta.replication_block);
+  fnv1a_mix(h, meta.superblock);
+  fnv1a_mix(h, meta.survival_bins);
+  fnv1a_mix(h, std::bit_cast<std::uint64_t>(meta.horizon_hours));
+  fnv1a_mix(h, meta.cells);
+  return h;
+}
+
+std::string meta_json(const SweepMeta& meta) {
+  using util::json_number_exact;
+  using util::json_string;
+  std::string policies;
+  for (std::size_t i = 0; i < meta.policies.size(); ++i) {
+    if (i) policies += ", ";
+    policies += json_string(scenario::to_string(meta.policies[i]));
+  }
+  std::string out = "{";
+  out += "\"format\": \"divsec-sweep-state\"";
+  out += ", \"version\": " + std::to_string(kStateFormatVersion);
+  out += ", \"preset\": " + json_string(meta.preset);
+  out += ", \"policies\": [" + policies + "]";
+  out += ", \"threat\": " + json_string(meta.threat);
+  out += ", \"seed\": " + std::to_string(meta.seed);
+  out += ", \"replications\": " + std::to_string(meta.replications);
+  out += ", \"replication_block\": " + std::to_string(meta.replication_block);
+  out += ", \"superblock\": " + std::to_string(meta.superblock);
+  out += ", \"survival_bins\": " + std::to_string(meta.survival_bins);
+  out += ", \"horizon_hours\": " + json_number_exact(meta.horizon_hours);
+  out += ", \"cells\": " + std::to_string(meta.cells);
+  out += ", \"shard\": " + std::to_string(meta.shard);
+  out += ", \"shard_count\": " + std::to_string(meta.shard_count);
+  out += std::string(", \"merged\": ") + (meta.merged ? "true" : "false");
+  out += ", \"wall_ms\": " + util::json_number(meta.wall_ms);
+  out += ", \"threads\": " + std::to_string(meta.threads);
+  out += ", \"fingerprint\": \"";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(sweep_fingerprint(meta)));
+  out += buf;
+  out += "\"}";
+  return out;
+}
+
+std::string encode_shard_state(const ShardState& state) {
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  put_u32(out, kStateFormatVersion);
+  put_str(out, meta_json(state.meta));
+  put_meta(out, state.meta);
+  put_u64(out, state.task_begin);
+  put_u64(out, state.task_end);
+  if (state.partials.size() != state.task_end - state.task_begin)
+    throw std::invalid_argument(
+        "encode_shard_state: partial count != task range");
+  for (const auto& p : state.partials) put_accumulator(out, p);
+  put_u64(out, fnv1a(out));
+  return out;
+}
+
+ShardState decode_shard_state(std::string_view bytes) {
+  if (bytes.size() < sizeof(kMagic) + 4 + 8 ||
+      bytes.compare(0, sizeof(kMagic), kMagic, sizeof(kMagic)) != 0)
+    throw std::runtime_error("shard state: not a divsec sweep state file");
+  const std::uint64_t stored =
+      Reader(bytes.substr(bytes.size() - 8)).u64();
+  if (fnv1a(bytes.substr(0, bytes.size() - 8)) != stored)
+    throw std::runtime_error("shard state: checksum mismatch (file damaged)");
+
+  Reader r(bytes.substr(0, bytes.size() - 8));
+  r.skip(sizeof(kMagic));
+  const std::uint32_t version = r.u32();
+  if (version != kStateFormatVersion)
+    throw std::runtime_error("shard state: unsupported format version " +
+                             std::to_string(version));
+  (void)r.str();  // the informational JSON header; binary meta is authoritative
+
+  ShardState state;
+  SweepMeta& m = state.meta;
+  m.preset = r.str();
+  m.threat = r.str();
+  const std::uint32_t npol = r.u32();
+  // One byte per policy: a count the remaining payload cannot hold is
+  // corruption. (No arbitrary cap — sweeps with many replicate arms are
+  // legitimate, and whatever encode writes must decode.)
+  if (npol > r.remaining())
+    throw std::runtime_error("shard state: policy list exceeds input size");
+  m.policies.reserve(npol);
+  for (std::uint32_t i = 0; i < npol; ++i) {
+    const std::uint8_t raw = r.u8();
+    if (raw > static_cast<std::uint8_t>(scenario::VariantPolicy::kRandomPerNode))
+      throw std::runtime_error("shard state: unknown variant policy");
+    m.policies.push_back(static_cast<scenario::VariantPolicy>(raw));
+  }
+  m.seed = r.u64();
+  m.replications = r.u64();
+  m.replication_block = r.u64();
+  m.superblock = r.u64();
+  m.survival_bins = r.u64();
+  m.horizon_hours = r.f64();
+  m.cells = r.u64();
+  if (m.cells != m.policies.size())
+    throw std::runtime_error(
+        "shard state: cell count disagrees with the policy list");
+  m.shard = r.u64();
+  m.shard_count = r.u64();
+  m.merged = r.u32() != 0;
+  m.wall_ms = r.f64();
+  m.threads = r.u32();
+
+  state.task_begin = r.u64();
+  state.task_end = r.u64();
+  if (state.task_end < state.task_begin)
+    throw std::runtime_error("shard state: inverted task range");
+  const std::uint64_t ntasks = state.task_end - state.task_begin;
+  // Plausibility bound before reserving anything: every accumulator blob
+  // is far larger than 64 bytes, so a count the remaining payload cannot
+  // possibly hold is corruption — reject it as such rather than letting
+  // a forged count drive reserve() into bad_alloc.
+  if (ntasks > r.remaining() / 64)
+    throw std::runtime_error("shard state: task count exceeds input size");
+  state.partials.reserve(ntasks);
+  for (std::uint64_t i = 0; i < ntasks; ++i)
+    state.partials.push_back(get_accumulator(r));
+  if (r.remaining() != 0)
+    throw std::runtime_error("shard state: trailing bytes after payload");
+  return state;
+}
+
+std::string accumulator_json(const core::IndicatorAccumulator::State& state) {
+  using util::json_number_exact;
+  const auto online = [](const stats::OnlineStats::State& s) {
+    return "{\"n\": " + std::to_string(s.n) +
+           ", \"mean\": " + json_number_exact(s.mean) +
+           ", \"m2\": " + json_number_exact(s.m2) +
+           ", \"min\": " + json_number_exact(s.min) +
+           ", \"max\": " + json_number_exact(s.max) + "}";
+  };
+  const auto p2 = [](const stats::P2Quantile::State& s) {
+    std::string h, p;
+    for (std::size_t i = 0; i < s.heights.size(); ++i) {
+      if (i) {
+        h += ", ";
+        p += ", ";
+      }
+      h += json_number_exact(s.heights[i]);
+      p += json_number_exact(s.pos[i]);
+    }
+    return "{\"q\": " + json_number_exact(s.q) +
+           ", \"count\": " + std::to_string(s.count) + ", \"heights\": [" + h +
+           "], \"pos\": [" + p + "]}";
+  };
+  const auto survival = [](const stats::StreamingSurvival::State& s) {
+    std::string ev, ce;
+    for (std::size_t i = 0; i < s.events_in.size(); ++i) {
+      if (i) ev += ", ";
+      ev += std::to_string(s.events_in[i]);
+    }
+    for (std::size_t i = 0; i < s.censored_in.size(); ++i) {
+      if (i) ce += ", ";
+      ce += std::to_string(s.censored_in[i]);
+    }
+    return "{\"horizon\": " + json_number_exact(s.horizon) +
+           ", \"n\": " + std::to_string(s.n) +
+           ", \"events\": " + std::to_string(s.events) + ", \"events_in\": [" +
+           ev + "], \"censored_in\": [" + ce + "]}";
+  };
+  const auto censored = [&](const stats::CensoredTimeAccumulator::State& s) {
+    return "{\"moments\": " + online(s.moments) +
+           ", \"censored\": " + std::to_string(s.censored) +
+           ", \"q50\": " + p2(s.q50) + ", \"q90\": " + p2(s.q90) +
+           ", \"survival\": " + survival(s.survival) + "}";
+  };
+  return "{\"horizon\": " + json_number_exact(state.horizon) +
+         ", \"n\": " + std::to_string(state.n) +
+         ", \"successes\": " + std::to_string(state.successes) +
+         ", \"tta\": " + censored(state.tta) +
+         ", \"ttsf\": " + censored(state.ttsf) +
+         ", \"final_ratio\": " + online(state.final_ratio) + "}";
+}
+
+void write_shard_state(const std::string& path, const ShardState& state) {
+  const std::string bytes = encode_shard_state(state);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) throw std::runtime_error("cannot open for writing: " + path);
+  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const int close_result = std::fclose(f);  // unconditionally: no fd leak
+  if (written != bytes.size() || close_result != 0)
+    throw std::runtime_error("short write: " + path);
+}
+
+ShardState read_shard_state(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) throw std::runtime_error("cannot open: " + path);
+  std::string bytes;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) throw std::runtime_error("read error: " + path);
+  return decode_shard_state(bytes);
+}
+
+}  // namespace divsec::dist

@@ -1,0 +1,102 @@
+// state_codec.h — versioned, portable serialization of sweep shard state.
+//
+// A distributed sweep runs as N independent OS processes, each reducing
+// its assigned superblock tasks into core::IndicatorAccumulator partials
+// (sim/shard_plan.h). This codec is how those partials cross the process
+// boundary: a shard-state file carries the sweep's identity (everything
+// the exact reducer must validate before merging), the task range, and
+// the raw accumulator states.
+//
+// Format (version 1), all integers little-endian, doubles as IEEE-754
+// bit patterns:
+//   magic "DVSWEEPS" | u32 version
+//   u32 json_len | meta rendered as JSON  (informational header: `head -2
+//     file.state` and `divsec_sweep inspect` are enough to see what a
+//     file is; the merge reducer never parses it)
+//   binary meta (authoritative)
+//   u64 task_begin | u64 task_end | one accumulator blob per task
+//   u64 FNV-1a checksum of every preceding byte
+//
+// Guarantees:
+//   * exact round-trip — decode(encode(s)) restores every accumulator
+//     bit for bit, and encode(decode(bytes)) == bytes (byte-stable);
+//   * portability — no struct dumps, no host endianness, no padding;
+//   * integrity — truncation, magic/version mismatch, checksum damage,
+//     and structurally corrupt accumulator state all throw.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/indicator_accumulator.h"
+#include "scenario/scenario_builder.h"
+
+namespace divsec::dist {
+
+/// Codec version of the shard-state format. Bump on any layout change;
+/// decode rejects versions it does not speak.
+inline constexpr std::uint32_t kStateFormatVersion = 1;
+
+/// Everything that identifies a sweep (what must match for partials to
+/// be mergeable) plus per-shard provenance (which shard, how long it
+/// took — carried for reporting, excluded from the identity).
+struct SweepMeta {
+  // -- sweep identity: covered by sweep_fingerprint() -----------------
+  std::string preset;                             // scenario preset name
+  std::vector<scenario::VariantPolicy> policies;  // one sweep cell each
+  std::string threat;                             // threat profile name
+  std::uint64_t seed = 0;
+  std::uint64_t replications = 0;
+  std::uint64_t replication_block = 0;  // resolved, > 0
+  std::uint64_t superblock = 0;         // resolved, > 0
+  std::uint64_t survival_bins = 0;
+  double horizon_hours = 0.0;
+  std::uint64_t cells = 0;
+
+  // -- per-file provenance: not part of the identity ------------------
+  std::uint64_t shard = 0;
+  std::uint64_t shard_count = 1;
+  bool merged = false;  // true for the reducer's merged-state output
+  double wall_ms = 0.0;
+  std::uint32_t threads = 1;
+};
+
+/// FNV-1a hash of the identity fields (format version included): two
+/// shard states merge only when their fingerprints agree.
+[[nodiscard]] std::uint64_t sweep_fingerprint(const SweepMeta& meta);
+
+/// One shard's serialized payload: the accumulator partial of every task
+/// in [task_begin, task_end), ascending task order. For merged states
+/// (meta.merged) the "tasks" are the per-cell merged accumulators and
+/// the range is [0, cells).
+struct ShardState {
+  SweepMeta meta;
+  std::uint64_t task_begin = 0;
+  std::uint64_t task_end = 0;
+  std::vector<core::IndicatorAccumulator::State> partials;
+};
+
+/// Serialize to the versioned byte format. Deterministic: equal states
+/// encode to equal bytes.
+[[nodiscard]] std::string encode_shard_state(const ShardState& state);
+
+/// Parse and validate (magic, version, checksum, structural bounds).
+/// Throws std::runtime_error on corrupt or foreign bytes.
+[[nodiscard]] ShardState decode_shard_state(std::string_view bytes);
+
+/// The JSON rendering of a meta block (the embedded header).
+[[nodiscard]] std::string meta_json(const SweepMeta& meta);
+
+/// Exact JSON dump of one accumulator state (doubles at full %.17g
+/// round-trip precision) — the human-readable side of the codec, used by
+/// `divsec_sweep inspect`.
+[[nodiscard]] std::string accumulator_json(
+    const core::IndicatorAccumulator::State& state);
+
+/// File I/O shims; throw std::runtime_error on I/O failure.
+void write_shard_state(const std::string& path, const ShardState& state);
+[[nodiscard]] ShardState read_shard_state(const std::string& path);
+
+}  // namespace divsec::dist

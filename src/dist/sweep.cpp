@@ -1,0 +1,301 @@
+#include "dist/sweep.h"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "core/report.h"
+#include "scenario/presets.h"
+#include "sim/executor.h"
+#include "stats/rng.h"
+#include "util/json.h"
+
+namespace divsec::dist {
+
+namespace {
+
+/// Wall-clock milliseconds of one call.
+template <typename F>
+double timed_ms(const F& f) {
+  const auto t0 = std::chrono::steady_clock::now();
+  f();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+sim::ShardPlan plan_of(const SweepMeta& meta) {
+  return sim::ShardPlan::make(meta.cells, meta.replications,
+                              meta.replication_block, meta.superblock);
+}
+
+std::vector<core::IndicatorSummary> summarize_cells(
+    const SweepMeta& meta, const std::vector<core::IndicatorAccumulator>& acc) {
+  // Mirrors MeasurementEngine::run_cells' reassembly exactly so merged
+  // summaries are field-for-field identical to the in-process path.
+  std::vector<core::IndicatorSummary> out(acc.size());
+  for (std::size_t c = 0; c < acc.size(); ++c) {
+    out[c] = acc[c].summarize();
+    out[c].replications = meta.replications;
+    out[c].horizon_hours = meta.horizon_hours;
+  }
+  return out;
+}
+
+}  // namespace
+
+SweepMeta make_meta(const SweepSpec& spec) {
+  if (spec.policies.empty())
+    throw std::invalid_argument("sweep: need at least one policy arm");
+  if (!scenario::has_preset(spec.preset))
+    throw std::invalid_argument("sweep: unknown preset: " + spec.preset);
+  (void)threat_profile(spec.threat);  // validates the name
+  SweepMeta meta;
+  meta.preset = spec.preset;
+  meta.policies = spec.policies;
+  meta.threat = spec.threat;
+  meta.seed = spec.seed;
+  meta.replications = spec.replications;
+  const sim::ShardPlan plan =
+      sim::ShardPlan::make(spec.policies.size(), spec.replications,
+                           spec.replication_block, spec.superblock);
+  meta.replication_block = plan.block();
+  meta.superblock = plan.superblock();
+  meta.survival_bins = spec.survival_bins;
+  meta.horizon_hours = spec.horizon_hours > 0.0
+                           ? spec.horizon_hours
+                           : attack::CampaignOptions{}.t_max_hours;
+  meta.cells = spec.policies.size();
+  meta.threads = static_cast<std::uint32_t>(sim::Executor::default_thread_count());
+  return meta;
+}
+
+SweepSpec spec_from_meta(const SweepMeta& meta) {
+  SweepSpec spec;
+  spec.preset = meta.preset;
+  spec.policies = meta.policies;
+  spec.threat = meta.threat;
+  spec.seed = meta.seed;
+  spec.replications = meta.replications;
+  spec.replication_block = meta.replication_block;
+  spec.superblock = meta.superblock;
+  spec.survival_bins = meta.survival_bins;
+  spec.horizon_hours = meta.horizon_hours;
+  return spec;
+}
+
+attack::ThreatProfile threat_profile(const std::string& name) {
+  if (name == "stuxnet") return attack::ThreatProfile::stuxnet();
+  if (name == "duqu") return attack::ThreatProfile::duqu();
+  if (name == "flame") return attack::ThreatProfile::flame();
+  throw std::invalid_argument("sweep: unknown threat: " + name);
+}
+
+core::ScenarioSweepPlan expand_plan(const SweepSpec& spec,
+                                    const divers::VariantCatalog& catalog) {
+  core::ScenarioSweepPlan plan;
+  std::uint64_t sm = spec.seed;  // iterated SplitMix64 seed chain
+  for (const auto policy : spec.policies) {
+    core::ScenarioCell cell;
+    cell.scenario =
+        scenario::make_preset(spec.preset, catalog, spec.seed, policy).scenario;
+    cell.seed = stats::splitmix64(sm);
+    plan.cells.push_back(std::move(cell));
+  }
+  return plan;
+}
+
+std::vector<std::string> cell_names(const SweepSpec& spec) {
+  std::vector<std::string> names;
+  names.reserve(spec.policies.size());
+  for (const auto policy : spec.policies)
+    names.emplace_back(scenario::to_string(policy));
+  return names;
+}
+
+core::MeasurementOptions sweep_options(const SweepSpec& spec,
+                                       const sim::Executor* executor) {
+  core::MeasurementOptions mo;
+  mo.engine = core::Engine::kCampaign;
+  mo.replications = spec.replications;
+  mo.seed = spec.seed;
+  mo.keep_samples = false;  // the streaming path, always
+  mo.replication_block = spec.replication_block;
+  mo.superblock = spec.superblock;
+  mo.survival_bins = spec.survival_bins;
+  if (spec.horizon_hours > 0.0) mo.campaign.t_max_hours = spec.horizon_hours;
+  mo.executor = executor;
+  return mo;
+}
+
+ShardState run_shard(const SweepSpec& spec, std::size_t shard,
+                     std::size_t shard_count, const sim::Executor* executor) {
+  ShardState state;
+  state.meta = make_meta(spec);
+  state.meta.shard = shard;
+  state.meta.shard_count = shard_count;
+  if (executor)
+    state.meta.threads = static_cast<std::uint32_t>(executor->thread_count());
+
+  const sim::ShardPlan plan = plan_of(state.meta);
+  const auto [lo, hi] = plan.shard_range(shard, shard_count);
+  state.task_begin = lo;
+  state.task_end = hi;
+
+  state.meta.wall_ms = timed_ms([&] {
+    const divers::VariantCatalog catalog =
+        divers::VariantCatalog::standard(spec.seed);
+    const attack::ThreatProfile profile = threat_profile(spec.threat);
+    const core::MeasurementOptions options = sweep_options(spec, executor);
+    const core::MeasurementEngine engine(catalog, profile, options);
+    const core::ScenarioSweepPlan sweep = expand_plan(spec, catalog);
+    const std::vector<core::IndicatorAccumulator> partials =
+        engine.measure_scenario_partials(sweep, plan, lo, hi);
+    state.partials.reserve(partials.size());
+    for (const auto& p : partials) state.partials.push_back(p.state());
+  });
+  return state;
+}
+
+std::vector<core::IndicatorSummary> run_in_process(
+    const SweepSpec& spec, const sim::Executor* executor) {
+  const divers::VariantCatalog catalog =
+      divers::VariantCatalog::standard(spec.seed);
+  const attack::ThreatProfile profile = threat_profile(spec.threat);
+  const core::MeasurementOptions options = sweep_options(spec, executor);
+  const core::MeasurementEngine engine(catalog, profile, options);
+  return engine.measure_scenarios(expand_plan(spec, catalog));
+}
+
+MergeResult merge_shards(const std::vector<ShardState>& states) {
+  if (states.empty())
+    throw std::invalid_argument("merge_shards: no shard states");
+  const std::uint64_t fingerprint = sweep_fingerprint(states.front().meta);
+  for (const auto& s : states) {
+    if (s.meta.merged)
+      throw std::invalid_argument(
+          "merge_shards: input is already a merged state");
+    if (sweep_fingerprint(s.meta) != fingerprint)
+      throw std::invalid_argument(
+          "merge_shards: shard states come from different sweeps "
+          "(fingerprint mismatch)");
+  }
+
+  const SweepMeta& meta = states.front().meta;
+  const sim::ShardPlan plan = plan_of(meta);
+  const std::size_t tasks = plan.task_count();
+
+  // Exact coverage: every superblock task exactly once, none foreign.
+  std::vector<const core::IndicatorAccumulator::State*> slots(tasks, nullptr);
+  for (const auto& s : states) {
+    if (s.task_end > tasks || s.partials.size() != s.task_end - s.task_begin)
+      throw std::invalid_argument(
+          "merge_shards: task range outside the sweep's plan");
+    for (std::uint64_t t = s.task_begin; t < s.task_end; ++t) {
+      if (slots[t])
+        throw std::invalid_argument(
+            "merge_shards: task " + std::to_string(t) +
+            " appears in more than one shard state");
+      slots[t] = &s.partials[t - s.task_begin];
+    }
+  }
+  for (std::size_t t = 0; t < tasks; ++t)
+    if (!slots[t])
+      throw std::invalid_argument("merge_shards: task " + std::to_string(t) +
+                                  " is missing (incomplete shard set)");
+
+  // Restore and fold in ascending (cell, superblock) order — the same
+  // left-fold the in-process reducer performs.
+  std::vector<core::IndicatorAccumulator> partials;
+  partials.reserve(tasks);
+  for (std::size_t t = 0; t < tasks; ++t)
+    partials.push_back(core::IndicatorAccumulator::from_state(*slots[t]));
+  const auto make = [&](std::size_t) {
+    return core::IndicatorAccumulator(meta.horizon_hours, meta.survival_bins);
+  };
+  MergeResult out;
+  out.accumulators =
+      sim::reduce_task_partials(plan, std::move(partials), make);
+  out.summaries = summarize_cells(meta, out.accumulators);
+  out.meta = meta;
+  out.meta.shard = 0;
+  out.meta.shard_count = states.size();  // provenance: shards reduced
+  out.meta.merged = true;
+  return out;
+}
+
+ShardState merged_state(const MergeResult& merged) {
+  ShardState state;
+  state.meta = merged.meta;
+  state.meta.merged = true;
+  state.task_begin = 0;
+  state.task_end = merged.accumulators.size();
+  state.partials.reserve(merged.accumulators.size());
+  for (const auto& a : merged.accumulators) state.partials.push_back(a.state());
+  return state;
+}
+
+std::vector<core::IndicatorSummary> summaries_from_merged(
+    const ShardState& merged) {
+  if (!merged.meta.merged)
+    throw std::invalid_argument(
+        "summaries_from_merged: state file is an unmerged shard (run "
+        "divsec_sweep merge first)");
+  if (merged.partials.size() != merged.meta.cells)
+    throw std::invalid_argument(
+        "summaries_from_merged: cell count mismatch in merged state");
+  std::vector<core::IndicatorAccumulator> acc;
+  acc.reserve(merged.partials.size());
+  for (const auto& p : merged.partials)
+    acc.push_back(core::IndicatorAccumulator::from_state(p));
+  return summarize_cells(merged.meta, acc);
+}
+
+std::string sweep_csv(const SweepMeta& meta,
+                      const std::vector<core::IndicatorSummary>& cells) {
+  core::MeasurementTable table;
+  stats::Factor factor;
+  factor.name = "policy";
+  for (const auto policy : meta.policies)
+    factor.levels.emplace_back(scenario::to_string(policy));
+  table.space = stats::FactorSpace({std::move(factor)});
+  table.configurations.resize(cells.size());
+  table.summaries = cells;
+  return core::measurement_csv(table);
+}
+
+std::string summary_json(const SweepMeta& meta,
+                         const std::vector<core::IndicatorSummary>& cells) {
+  using util::json_number_exact;
+  using util::json_string;
+  std::string out = "{\"sweep\": " + meta_json(meta) + ", \"cells\": [\n";
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    const core::IndicatorSummary& s = cells[c];
+    const auto median = [&](const std::optional<double>& m) {
+      return m ? json_number_exact(*m) : std::string("null");
+    };
+    const std::string name =
+        c < meta.policies.size()
+            ? std::string(scenario::to_string(meta.policies[c]))
+            : "cell" + std::to_string(c);
+    out += "  {\"cell\": " + json_string(name) +
+           ", \"replications\": " + std::to_string(s.replications) +
+           ", \"success_prob\": " +
+           json_number_exact(s.attack_success_probability()) +
+           ", \"tta_mean\": " + json_number_exact(s.tta.mean()) +
+           ", \"tta_censored\": " + std::to_string(s.tta_censored) +
+           ", \"tta_rmean\": " + json_number_exact(s.tta_event.restricted_mean) +
+           ", \"tta_median\": " + median(s.tta_event.median) +
+           ", \"ttsf_mean\": " + json_number_exact(s.ttsf.mean()) +
+           ", \"ttsf_censored\": " + std::to_string(s.ttsf_censored) +
+           ", \"ttsf_rmean\": " +
+           json_number_exact(s.ttsf_event.restricted_mean) +
+           ", \"ttsf_median\": " + median(s.ttsf_event.median) +
+           ", \"final_ratio_mean\": " + json_number_exact(s.final_ratio.mean()) +
+           "}";
+    out += c + 1 < cells.size() ? ",\n" : "\n";
+  }
+  out += "]}\n";
+  return out;
+}
+
+}  // namespace divsec::dist

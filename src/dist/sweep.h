@@ -1,0 +1,126 @@
+// sweep.h — distributed scenario sweeps: plan-by-name expansion, shard
+// execution, and the exact cross-process reducer.
+//
+// A sweep is named, not shipped: a SweepSpec carries only (preset,
+// policies, threat, seed, replication/aggregation parameters), and every
+// shard process re-expands the identical ScenarioSweepPlan from the
+// scenario registry — deterministic in the spec, so N processes agree on
+// every cell and every RNG stream without exchanging topology bytes.
+// Each shard computes the superblock-task partials its index owns under
+// the ShardPlan (sim/shard_plan.h) and serializes them (state_codec.h);
+// merge_shards validates identity fingerprints and exact task coverage,
+// then folds partials in ascending (cell, superblock) order — the same
+// sequence the in-process engine uses, so merged summaries are
+// bit-identical to run_in_process() on the same spec. K = 1 is not a
+// special case, and shards may even come from runs with different K as
+// long as they cover every task exactly once.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/measurement.h"
+#include "dist/state_codec.h"
+#include "divers/variants.h"
+#include "sim/shard_plan.h"
+
+namespace divsec::dist {
+
+/// What the operator chooses; everything else is derived. Defaults give
+/// the three-arm policy sweep (monoculture control vs zone-stratified vs
+/// random-per-node) the fleet experiments use.
+struct SweepSpec {
+  std::string preset = "enterprise256";
+  std::vector<scenario::VariantPolicy> policies = {
+      scenario::VariantPolicy::kMonoculture,
+      scenario::VariantPolicy::kZoneStratified,
+      scenario::VariantPolicy::kRandomPerNode,
+  };
+  std::string threat = "stuxnet";
+  std::uint64_t seed = 2013;
+  std::size_t replications = 1000;
+  std::size_t replication_block = 0;  // 0 = sim::kDefaultReductionBlock
+  std::size_t superblock = 0;         // 0 = sim::kDefaultSuperblockReps
+  std::size_t survival_bins = 64;
+  double horizon_hours = 0.0;  // 0 = attack::CampaignOptions default
+};
+
+/// Resolve a spec into the authoritative meta block (defaults filled in,
+/// cells = policies.size()). Throws std::invalid_argument for empty
+/// policy lists, unknown threats, unknown presets, or misaligned
+/// block/superblock sizes.
+[[nodiscard]] SweepMeta make_meta(const SweepSpec& spec);
+
+/// Inverse of make_meta (resolved values stay explicit).
+[[nodiscard]] SweepSpec spec_from_meta(const SweepMeta& meta);
+
+/// Threat registry lookup ("stuxnet", "duqu", "flame");
+/// std::invalid_argument otherwise.
+[[nodiscard]] attack::ThreatProfile threat_profile(const std::string& name);
+
+/// Deterministic plan re-expansion: cell c is make_preset(spec.preset,
+/// catalog, spec.seed, spec.policies[c]) with a seed block derived from
+/// spec.seed by iterated SplitMix64 — the (c+1)-th output. The catalog
+/// must itself be VariantCatalog::standard(spec.seed) for two processes
+/// to agree; sharded entry points construct it that way internally.
+[[nodiscard]] core::ScenarioSweepPlan expand_plan(
+    const SweepSpec& spec, const divers::VariantCatalog& catalog);
+
+/// One human-readable name per sweep cell (the policy names).
+[[nodiscard]] std::vector<std::string> cell_names(const SweepSpec& spec);
+
+/// The measurement options a spec induces (streaming path: keep_samples
+/// off). Executor null = sim::Executor::shared().
+[[nodiscard]] core::MeasurementOptions sweep_options(
+    const SweepSpec& spec, const sim::Executor* executor = nullptr);
+
+/// Compute shard `shard` of `shard_count`: re-expand the plan, run the
+/// owned superblock tasks, and return the serialized-ready state (meta
+/// provenance filled in, wall_ms measured). Pure function of (spec,
+/// shard, shard_count) — thread count and host do not change the bytes.
+[[nodiscard]] ShardState run_shard(const SweepSpec& spec, std::size_t shard,
+                                   std::size_t shard_count,
+                                   const sim::Executor* executor = nullptr);
+
+/// The single-process reference: the engine's own streaming path end to
+/// end (measure_scenarios). merge_shards output must match this bit for
+/// bit — the distributed-correctness contract.
+[[nodiscard]] std::vector<core::IndicatorSummary> run_in_process(
+    const SweepSpec& spec, const sim::Executor* executor = nullptr);
+
+/// The exact reducer's output: per-cell merged accumulators plus the
+/// summaries they yield.
+struct MergeResult {
+  SweepMeta meta;  // merged = true
+  std::vector<core::IndicatorAccumulator> accumulators;  // one per cell
+  std::vector<core::IndicatorSummary> summaries;         // one per cell
+};
+
+/// Merge shard states into per-cell results. Validates that every state
+/// shares one sweep fingerprint, none is already merged, and the task
+/// ranges cover [0, task_count) exactly once; throws
+/// std::invalid_argument otherwise. Partials fold in ascending (cell,
+/// superblock) order — bit-identical to run_in_process on the same spec.
+[[nodiscard]] MergeResult merge_shards(const std::vector<ShardState>& states);
+
+/// The merged result as a writable state file (meta.merged = true, one
+/// "task" per cell) — what divsec_report consumes downstream.
+[[nodiscard]] ShardState merged_state(const MergeResult& merged);
+
+/// Per-cell summaries of a merged state file (meta.merged required;
+/// std::invalid_argument otherwise).
+[[nodiscard]] std::vector<core::IndicatorSummary> summaries_from_merged(
+    const ShardState& merged);
+
+/// The sweep's measurement CSV: the policy arm as the single swept
+/// factor, rendered through core::measurement_csv so columns match every
+/// other measurement artifact in the project.
+[[nodiscard]] std::string sweep_csv(
+    const SweepMeta& meta, const std::vector<core::IndicatorSummary>& cells);
+
+/// Machine-readable merged summary (exact doubles).
+[[nodiscard]] std::string summary_json(
+    const SweepMeta& meta, const std::vector<core::IndicatorSummary>& cells);
+
+}  // namespace divsec::dist

@@ -14,6 +14,34 @@ namespace divsec::stats {
 /// Numerically stable streaming mean/variance accumulator (Welford).
 class OnlineStats {
  public:
+  /// The complete internal state, exposed for the distributed-sweep
+  /// serialization layer (dist/state_codec). from_state(state()) restores
+  /// the accumulator exactly — every subsequent add/merge/summary is
+  /// bit-identical to the original's.
+  struct State {
+    std::size_t n = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+
+  OnlineStats() = default;
+
+  [[nodiscard]] State state() const noexcept {
+    return {n_, mean_, m2_, min_, max_};
+  }
+
+  [[nodiscard]] static OnlineStats from_state(const State& s) noexcept {
+    OnlineStats o;
+    o.n_ = s.n;
+    o.mean_ = s.mean;
+    o.m2_ = s.m2;
+    o.min_ = s.min;
+    o.max_ = s.max;
+    return o;
+  }
+
   void add(double x) noexcept {
     ++n_;
     const double delta = x - mean_;

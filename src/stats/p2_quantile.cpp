@@ -32,6 +32,32 @@ P2Quantile::P2Quantile(double q) : q_(q) {
     throw std::invalid_argument("P2Quantile: q must be in (0,1)");
 }
 
+P2Quantile::State P2Quantile::state() const noexcept {
+  return {q_, count_, heights_, pos_};
+}
+
+P2Quantile P2Quantile::from_state(const State& s) {
+  P2Quantile p(s.q);  // validates q
+  if (s.count >= kMarkers) {
+    for (std::size_t i = 0; i + 1 < kMarkers; ++i) {
+      if (!(s.heights[i] <= s.heights[i + 1]))
+        throw std::invalid_argument(
+            "P2Quantile::from_state: marker heights not ascending");
+      if (!(s.pos[i] < s.pos[i + 1]))
+        throw std::invalid_argument(
+            "P2Quantile::from_state: marker positions not increasing");
+    }
+    if (s.pos.front() != 1.0 ||
+        s.pos.back() != static_cast<double>(s.count))
+      throw std::invalid_argument(
+          "P2Quantile::from_state: end markers not pinned at 1/count");
+  }
+  p.count_ = s.count;
+  p.heights_ = s.heights;
+  p.pos_ = s.pos;
+  return p;
+}
+
 double P2Quantile::desired_fraction(std::size_t i) const noexcept {
   switch (i) {
     case 0: return 0.0;

@@ -19,9 +19,28 @@ namespace divsec::stats {
 
 class P2Quantile {
  public:
+  /// The complete marker state, exposed for the distributed-sweep
+  /// serialization layer. While count < 5 the sketch still holds raw
+  /// observations in `heights` (positions are meaningless); from then on
+  /// heights are ascending marker values and pos the 1-based marker
+  /// positions. from_state(state()) restores the sketch exactly.
+  struct State {
+    double q = 0.5;
+    std::size_t count = 0;
+    std::array<double, 5> heights{};
+    std::array<double, 5> pos{};
+  };
+
   /// q in (0, 1): the quantile to track. Throws std::invalid_argument
   /// otherwise.
   explicit P2Quantile(double q = 0.5);
+
+  [[nodiscard]] State state() const noexcept;
+  /// Restores a sketch from exported state; validates the structural
+  /// invariants (q in (0,1); once the sketch is live, ascending heights
+  /// and strictly increasing positions pinned at 1 and count) and throws
+  /// std::invalid_argument on corrupt state.
+  [[nodiscard]] static P2Quantile from_state(const State& s);
 
   void add(double x);
 

@@ -177,8 +177,62 @@ double StreamingSurvival::restricted_mean(
   return area;
 }
 
+StreamingSurvival::State StreamingSurvival::state() const {
+  return {horizon_, n_, events_, events_in_, censored_in_};
+}
+
+StreamingSurvival StreamingSurvival::from_state(const State& s) {
+  StreamingSurvival out;
+  if (s.events_in.empty()) {
+    // The mergeable empty state carries nothing.
+    if (s.n != 0 || s.events != 0 || !s.censored_in.empty())
+      throw std::invalid_argument(
+          "StreamingSurvival::from_state: counts without a bin grid");
+    return out;
+  }
+  if (!(s.horizon > 0.0))
+    throw std::invalid_argument(
+        "StreamingSurvival::from_state: horizon must be > 0");
+  if (s.censored_in.size() != s.events_in.size() + 1)
+    throw std::invalid_argument(
+        "StreamingSurvival::from_state: censor grid must have bins + 1 entries");
+  std::uint64_t events = 0, censored = 0;
+  for (const auto e : s.events_in) events += e;
+  for (const auto c : s.censored_in) censored += c;
+  if (events != s.events || events + censored != s.n)
+    throw std::invalid_argument(
+        "StreamingSurvival::from_state: bin counts inconsistent with totals");
+  out.horizon_ = s.horizon;
+  out.n_ = s.n;
+  out.events_ = s.events;
+  out.events_in_ = s.events_in;
+  out.censored_in_ = s.censored_in;
+  return out;
+}
+
 CensoredTimeAccumulator::CensoredTimeAccumulator(double horizon, std::size_t bins)
     : survival_(horizon, bins) {}
+
+CensoredTimeAccumulator::State CensoredTimeAccumulator::state() const {
+  return {moments_.state(), censored_, q50_.state(), q90_.state(),
+          survival_.state()};
+}
+
+CensoredTimeAccumulator CensoredTimeAccumulator::from_state(const State& s) {
+  if (s.q50.q != 0.5 || s.q90.q != 0.9)
+    throw std::invalid_argument(
+        "CensoredTimeAccumulator::from_state: sketch quantile mismatch");
+  if (s.censored > s.moments.n)
+    throw std::invalid_argument(
+        "CensoredTimeAccumulator::from_state: censored > observations");
+  CensoredTimeAccumulator out;
+  out.moments_ = OnlineStats::from_state(s.moments);
+  out.censored_ = s.censored;
+  out.q50_ = P2Quantile::from_state(s.q50);
+  out.q90_ = P2Quantile::from_state(s.q90);
+  out.survival_ = StreamingSurvival::from_state(s.survival);
+  return out;
+}
 
 void CensoredTimeAccumulator::add(double time, bool censored) {
   moments_.add(time);

@@ -88,10 +88,29 @@ class KaplanMeier {
 /// makes blocked parallel reduction of survival state deterministic.
 class StreamingSurvival {
  public:
+  /// The complete internal state, exposed for the distributed-sweep
+  /// serialization layer. `censored_in` has bins + 1 entries (index bins
+  /// = censored at/past the horizon); both vectors are empty for the
+  /// default-constructed mergeable empty state. from_state(state())
+  /// restores the estimator exactly.
+  struct State {
+    double horizon = 0.0;
+    std::size_t n = 0;
+    std::size_t events = 0;
+    std::vector<std::uint64_t> events_in;
+    std::vector<std::uint64_t> censored_in;
+  };
+
   /// Mergeable empty state (adopts the first non-empty merge partner).
   StreamingSurvival() = default;
   /// horizon > 0, bins >= 1 (std::invalid_argument otherwise).
   StreamingSurvival(double horizon, std::size_t bins);
+
+  [[nodiscard]] State state() const;
+  /// Restores from exported state; validates bin-array shapes and count
+  /// consistency (sum of event bins == events, sum of censor bins ==
+  /// n - events) and throws std::invalid_argument on corrupt state.
+  [[nodiscard]] static StreamingSurvival from_state(const State& s);
 
   /// Record one observation: `event` false means right-censored at `time`.
   void add(double time, bool event);
@@ -164,8 +183,25 @@ struct CensoredTimeSummary {
 /// first-passage estimator.
 class CensoredTimeAccumulator {
  public:
+  /// Composite state of the bundled estimators, exposed for the
+  /// distributed-sweep serialization layer. from_state(state()) restores
+  /// the accumulator exactly.
+  struct State {
+    OnlineStats::State moments;
+    std::size_t censored = 0;
+    P2Quantile::State q50;
+    P2Quantile::State q90;
+    StreamingSurvival::State survival;
+  };
+
   CensoredTimeAccumulator() = default;  // mergeable empty state
   CensoredTimeAccumulator(double horizon, std::size_t bins);
+
+  [[nodiscard]] State state() const;
+  /// Restores from exported state; validates the constituents (the P²
+  /// sketches must track q = 0.5 / 0.9, the censor count cannot exceed
+  /// the observation count) and throws std::invalid_argument otherwise.
+  [[nodiscard]] static CensoredTimeAccumulator from_state(const State& s);
 
   /// `time` is the censored-at-horizon value; `censored` true when the
   /// event did not occur by the horizon.

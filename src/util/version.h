@@ -1,0 +1,10 @@
+// version.h — the one project version string, reported by every CLI's
+// --version flag and bumped when a release-visible artifact (state-file
+// format, CSV schema, CLI surface) changes.
+#pragma once
+
+namespace divsec::util {
+
+inline constexpr const char kVersion[] = "0.4.0";
+
+}  // namespace divsec::util

@@ -1,0 +1,317 @@
+// Tests for the distributed sweep subsystem: accumulator state
+// serialization must round-trip exactly (serialize -> load -> serialize
+// is byte-stable), and `run --shard i/K` + `merge` must reproduce the
+// in-process streaming path bit for bit — for any shard count K,
+// including 1, and regardless of the thread count each shard used.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/state_codec.h"
+#include "dist/sweep.h"
+#include "sim/executor.h"
+#include "sim/shard_plan.h"
+#include "stats/rng.h"
+
+namespace divsec::dist {
+namespace {
+
+/// A spec small enough for CI but spanning several superblocks per cell,
+/// so the cross-process merge exercises the real multi-partial fold.
+SweepSpec small_spec() {
+  SweepSpec spec;
+  spec.preset = "plant_small";
+  spec.seed = 4242;
+  spec.replications = 50;
+  spec.replication_block = 8;
+  spec.superblock = 16;  // ceil(50/16) = 4 superblocks per cell
+  return spec;
+}
+
+void expect_bit_identical(const core::IndicatorSummary& a,
+                          const core::IndicatorSummary& b) {
+  EXPECT_EQ(a.replications, b.replications);
+  // EXPECT_EQ (not NEAR): the distributed path must reproduce the
+  // in-process floating-point results exactly.
+  EXPECT_EQ(a.tta.mean(), b.tta.mean());
+  EXPECT_EQ(a.tta.variance(), b.tta.variance());
+  EXPECT_EQ(a.tta.min(), b.tta.min());
+  EXPECT_EQ(a.tta.max(), b.tta.max());
+  EXPECT_EQ(a.ttsf.mean(), b.ttsf.mean());
+  EXPECT_EQ(a.ttsf.variance(), b.ttsf.variance());
+  EXPECT_EQ(a.final_ratio.mean(), b.final_ratio.mean());
+  EXPECT_EQ(a.tta_censored, b.tta_censored);
+  EXPECT_EQ(a.ttsf_censored, b.ttsf_censored);
+  EXPECT_EQ(a.successes, b.successes);
+  EXPECT_EQ(a.tta_event.restricted_mean, b.tta_event.restricted_mean);
+  EXPECT_EQ(a.tta_event.median, b.tta_event.median);
+  EXPECT_EQ(a.tta_event.q50, b.tta_event.q50);
+  EXPECT_EQ(a.tta_event.q90, b.tta_event.q90);
+  EXPECT_EQ(a.ttsf_event.restricted_mean, b.ttsf_event.restricted_mean);
+  EXPECT_EQ(a.ttsf_event.median, b.ttsf_event.median);
+  EXPECT_EQ(a.ttsf_event.q50, b.ttsf_event.q50);
+  EXPECT_EQ(a.ttsf_event.q90, b.ttsf_event.q90);
+}
+
+core::IndicatorAccumulator filled_accumulator(std::uint64_t seed,
+                                              std::size_t n) {
+  core::IndicatorAccumulator acc(100.0, 16);
+  stats::Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    core::IndicatorSample s;
+    s.tta = rng.uniform(0.0, 120.0);
+    s.tta_censored = s.tta >= 100.0;
+    if (s.tta_censored) s.tta = 100.0;
+    s.ttsf = rng.uniform(0.0, 100.0);
+    s.ttsf_censored = rng.uniform() < 0.25;
+    s.attack_succeeded = !s.tta_censored;
+    s.final_ratio = rng.uniform();
+    acc.add(s);
+  }
+  return acc;
+}
+
+// ---- serialization ---------------------------------------------------------
+
+TEST(StateCodec, AccumulatorStateRoundTripsExactly) {
+  const core::IndicatorAccumulator acc = filled_accumulator(7, 333);
+  const auto restored = core::IndicatorAccumulator::from_state(acc.state());
+  const core::IndicatorSummary a = acc.summarize();
+  const core::IndicatorSummary b = restored.summarize();
+  expect_bit_identical(a, b);
+
+  // And the restored accumulator keeps folding identically: merge the
+  // same partial into both and compare again.
+  core::IndicatorAccumulator x = acc;
+  core::IndicatorAccumulator y = restored;
+  const core::IndicatorAccumulator more = filled_accumulator(8, 57);
+  x.merge(more);
+  y.merge(more);
+  expect_bit_identical(x.summarize(), y.summarize());
+}
+
+TEST(StateCodec, EncodeDecodeEncodeIsByteStable) {
+  ShardState state;
+  state.meta = make_meta(small_spec());
+  state.meta.shard = 1;
+  state.meta.shard_count = 3;
+  state.meta.wall_ms = 12.5;
+  state.task_begin = 4;
+  state.task_end = 6;
+  state.partials.push_back(filled_accumulator(1, 100).state());
+  state.partials.push_back(filled_accumulator(2, 31).state());
+
+  const std::string bytes = encode_shard_state(state);
+  const ShardState decoded = decode_shard_state(bytes);
+  const std::string again = encode_shard_state(decoded);
+  EXPECT_EQ(bytes, again);  // serialize -> load -> serialize, byte-stable
+
+  EXPECT_EQ(decoded.meta.preset, state.meta.preset);
+  EXPECT_EQ(decoded.meta.policies, state.meta.policies);
+  EXPECT_EQ(decoded.task_begin, 4u);
+  EXPECT_EQ(decoded.task_end, 6u);
+  EXPECT_EQ(sweep_fingerprint(decoded.meta), sweep_fingerprint(state.meta));
+}
+
+TEST(StateCodec, RejectsCorruptBytes) {
+  ShardState state;
+  state.meta = make_meta(small_spec());
+  state.task_begin = 0;
+  state.task_end = 1;
+  state.partials.push_back(filled_accumulator(3, 64).state());
+  std::string bytes = encode_shard_state(state);
+
+  EXPECT_THROW((void)decode_shard_state("not a state file"),
+               std::runtime_error);
+  EXPECT_THROW((void)decode_shard_state(bytes.substr(0, bytes.size() / 2)),
+               std::runtime_error);
+  std::string flipped = bytes;
+  flipped[bytes.size() / 2] ^= 0x5A;  // damage the payload
+  EXPECT_THROW((void)decode_shard_state(flipped), std::runtime_error);
+  std::string wrong_version = bytes;
+  wrong_version[8] = 99;  // version field follows the 8-byte magic
+  EXPECT_THROW((void)decode_shard_state(wrong_version), std::runtime_error);
+
+  // Structurally inconsistent meta: a cell count that disagrees with the
+  // policy list would drive downstream per-cell policy lookups out of
+  // bounds, so decode must reject it.
+  ShardState inconsistent = state;
+  inconsistent.meta.cells = 5;  // policies.size() == 3
+  EXPECT_THROW((void)decode_shard_state(encode_shard_state(inconsistent)),
+               std::runtime_error);
+}
+
+TEST(StateCodec, VersionedHeaderLeadsTheFile) {
+  ShardState state;
+  state.meta = make_meta(small_spec());
+  const std::string bytes = encode_shard_state(state);
+  ASSERT_GE(bytes.size(), 12u);
+  EXPECT_EQ(bytes.substr(0, 8), "DVSWEEPS");
+  EXPECT_EQ(static_cast<unsigned char>(bytes[8]), kStateFormatVersion);
+  // The embedded JSON header is plain text near the top of the file.
+  EXPECT_NE(bytes.find("divsec-sweep-state"), std::string::npos);
+}
+
+// ---- shard planning --------------------------------------------------------
+
+TEST(ShardPlanning, TasksTileTheSweepExactly) {
+  const sim::ShardPlan plan = sim::ShardPlan::make(3, 50, 8, 16);
+  EXPECT_EQ(plan.superblocks_per_group(), 4u);
+  EXPECT_EQ(plan.task_count(), 12u);
+  for (std::size_t g = 0; g < 3; ++g) {
+    std::size_t covered = 0;
+    for (std::size_t s = 0; s < 4; ++s) {
+      const auto t = plan.task(g * 4 + s);
+      EXPECT_EQ(t.group, g);
+      EXPECT_EQ(t.superblock, s);
+      EXPECT_EQ(t.begin, covered);
+      covered = t.end;
+    }
+    EXPECT_EQ(covered, 50u);
+  }
+  // Contiguous balanced shards cover [0, task_count) exactly once.
+  for (std::size_t k = 1; k <= 14; ++k) {
+    std::size_t expected_lo = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      const auto [lo, hi] = plan.shard_range(i, k);
+      EXPECT_EQ(lo, expected_lo);
+      expected_lo = hi;
+    }
+    EXPECT_EQ(expected_lo, plan.task_count());
+  }
+}
+
+TEST(ShardPlanning, RejectsMisalignedSuperblocks) {
+  EXPECT_THROW((void)sim::ShardPlan::make(1, 100, 8, 12),
+               std::invalid_argument);
+  EXPECT_THROW((void)sim::ShardPlan::make(1, 100, 8, 4),
+               std::invalid_argument);
+  const sim::ShardPlan defaults = sim::ShardPlan::make(2, 100, 0, 0);
+  EXPECT_EQ(defaults.block(), sim::kDefaultReductionBlock);
+  EXPECT_EQ(defaults.superblock() % defaults.block(), 0u);
+}
+
+// ---- run + merge vs the in-process path ------------------------------------
+
+TEST(DistributedSweep, AnyShardCountMergesBitIdenticalToInProcess) {
+  const SweepSpec spec = small_spec();
+  const std::vector<core::IndicatorSummary> reference = run_in_process(spec);
+  ASSERT_EQ(reference.size(), spec.policies.size());
+
+  for (const std::size_t k : {std::size_t{1}, std::size_t{2}, std::size_t{3},
+                              std::size_t{5}}) {
+    std::vector<ShardState> states;
+    for (std::size_t i = 0; i < k; ++i)
+      states.push_back(run_shard(spec, i, k));
+    const MergeResult merged = merge_shards(states);
+    ASSERT_EQ(merged.summaries.size(), reference.size()) << "K=" << k;
+    for (std::size_t c = 0; c < reference.size(); ++c)
+      expect_bit_identical(merged.summaries[c], reference[c]);
+    // The emitted CSV artifacts agree byte for byte, too.
+    EXPECT_EQ(sweep_csv(merged.meta, merged.summaries),
+              sweep_csv(make_meta(spec), reference))
+        << "K=" << k;
+  }
+}
+
+TEST(DistributedSweep, ShardBytesIndependentOfThreadCount) {
+  const SweepSpec spec = small_spec();
+  const sim::Executor one(1);
+  const sim::Executor eight(8);
+  ShardState a = run_shard(spec, 1, 3, &one);
+  ShardState b = run_shard(spec, 1, 3, &eight);
+  // Provenance fields (wall time, thread count) differ by design; the
+  // payload must not.
+  b.meta.wall_ms = a.meta.wall_ms;
+  b.meta.threads = a.meta.threads;
+  EXPECT_EQ(encode_shard_state(a), encode_shard_state(b));
+}
+
+TEST(DistributedSweep, MoreShardsThanTasksLeavesEmptyShardsValid) {
+  SweepSpec spec = small_spec();
+  spec.replications = 10;  // one superblock per cell -> 3 tasks
+  spec.superblock = 16;
+  const std::size_t k = 7;
+  std::vector<ShardState> states;
+  for (std::size_t i = 0; i < k; ++i) states.push_back(run_shard(spec, i, k));
+  const MergeResult merged = merge_shards(states);
+  const auto reference = run_in_process(spec);
+  for (std::size_t c = 0; c < reference.size(); ++c)
+    expect_bit_identical(merged.summaries[c], reference[c]);
+}
+
+TEST(DistributedSweep, MergeValidatesCoverageAndIdentity) {
+  const SweepSpec spec = small_spec();
+  std::vector<ShardState> states;
+  for (std::size_t i = 0; i < 3; ++i) states.push_back(run_shard(spec, i, 3));
+
+  // Missing shard.
+  EXPECT_THROW((void)merge_shards({states[0], states[2]}),
+               std::invalid_argument);
+  // Duplicate shard.
+  EXPECT_THROW((void)merge_shards({states[0], states[0], states[1], states[2]}),
+               std::invalid_argument);
+  // Foreign shard (different seed -> different fingerprint).
+  SweepSpec other = spec;
+  other.seed = 9;
+  EXPECT_THROW(
+      (void)merge_shards({states[0], states[1], run_shard(other, 2, 3)}),
+      std::invalid_argument);
+  // Already-merged input.
+  const MergeResult merged = merge_shards(states);
+  EXPECT_THROW((void)merge_shards({merged_state(merged)}),
+               std::invalid_argument);
+  // Empty input.
+  EXPECT_THROW((void)merge_shards({}), std::invalid_argument);
+}
+
+TEST(DistributedSweep, MixedShardCountsMergeWhenCoverageIsExact) {
+  // Shards need not come from one K: half the tasks from a K=2 run plus
+  // the complementary half from a K=4 run still cover every task once.
+  const SweepSpec spec = small_spec();
+  const ShardState half = run_shard(spec, 0, 2);
+  const ShardState q3 = run_shard(spec, 2, 4);
+  const ShardState q4 = run_shard(spec, 3, 4);
+  const MergeResult merged = merge_shards({half, q3, q4});
+  const auto reference = run_in_process(spec);
+  for (std::size_t c = 0; c < reference.size(); ++c)
+    expect_bit_identical(merged.summaries[c], reference[c]);
+}
+
+TEST(DistributedSweep, MergedStateSummarizesIdentically) {
+  const SweepSpec spec = small_spec();
+  std::vector<ShardState> states;
+  for (std::size_t i = 0; i < 2; ++i) states.push_back(run_shard(spec, i, 2));
+  const MergeResult merged = merge_shards(states);
+
+  // Round-trip the merged state through the codec and re-summarize: what
+  // divsec_report consumes must equal what merge computed.
+  const ShardState out = merged_state(merged);
+  const ShardState back = decode_shard_state(encode_shard_state(out));
+  const auto summaries = summaries_from_merged(back);
+  ASSERT_EQ(summaries.size(), merged.summaries.size());
+  for (std::size_t c = 0; c < summaries.size(); ++c)
+    expect_bit_identical(summaries[c], merged.summaries[c]);
+
+  // Unmerged shard states are rejected by the report path.
+  EXPECT_THROW((void)summaries_from_merged(states[0]), std::invalid_argument);
+}
+
+TEST(DistributedSweep, SpecValidation) {
+  SweepSpec bad = small_spec();
+  bad.preset = "no_such_preset";
+  EXPECT_THROW((void)make_meta(bad), std::invalid_argument);
+  bad = small_spec();
+  bad.threat = "no_such_threat";
+  EXPECT_THROW((void)make_meta(bad), std::invalid_argument);
+  bad = small_spec();
+  bad.policies.clear();
+  EXPECT_THROW((void)make_meta(bad), std::invalid_argument);
+  bad = small_spec();
+  bad.superblock = 12;  // not a multiple of block 8
+  EXPECT_THROW((void)make_meta(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace divsec::dist

@@ -1,0 +1,151 @@
+// P² sketch accuracy audit (ROADMAP open item): the streaming backend
+// reports TTA/TTSF q50/q90 from P2Quantile sketches folded per block and
+// merged in ascending order — at fleet scale that is hundreds of
+// pooled-CDF resamples, and the merge is approximate by construction.
+// This audit quantifies the drift of the merged sketch against exact
+// sample quantiles at the block structure the measurement engine
+// actually uses (256-blocks into 16384-superblocks, merged in order),
+// on three event-time-like regimes, at 10^5 observations; the 10^6-rep
+// variant is the gtest equivalent of a Catch2 [.][slow] tag — DISABLED_
+// by default, runnable with --gtest_also_run_disabled_tests.
+//
+// Measured verdict (this audit's tolerances are regression guards around
+// these numbers, not aspirations):
+//   * a single un-merged sketch is excellent: <= 0.2% everywhere;
+//   * the merge carries a systematic UPWARD bias that does not average
+//     out with n: ~+4% (q50) / ~+10% (q90) on an exponential, ~+3-6% on
+//     a censored-at-horizon exponential, and +23% (q50) at the default
+//     shape on a bimodal fast/slow mixture (worse with smaller blocks);
+//   * consequence, recorded in ROADMAP: the merged q50/q90 columns are
+//     indicative only — the exact-merging binned product-limit median in
+//     the same summary is the trustworthy companion — and a mergeable
+//     t-digest IS justified if sketch quantiles are to be load-bearing
+//     at fleet scale.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "stats/p2_quantile.h"
+#include "stats/rng.h"
+
+namespace divsec::stats {
+namespace {
+
+enum class Regime { kExponential, kBimodalMixture, kCensoredExponential };
+
+double draw(Regime regime, Rng& rng) {
+  switch (regime) {
+    case Regime::kExponential:
+      return -10.0 * std::log1p(-rng.uniform());
+    case Regime::kBimodalMixture:
+      // Mostly fast events with a detached heavy slow mode — the shape
+      // the 5-marker sketch merge handles worst.
+      return rng.bernoulli(0.7) ? -10.0 * std::log1p(-rng.uniform())
+                                : 50.0 - 100.0 * std::log1p(-rng.uniform());
+    case Regime::kCensoredExponential:
+      // Event times clamped at a horizon, like censored TTA samples.
+      return std::min(-30.0 * std::log1p(-rng.uniform()), 100.0);
+  }
+  return 0.0;
+}
+
+/// Exact type-7 quantile of a sample.
+double exact_quantile(std::vector<double> v, double q) {
+  std::sort(v.begin(), v.end());
+  const double rank = q * (static_cast<double>(v.size()) - 1.0);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double w = rank - static_cast<double>(lo);
+  return v[lo] + w * (v[hi] - v[lo]);
+}
+
+/// Fold `values` through the measurement engine's reduction shape: P²
+/// partials per `block` values merged in ascending order into superblock
+/// sketches, superblocks merged in ascending order — the two-level
+/// sequence of sim::blocked_reduce_groups + sim::reduce_task_partials.
+double merged_estimate(const std::vector<double>& values, double q,
+                       std::size_t block, std::size_t superblock) {
+  P2Quantile total(q);
+  for (std::size_t sb = 0; sb < values.size(); sb += superblock) {
+    P2Quantile sb_sketch(q);
+    const std::size_t sb_end = std::min(values.size(), sb + superblock);
+    for (std::size_t b = sb; b < sb_end; b += block) {
+      P2Quantile partial(q);
+      const std::size_t b_end = std::min(sb_end, b + block);
+      for (std::size_t i = b; i < b_end; ++i) partial.add(values[i]);
+      sb_sketch.merge(partial);
+    }
+    total.merge(sb_sketch);
+  }
+  return total.value();
+}
+
+/// Relative drift of the estimate vs the exact quantile.
+double rel(double estimate, double exact) {
+  return (estimate - exact) / exact;
+}
+
+void audit(Regime regime, std::size_t n, double tol_single,
+           double tol_merged_q50, double tol_merged_q90) {
+  Rng rng(20130624);
+  std::vector<double> values;
+  values.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) values.push_back(draw(regime, rng));
+
+  for (const double q : {0.5, 0.9}) {
+    const double exact = exact_quantile(values, q);
+    const double tol_merged = q == 0.5 ? tol_merged_q50 : tol_merged_q90;
+
+    P2Quantile single(q);
+    for (const double v : values) single.add(v);
+    EXPECT_LE(std::abs(rel(single.value(), exact)), tol_single)
+        << "single sketch, q=" << q << " n=" << n;
+
+    const double merged = merged_estimate(values, q, 256, 16384);
+    EXPECT_LE(std::abs(rel(merged, exact)), tol_merged)
+        << "merged (default 256/16384 shape), q=" << q << " n=" << n
+        << " exact=" << exact << " merged=" << merged;
+  }
+}
+
+TEST(P2AccuracyAudit, SingleSketchIsTightAndMergeDriftIsBoundedAt1e5) {
+  // Tolerances are ~1.5x the measured drift: they fail if the merge gets
+  // materially worse, without pretending the bias is smaller than it is.
+  audit(Regime::kExponential, 100000,
+        /*tol_single=*/0.005, /*tol_merged_q50=*/0.06, /*tol_merged_q90=*/0.15);
+  audit(Regime::kCensoredExponential, 100000,
+        /*tol_single=*/0.005, /*tol_merged_q50=*/0.06, /*tol_merged_q90=*/0.10);
+}
+
+TEST(P2AccuracyAudit, MergeBiasOnBimodalMixturesIsLargeAndDocumented) {
+  // Measured: +23% q50 / +15% q90 at n = 1e5. The audit pins the
+  // magnitude (a regression guard and an honest record): if this starts
+  // failing *low*, the merge improved — tighten the ROADMAP verdict.
+  Rng rng(20130624);
+  std::vector<double> values;
+  values.reserve(100000);
+  for (std::size_t i = 0; i < 100000; ++i)
+    values.push_back(draw(Regime::kBimodalMixture, rng));
+  const double exact50 = exact_quantile(values, 0.5);
+  const double drift50 = rel(merged_estimate(values, 0.5, 256, 16384), exact50);
+  EXPECT_GT(drift50, 0.05) << "merge bias shrank: update the audit verdict";
+  EXPECT_LT(drift50, 0.40) << "merge bias grew beyond the measured envelope";
+  const double exact90 = exact_quantile(values, 0.9);
+  const double drift90 = rel(merged_estimate(values, 0.9, 256, 16384), exact90);
+  EXPECT_LT(std::abs(drift90), 0.25);
+}
+
+// The 10^6-observation audit: the gtest [.][slow] equivalent, DISABLED_
+// by default (the exact-quantile sorts dominate CI time). Measured drift
+// matches 1e5 — the merge bias is per-merge and does not average out.
+TEST(P2AccuracyAudit, DISABLED_MergedSketchDriftAt1e6) {
+  audit(Regime::kExponential, 1000000,
+        /*tol_single=*/0.005, /*tol_merged_q50=*/0.06, /*tol_merged_q90=*/0.15);
+  audit(Regime::kCensoredExponential, 1000000,
+        /*tol_single=*/0.005, /*tol_merged_q50=*/0.06, /*tol_merged_q90=*/0.10);
+}
+
+}  // namespace
+}  // namespace divsec::stats

@@ -1,0 +1,342 @@
+// divsec_sweep — distributed scenario sweeps from the command line.
+//
+// A sweep is named by its spec (preset, policy arms, threat, seed,
+// replication/aggregation parameters); every process re-expands the
+// identical plan from the scenario registry, so shards ship no topology
+// bytes — only accumulator state. The three subcommands:
+//
+//   run     in-process sweep (no --shard): writes <out>_measurements.csv
+//           and <out>_summary.json — the single-process reference.
+//           With --shard i/K: computes shard i's superblock-task
+//           partials and writes the versioned state file <out> (default
+//           <preset>_shard<i>of<K>.state).
+//   merge   exact cross-process reducer: validates shard compatibility
+//           and task coverage, folds partials in ascending (cell,
+//           superblock) order, and writes <out>_measurements.csv +
+//           <out>_summary.json + <out>_merged.state. Output is
+//           bit-identical to the in-process `run` on the same spec —
+//           for any shard count, including 1.
+//   inspect print a state file's JSON header and accumulator dump.
+//
+// Examples:
+//   divsec_sweep run --preset enterprise1024 --replications 100000 \
+//       --shard 0/8 --out s0.state            # ×8, one per process/host
+//   divsec_sweep merge --out fleet s*.state
+//   divsec_sweep run --preset enterprise1024 --replications 100000 \
+//       --out fleet_ref                       # the equality reference
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "core/report.h"
+#include "dist/sweep.h"
+#include "sim/executor.h"
+#include "util/json.h"
+#include "util/version.h"
+
+using namespace divsec;
+
+namespace {
+
+void usage(std::FILE* to) {
+  std::fprintf(
+      to,
+      "usage: divsec_sweep <run|merge|inspect> [options]\n"
+      "\n"
+      "divsec_sweep run [sweep options] [--shard i/K] [--out PATH]\n"
+      "  --preset NAME        scenario preset (default enterprise256)\n"
+      "  --policies a,b,c     cell arms from {monoculture,zone-stratified,\n"
+      "                       random-per-node} (aliases mono/zone/random;\n"
+      "                       default all three)\n"
+      "  --threat NAME        stuxnet|duqu|flame (default stuxnet)\n"
+      "  --seed S             master seed (default 2013)\n"
+      "  --replications N     replications per cell (default 1000)\n"
+      "  --block B            replications per reduction block (default %zu)\n"
+      "  --superblock SB      replications per distributable superblock\n"
+      "                       (multiple of the block; default %zu)\n"
+      "  --bins N             survival-estimator bins (default 64)\n"
+      "  --horizon H          measurement horizon in hours (default 2160)\n"
+      "  --threads T          executor threads (default DIVSEC_THREADS)\n"
+      "  --shard i/K          compute only shard i of K and write its\n"
+      "                       state file instead of summaries\n"
+      "  --out PATH           state-file path (sharded) or artifact prefix\n"
+      "\n"
+      "divsec_sweep merge [--out PREFIX] [--bench-json FILE] STATE...\n"
+      "  reduces shard state files to <PREFIX>_measurements.csv,\n"
+      "  <PREFIX>_summary.json and <PREFIX>_merged.state; --bench-json\n"
+      "  records per-shard wall times in BENCH json format\n"
+      "\n"
+      "divsec_sweep inspect STATE\n"
+      "\n"
+      "divsec_sweep --help | --version\n",
+      sim::kDefaultReductionBlock, sim::kDefaultSuperblockReps);
+}
+
+[[noreturn]] void die_unknown(const std::string& flag) {
+  std::fprintf(stderr, "divsec_sweep: unknown flag: %s\n", flag.c_str());
+  usage(stderr);
+  std::exit(2);
+}
+
+[[noreturn]] void die(const std::string& message) {
+  std::fprintf(stderr, "divsec_sweep: %s\n", message.c_str());
+  std::exit(2);
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    if (comma == std::string::npos) {
+      if (start < s.size()) out.push_back(s.substr(start));
+      break;
+    }
+    if (comma > start) out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+scenario::VariantPolicy parse_policy(const std::string& name) {
+  if (name == "monoculture" || name == "mono")
+    return scenario::VariantPolicy::kMonoculture;
+  if (name == "zone-stratified" || name == "zone")
+    return scenario::VariantPolicy::kZoneStratified;
+  if (name == "random-per-node" || name == "random")
+    return scenario::VariantPolicy::kRandomPerNode;
+  die("unknown policy: " + name);
+}
+
+std::uint64_t parse_u64(const std::string& flag, const std::string& value) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0')
+    die("bad number for " + flag + ": " + value);
+  return v;
+}
+
+double parse_f64(const std::string& flag, const std::string& value) {
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0')
+    die("bad number for " + flag + ": " + value);
+  return v;
+}
+
+/// "i/K" with i < K.
+std::pair<std::size_t, std::size_t> parse_shard(const std::string& value) {
+  const std::size_t slash = value.find('/');
+  if (slash == std::string::npos || slash == 0 || slash + 1 >= value.size())
+    die("--shard wants i/K, e.g. 0/4; got: " + value);
+  const std::uint64_t i = parse_u64("--shard", value.substr(0, slash));
+  const std::uint64_t k = parse_u64("--shard", value.substr(slash + 1));
+  if (k == 0 || i >= k) die("--shard wants i < K; got: " + value);
+  return {static_cast<std::size_t>(i), static_cast<std::size_t>(k)};
+}
+
+struct ArgReader {
+  int argc;
+  char** argv;
+  int i;
+
+  [[nodiscard]] std::string value(const std::string& flag) {
+    if (i + 1 >= argc) die("missing value for " + flag);
+    return argv[++i];
+  }
+};
+
+int cmd_run(int argc, char** argv) {
+  dist::SweepSpec spec;
+  bool sharded = false;
+  std::size_t shard = 0, shard_count = 1;
+  std::size_t threads = 0;
+  std::string out;
+
+  ArgReader args{argc, argv, 2};
+  for (; args.i < argc; ++args.i) {
+    const std::string flag = argv[args.i];
+    if (flag == "--preset") spec.preset = args.value(flag);
+    else if (flag == "--policies") {
+      spec.policies.clear();
+      for (const auto& p : split_csv(args.value(flag)))
+        spec.policies.push_back(parse_policy(p));
+    } else if (flag == "--threat") spec.threat = args.value(flag);
+    else if (flag == "--seed") spec.seed = parse_u64(flag, args.value(flag));
+    else if (flag == "--replications")
+      spec.replications = parse_u64(flag, args.value(flag));
+    else if (flag == "--block")
+      spec.replication_block = parse_u64(flag, args.value(flag));
+    else if (flag == "--superblock")
+      spec.superblock = parse_u64(flag, args.value(flag));
+    else if (flag == "--bins")
+      spec.survival_bins = parse_u64(flag, args.value(flag));
+    else if (flag == "--horizon")
+      spec.horizon_hours = parse_f64(flag, args.value(flag));
+    else if (flag == "--threads")
+      threads = parse_u64(flag, args.value(flag));
+    else if (flag == "--shard") {
+      std::tie(shard, shard_count) = parse_shard(args.value(flag));
+      sharded = true;
+    } else if (flag == "--out") out = args.value(flag);
+    else die_unknown(flag);
+  }
+
+  const sim::Executor executor(threads);  // 0 = DIVSEC_THREADS default
+  if (sharded) {
+    if (out.empty())
+      out = spec.preset + "_shard" + std::to_string(shard) + "of" +
+            std::to_string(shard_count) + ".state";
+    const dist::ShardState state =
+        dist::run_shard(spec, shard, shard_count, &executor);
+    dist::write_shard_state(out, state);
+    std::printf("shard %zu/%zu: tasks [%llu, %llu) of %s in %.1f ms -> %s\n",
+                shard, shard_count,
+                static_cast<unsigned long long>(state.task_begin),
+                static_cast<unsigned long long>(state.task_end),
+                spec.preset.c_str(), state.meta.wall_ms, out.c_str());
+    return 0;
+  }
+
+  if (out.empty()) out = spec.preset;
+  dist::SweepMeta meta = dist::make_meta(spec);
+  meta.threads = static_cast<std::uint32_t>(executor.thread_count());
+  const std::vector<core::IndicatorSummary> summaries =
+      dist::run_in_process(spec, &executor);
+  core::save_to_file(out + "_measurements.csv",
+                     dist::sweep_csv(meta, summaries));
+  core::save_to_file(out + "_summary.json",
+                     dist::summary_json(meta, summaries));
+  std::printf("in-process sweep of %s (%llu cells x %llu reps) -> "
+              "%s_{measurements.csv,summary.json}\n",
+              spec.preset.c_str(), static_cast<unsigned long long>(meta.cells),
+              static_cast<unsigned long long>(meta.replications), out.c_str());
+  return 0;
+}
+
+int cmd_merge(int argc, char** argv) {
+  std::string out = "merged";
+  std::string bench_json;
+  std::vector<std::string> inputs;
+
+  ArgReader args{argc, argv, 2};
+  for (; args.i < argc; ++args.i) {
+    const std::string flag = argv[args.i];
+    if (flag == "--out") out = args.value(flag);
+    else if (flag == "--bench-json") bench_json = args.value(flag);
+    else if (flag.size() >= 2 && flag[0] == '-' && flag[1] == '-')
+      die_unknown(flag);
+    else inputs.push_back(flag);
+  }
+  if (inputs.empty()) die("merge wants at least one state file");
+
+  std::vector<dist::ShardState> states;
+  states.reserve(inputs.size());
+  for (const auto& path : inputs)
+    states.push_back(dist::read_shard_state(path));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const dist::MergeResult merged = dist::merge_shards(states);
+  const double merge_ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+
+  core::save_to_file(out + "_measurements.csv",
+                     dist::sweep_csv(merged.meta, merged.summaries));
+  core::save_to_file(out + "_summary.json",
+                     dist::summary_json(merged.meta, merged.summaries));
+  dist::write_shard_state(out + "_merged.state", dist::merged_state(merged));
+
+  if (!bench_json.empty()) {
+    // Per-shard wall times plus the reduction itself: the distributed
+    // speedup record CI tracks across commits. `speedup` on the merge row
+    // is sum(shard walls) / (critical path = slowest shard + merge).
+    std::vector<util::BenchRecord> records;
+    double total_ms = 0.0, slowest_ms = 0.0;
+    for (const auto& s : states) {
+      util::BenchRecord r;
+      r.name = "divsec_sweep/" + s.meta.preset + "/shard" +
+               std::to_string(s.meta.shard) + "of" +
+               std::to_string(s.meta.shard_count);
+      r.wall_ms = s.meta.wall_ms;
+      r.threads = static_cast<int>(s.meta.threads);
+      records.push_back(r);
+      total_ms += s.meta.wall_ms;
+      slowest_ms = std::max(slowest_ms, s.meta.wall_ms);
+    }
+    util::BenchRecord m;
+    m.name = "divsec_sweep/" + merged.meta.preset + "/merge";
+    m.wall_ms = merge_ms;
+    m.threads = 1;
+    if (slowest_ms + merge_ms > 0.0)
+      m.speedup = total_ms / (slowest_ms + merge_ms);
+    records.push_back(m);
+    util::write_bench_json(bench_json, records);
+  }
+
+  std::size_t tasks = 0;
+  for (const auto& s : states) tasks += s.partials.size();
+  std::printf("merged %zu shard state(s): %zu tasks -> %llu cells in "
+              "%.1f ms -> %s_{measurements.csv,summary.json,merged.state}\n",
+              states.size(), tasks,
+              static_cast<unsigned long long>(merged.meta.cells), merge_ms,
+              out.c_str());
+  return 0;
+}
+
+int cmd_inspect(int argc, char** argv) {
+  std::string path;
+  ArgReader args{argc, argv, 2};
+  for (; args.i < argc; ++args.i) {
+    const std::string flag = argv[args.i];
+    if (flag.size() >= 2 && flag[0] == '-' && flag[1] == '-')
+      die_unknown(flag);
+    if (!path.empty()) die("inspect wants exactly one state file");
+    path = flag;
+  }
+  if (path.empty()) die("inspect wants a state file");
+
+  const dist::ShardState state = dist::read_shard_state(path);
+  std::printf("%s\n", dist::meta_json(state.meta).c_str());
+  for (std::size_t t = 0; t < state.partials.size(); ++t)
+    std::printf("{\"task\": %llu, \"state\": %s}\n",
+                static_cast<unsigned long long>(state.task_begin + t),
+                dist::accumulator_json(state.partials[t]).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage(stderr);
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+    usage(stdout);
+    return 0;
+  }
+  if (cmd == "--version") {
+    std::printf("divsec_sweep %s (state format v%u)\n", util::kVersion,
+                dist::kStateFormatVersion);
+    return 0;
+  }
+  try {
+    if (cmd == "run") return cmd_run(argc, argv);
+    if (cmd == "merge") return cmd_merge(argc, argv);
+    if (cmd == "inspect") return cmd_inspect(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "divsec_sweep: error: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "divsec_sweep: unknown command: %s\n", cmd.c_str());
+  usage(stderr);
+  return 2;
+}
