@@ -26,9 +26,12 @@
 #include "core/indicators.h"
 #include "core/measurement.h"
 #include "core/optimizer.h"
+#include "dist/cost_model.h"
+#include "dist/sweep.h"
 #include "net/epidemic.h"
 #include "scenario/presets.h"
 #include "sim/executor.h"
+#include "sim/shard_plan.h"
 #include "sim/streaming.h"
 
 namespace {
@@ -321,6 +324,113 @@ bool streaming_aggregation_phase(std::size_t reps) {
          stream_ms <= buffered_ms * 1.15;
 }
 
+/// Elastic scheduling at fleet scale: the same skewed-policy
+/// enterprise256 sweep sharded two ways — contiguous balanced task
+/// ranges (the pre-elastic assignment) vs a cost-weighted LPT plan built
+/// from the costs the static run itself measured. The monoculture arm
+/// simulates ~5x slower than the diversified arms, so the static split
+/// parks the whole expensive cell on the front shards while the tail
+/// idles; LPT deals its superblocks across the fleet. Gates: the merged
+/// measurement CSVs must agree byte for byte (the elastic deal must not
+/// move a single bit), and the worst shard's measured task work must
+/// improve by >= 1.3x. Shards run sequentially in one process, so
+/// per-shard work times are comparable even on a single-core runner;
+/// wall times (which add per-process plan expansion) are reported and
+/// recorded alongside.
+bool elastic_scheduling_phase() {
+  dist::SweepSpec spec;
+  spec.preset = "enterprise256";
+  spec.seed = 2013;
+  spec.replications = 24576;
+  spec.replication_block = 256;
+  spec.superblock = 3072;  // 8 superblocks per cell -> 24 tasks over 3 cells
+  constexpr std::size_t kShards = 4;
+
+  bench::section("E5 elastic: cost-weighted LPT vs static contiguous shards (" +
+                 spec.preset + ")");
+  std::printf("cells=%zu replications=%zu superblock=%zu tasks=%zu shards=%zu\n",
+              spec.policies.size(), spec.replications, spec.superblock,
+              spec.policies.size() * (spec.replications / spec.superblock),
+              kShards);
+
+  const auto shard_work_s = [](const dist::ShardState& s) {
+    double total = 0.0;
+    for (const auto& c : s.cost.cells) total += c.seconds;
+    return total;
+  };
+
+  // Static contiguous shards — also the calibration run: every shard
+  // state carries the per-cell costs it measured.
+  std::vector<dist::ShardState> static_states;
+  for (std::size_t i = 0; i < kShards; ++i)
+    static_states.push_back(dist::run_shard(spec, i, kShards));
+  const dist::MergeResult static_merged = dist::merge_shards(static_states);
+
+  // Cost-weighted plan from the merged measurements, then the same sweep
+  // through the explicit task lists.
+  const sim::ShardPlan task_space = dist::sweep_shard_plan(static_merged.meta);
+  const auto assignment = dist::cost_weighted_assignment(
+      task_space, static_merged.cost, kShards);
+  std::vector<dist::ShardState> elastic_states;
+  for (std::size_t i = 0; i < kShards; ++i)
+    elastic_states.push_back(
+        dist::run_shard_tasks(spec, assignment[i], i, kShards));
+  const dist::MergeResult elastic_merged = dist::merge_shards(elastic_states);
+
+  const bool identical =
+      dist::sweep_csv(static_merged.meta, static_merged.summaries) ==
+      dist::sweep_csv(elastic_merged.meta, elastic_merged.summaries);
+
+  double static_worst_work = 0.0, static_worst_wall = 0.0;
+  double elastic_worst_work = 0.0, elastic_worst_wall = 0.0;
+  bench::row({"shard", "static work s", "static wall ms", "elastic work s",
+              "elastic wall ms"},
+             17);
+  for (std::size_t i = 0; i < kShards; ++i) {
+    const double sw = shard_work_s(static_states[i]);
+    const double ew = shard_work_s(elastic_states[i]);
+    static_worst_work = std::max(static_worst_work, sw);
+    elastic_worst_work = std::max(elastic_worst_work, ew);
+    static_worst_wall =
+        std::max(static_worst_wall, static_states[i].meta.wall_ms);
+    elastic_worst_wall =
+        std::max(elastic_worst_wall, elastic_states[i].meta.wall_ms);
+    bench::row({bench::fmt_int(static_cast<long long>(i)), bench::fmt(sw, 3),
+                bench::fmt(static_states[i].meta.wall_ms, 1),
+                bench::fmt(ew, 3),
+                bench::fmt(elastic_states[i].meta.wall_ms, 1)},
+               17);
+  }
+  const double work_gain =
+      elastic_worst_work > 0.0 ? static_worst_work / elastic_worst_work : 0.0;
+  const double wall_gain =
+      elastic_worst_wall > 0.0 ? static_worst_wall / elastic_worst_wall : 0.0;
+  std::printf(
+      "worst shard: work %.3f s -> %.3f s (%.2fx), wall %.1f ms -> %.1f ms "
+      "(%.2fx)   merged CSV identical: %s\n",
+      static_worst_work, elastic_worst_work, work_gain, static_worst_wall,
+      elastic_worst_wall, wall_gain, identical ? "yes" : "NO (BUG)");
+
+  std::vector<util::BenchRecord> records;
+  for (std::size_t i = 0; i < kShards; ++i) {
+    records.push_back({"e5.static_shard" + std::to_string(i),
+                       static_states[i].meta.wall_ms,
+                       static_cast<int>(static_states[i].meta.threads), 1.0});
+    records.push_back({"e5.elastic_shard" + std::to_string(i),
+                       elastic_states[i].meta.wall_ms,
+                       static_cast<int>(elastic_states[i].meta.threads), 1.0});
+  }
+  // The trajectory records CI gates on: `speedup` is the worst-shard
+  // improvement of the cost-weighted deal over the static one.
+  records.push_back({"e5.elastic_worst_shard_work", elastic_worst_work * 1e3,
+                     1, work_gain});
+  records.push_back({"e5.elastic_worst_shard_wall", elastic_worst_wall, 1,
+                     wall_gain});
+  bench::write_bench_json("BENCH_e5_elastic.json", records);
+
+  return identical && work_gain >= 1.3;
+}
+
 struct Setup {
   divers::VariantCatalog cat = divers::VariantCatalog::standard(2013);
   core::SystemDescription desc = core::make_scope_description(cat);
@@ -418,14 +528,16 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--fleet-smoke") == 0) {
       const bool fleet_ok = fleet_speedup_phase();
       const bool streaming_ok = streaming_aggregation_phase(kStreamingReps);
-      return fleet_ok && streaming_ok ? 0 : 1;
+      const bool elastic_ok = elastic_scheduling_phase();
+      return fleet_ok && streaming_ok && elastic_ok ? 0 : 1;
     }
   }
   print_curves();
   const bool fleet_ok = fleet_speedup_phase();
   const bool streaming_ok = streaming_aggregation_phase(kStreamingReps);
+  const bool elastic_ok = elastic_scheduling_phase();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return fleet_ok && streaming_ok ? 0 : 1;
+  return fleet_ok && streaming_ok && elastic_ok ? 0 : 1;
 }

@@ -1,5 +1,7 @@
 #include "core/measurement.h"
 
+#include <atomic>
+#include <chrono>
 #include <memory>
 #include <optional>
 #include <stdexcept>
@@ -123,10 +125,11 @@ sim::ShardPlan MeasurementEngine::shard_plan(std::size_t cells) const {
                               options_.replication_block, options_.superblock);
 }
 
-std::vector<IndicatorAccumulator> MeasurementEngine::run_task_range(
+std::vector<IndicatorAccumulator> MeasurementEngine::run_tasks(
     const CellContextList& contexts, std::span<const std::uint64_t> seeds,
-    const sim::ShardPlan& shard, std::size_t task_begin, std::size_t task_end,
-    std::vector<IndicatorSample>* samples) const {
+    const sim::ShardPlan& shard, std::span<const std::uint64_t> tasks,
+    std::vector<IndicatorSample>* samples,
+    std::vector<double>* task_seconds) const {
   const double horizon = options_.campaign.t_max_hours;
   const std::size_t reps = options_.replications;
   const auto make = [&](std::size_t) {
@@ -135,20 +138,57 @@ std::vector<IndicatorAccumulator> MeasurementEngine::run_task_range(
   // One blocked fold per superblock task: block partials merge in
   // ascending block order inside the task, so a task's partial depends
   // only on (cell, superblock, RNG contract) — not on the thread count,
-  // the round size, or which process runs it. Tasks past a cell's
+  // the schedule, or which process runs it. Tasks past a cell's
   // replication count bound-check to no-ops (uniform task_span keeps the
   // schedule rectangular).
-  return sim::blocked_reduce_groups<IndicatorAccumulator>(
-      *executor_, task_end - task_begin, shard.task_span(), shard.block(),
-      make, [&](IndicatorAccumulator& a, std::size_t g, std::size_t i) {
-        const sim::ShardPlan::Task task = shard.task(task_begin + g);
-        const std::size_t rep = task.begin + i;
-        if (rep >= task.end) return;
-        const IndicatorSample s = run_job(*contexts.slots[task.group], horizon,
-                                          stats::Rng(seeds[task.group], rep));
-        if (samples) (*samples)[task.group * reps + rep] = s;
-        a.add(s);
-      });
+  const auto fold = [&](IndicatorAccumulator& a, std::size_t g, std::size_t i) {
+    const sim::ShardPlan::Task task = shard.task(tasks[g]);
+    const std::size_t rep = task.begin + i;
+    if (rep >= task.end) return;
+    const IndicatorSample s = run_job(*contexts.slots[task.group], horizon,
+                                      stats::Rng(seeds[task.group], rep));
+    if (samples) (*samples)[task.group * reps + rep] = s;
+    a.add(s);
+  };
+  // Schedule selection. The fold/merge sequence per task is identical
+  // either way (bit-identical partials), so this is purely a wall-time
+  // choice: the elastic work queue keeps threads busy under skewed
+  // per-cell costs, while the static block rounds expose sub-task
+  // parallelism when there are too few tasks to feed every thread.
+  const bool queued = options_.schedule == Scheduling::kElastic &&
+                      tasks.size() >= executor_->thread_count();
+  if (queued)
+    return sim::queued_reduce_groups<IndicatorAccumulator>(
+        *executor_, tasks.size(), shard.task_span(), shard.block(), make, fold,
+        task_seconds);
+  if (!task_seconds)
+    return sim::blocked_reduce_groups<IndicatorAccumulator>(
+        *executor_, tasks.size(), shard.task_span(), shard.block(), make, fold);
+
+  // Cost capture under the static rounds (a shard with fewer tasks than
+  // threads must not give up sub-task parallelism just to be timed): one
+  // task's block jobs run on several threads, so per-task seconds
+  // accumulate atomically from per-replication timings — two clock reads
+  // per campaign replication, noise against the simulation itself.
+  std::unique_ptr<std::atomic<double>[]> seconds(
+      new std::atomic<double>[tasks.size()]());
+  const auto timed_fold = [&](IndicatorAccumulator& a, std::size_t g,
+                              std::size_t i) {
+    const auto start = std::chrono::steady_clock::now();
+    fold(a, g, i);
+    seconds[g].fetch_add(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count(),
+        std::memory_order_relaxed);
+  };
+  std::vector<IndicatorAccumulator> out =
+      sim::blocked_reduce_groups<IndicatorAccumulator>(
+          *executor_, tasks.size(), shard.task_span(), shard.block(), make,
+          timed_fold);
+  task_seconds->resize(tasks.size());
+  for (std::size_t g = 0; g < tasks.size(); ++g)
+    (*task_seconds)[g] = seconds[g].load(std::memory_order_relaxed);
+  return out;
 }
 
 std::vector<IndicatorSummary> MeasurementEngine::run_cells(
@@ -173,8 +213,11 @@ std::vector<IndicatorSummary> MeasurementEngine::run_cells(
   const bool retain = options_.keep_samples || static_cast<bool>(visit);
   std::vector<IndicatorSample> samples(retain ? cells * reps : 0);
   const sim::ShardPlan plan = shard_plan(cells);
-  std::vector<IndicatorAccumulator> partials = run_task_range(
-      contexts, seeds, plan, 0, plan.task_count(), retain ? &samples : nullptr);
+  std::vector<std::uint64_t> all_tasks(plan.task_count());
+  for (std::size_t t = 0; t < all_tasks.size(); ++t) all_tasks[t] = t;
+  std::vector<IndicatorAccumulator> partials =
+      run_tasks(contexts, seeds, plan, all_tasks, retain ? &samples : nullptr,
+                /*task_seconds=*/nullptr);
   std::vector<IndicatorAccumulator> acc =
       sim::reduce_task_partials(plan, std::move(partials), make);
 
@@ -240,30 +283,56 @@ std::vector<IndicatorSummary> MeasurementEngine::measure_scenarios(
 std::vector<IndicatorAccumulator> MeasurementEngine::measure_scenario_partials(
     const ScenarioSweepPlan& plan, const sim::ShardPlan& shard,
     std::size_t task_begin, std::size_t task_end) const {
+  if (task_begin > task_end || task_end > shard.task_count())
+    throw std::out_of_range("measure_scenario_partials: bad task range");
+  std::vector<std::uint64_t> tasks(task_end - task_begin);
+  for (std::size_t t = 0; t < tasks.size(); ++t) tasks[t] = task_begin + t;
+  return measure_scenario_tasks(plan, shard, tasks);
+}
+
+std::vector<IndicatorAccumulator> MeasurementEngine::measure_scenario_tasks(
+    const ScenarioSweepPlan& plan, const sim::ShardPlan& shard,
+    std::span<const std::uint64_t> tasks,
+    std::vector<double>* task_seconds) const {
   if (options_.engine != Engine::kCampaign)
     throw std::invalid_argument(
-        "measure_scenario_partials: requires the campaign engine");
+        "measure_scenario_tasks: requires the campaign engine");
   const sim::ShardPlan expected = shard_plan(plan.cell_count());
   if (shard.groups() != expected.groups() ||
       shard.count() != expected.count() ||
       shard.block() != expected.block() ||
       shard.superblock() != expected.superblock())
     throw std::invalid_argument(
-        "measure_scenario_partials: shard plan does not match the sweep "
+        "measure_scenario_tasks: shard plan does not match the sweep "
         "plan/options (cells, replications, block, and superblock must all "
         "agree or partials will not merge bit-identically)");
-  if (task_begin > task_end || task_end > shard.task_count())
-    throw std::out_of_range("measure_scenario_partials: bad task range");
-  if (task_begin == task_end) return {};
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    if (tasks[t] >= shard.task_count())
+      throw std::out_of_range("measure_scenario_tasks: task outside the plan");
+    if (t > 0 && tasks[t] <= tasks[t - 1])
+      throw std::invalid_argument(
+          "measure_scenario_tasks: task list must be strictly ascending");
+  }
+  if (tasks.empty()) {
+    if (task_seconds) task_seconds->clear();
+    return {};
+  }
 
-  // Only the cells this task range touches get a campaign context —
-  // shard processes of a huge sweep must not pay for the whole fleet's
-  // reachability indexes.
-  const std::size_t cell_lo = shard.task(task_begin).group;
-  const std::size_t cell_hi = shard.task(task_end - 1).group + 1;
+  // Only the cells this task list touches get a campaign context — shard
+  // processes of a huge sweep must not pay for the whole fleet's
+  // reachability indexes. Cost-weighted lists may skip cells in the
+  // middle of their range, so collect the distinct touched cells rather
+  // than spanning [first, last]. The list is ascending, so so is the
+  // touched-cell sequence.
+  std::vector<std::size_t> touched;
+  for (const std::uint64_t t : tasks) {
+    const std::size_t cell = shard.task(t).group;
+    if (touched.empty() || touched.back() != cell) touched.push_back(cell);
+  }
   CellContextList contexts;
   contexts.slots.resize(plan.cell_count());
-  executor_->parallel_for(cell_lo, cell_hi, [&](std::size_t c) {
+  executor_->parallel_for(0, touched.size(), [&](std::size_t i) {
+    const std::size_t c = touched[i];
     auto ctx = std::make_unique<CellContext>();
     ctx->campaign.emplace(plan.cells[c].scenario, *profile_, *catalog_,
                           options_.detection, options_.campaign);
@@ -273,8 +342,8 @@ std::vector<IndicatorAccumulator> MeasurementEngine::measure_scenario_partials(
   std::vector<std::uint64_t> seeds(plan.cell_count());
   for (std::size_t c = 0; c < plan.cell_count(); ++c)
     seeds[c] = plan.cells[c].seed;
-  return run_task_range(contexts, seeds, shard, task_begin, task_end,
-                        /*samples=*/nullptr);
+  return run_tasks(contexts, seeds, shard, tasks, /*samples=*/nullptr,
+                   task_seconds);
 }
 
 IndicatorSummary MeasurementEngine::measure_one(const Configuration& config) const {

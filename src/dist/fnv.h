@@ -1,0 +1,44 @@
+// fnv.h — FNV-1a hashing shared by the dist:: codecs and fingerprints.
+//
+// sweep_fingerprint (state_codec) and cost_fingerprint (cost_model) must
+// mix fields identically for their compatibility contracts to hold, so
+// the mixing primitives live in exactly one place.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace divsec::dist {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xCBF29CE484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x00000100000001B3ULL;
+
+/// FNV-1a over raw bytes (the whole-file checksum).
+[[nodiscard]] inline std::uint64_t fnv1a(std::string_view bytes) {
+  std::uint64_t h = kFnvOffsetBasis;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Mix a little-endian u64 into a running hash.
+inline void fnv1a_mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= kFnvPrime;
+  }
+}
+
+/// Mix a length-prefixed string into a running hash.
+inline void fnv1a_mix(std::uint64_t& h, const std::string& s) {
+  fnv1a_mix(h, static_cast<std::uint64_t>(s.size()));
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+}
+
+}  // namespace divsec::dist

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "dist/fnv.h"
 #include "util/json.h"
 
 namespace divsec::dist {
@@ -91,30 +92,6 @@ class Reader {
   std::string_view bytes_;
   std::size_t off_ = 0;
 };
-
-std::uint64_t fnv1a(std::string_view bytes) {
-  std::uint64_t h = 0xCBF29CE484222325ULL;
-  for (const char c : bytes) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 0x00000100000001B3ULL;
-  }
-  return h;
-}
-
-void fnv1a_mix(std::uint64_t& h, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    h ^= (v >> (8 * i)) & 0xFF;
-    h *= 0x00000100000001B3ULL;
-  }
-}
-
-void fnv1a_mix(std::uint64_t& h, const std::string& s) {
-  fnv1a_mix(h, static_cast<std::uint64_t>(s.size()));
-  for (const char c : s) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 0x00000100000001B3ULL;
-  }
-}
 
 // ---- state blobs -----------------------------------------------------------
 
@@ -243,7 +220,7 @@ void put_meta(std::string& out, const SweepMeta& m) {
 }  // namespace
 
 std::uint64_t sweep_fingerprint(const SweepMeta& meta) {
-  std::uint64_t h = 0xCBF29CE484222325ULL;
+  std::uint64_t h = kFnvOffsetBasis;
   fnv1a_mix(h, kStateFormatVersion);
   fnv1a_mix(h, meta.preset);
   fnv1a_mix(h, meta.threat);
@@ -286,11 +263,8 @@ std::string meta_json(const SweepMeta& meta) {
   out += std::string(", \"merged\": ") + (meta.merged ? "true" : "false");
   out += ", \"wall_ms\": " + util::json_number(meta.wall_ms);
   out += ", \"threads\": " + std::to_string(meta.threads);
-  out += ", \"fingerprint\": \"";
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%016llx",
-                static_cast<unsigned long long>(sweep_fingerprint(meta)));
-  out += buf;
+  out += ", \"fingerprint\": \"" + fingerprint_hex(sweep_fingerprint(meta));
+  out += "\", \"cost_fingerprint\": \"" + fingerprint_hex(cost_fingerprint(meta));
   out += "\"}";
   return out;
 }
@@ -301,17 +275,33 @@ std::string encode_shard_state(const ShardState& state) {
   put_u32(out, kStateFormatVersion);
   put_str(out, meta_json(state.meta));
   put_meta(out, state.meta);
-  put_u64(out, state.task_begin);
-  put_u64(out, state.task_end);
-  if (state.partials.size() != state.task_end - state.task_begin)
+  if (state.partials.size() != state.tasks.size())
     throw std::invalid_argument(
-        "encode_shard_state: partial count != task range");
+        "encode_shard_state: partial count != task list size");
+  for (std::size_t t = 1; t < state.tasks.size(); ++t)
+    if (state.tasks[t] <= state.tasks[t - 1])
+      throw std::invalid_argument(
+          "encode_shard_state: task list must be strictly ascending");
+  if (!state.cost.cells.empty() && state.cost.cells.size() != state.meta.cells)
+    throw std::invalid_argument(
+        "encode_shard_state: cost model cell count != sweep cell count");
+  put_u64(out, state.tasks.size());
+  for (const std::uint64_t t : state.tasks) put_u64(out, t);
   for (const auto& p : state.partials) put_accumulator(out, p);
+  put_u64(out, state.cost.cells.size());
+  for (const auto& c : state.cost.cells) {
+    put_u64(out, c.replications);
+    put_f64(out, c.seconds);
+  }
   put_u64(out, fnv1a(out));
   return out;
 }
 
 ShardState decode_shard_state(std::string_view bytes) {
+  if (bytes.substr(0, 12) == "divsec-tasks")
+    throw std::runtime_error(
+        "shard state: this is a task-plan file (divsec_sweep plan output), "
+        "not a shard state — pass it via --tasks instead");
   if (bytes.size() < sizeof(kMagic) + 4 + 8 ||
       bytes.compare(0, sizeof(kMagic), kMagic, sizeof(kMagic)) != 0)
     throw std::runtime_error("shard state: not a divsec sweep state file");
@@ -361,20 +351,38 @@ ShardState decode_shard_state(std::string_view bytes) {
   m.wall_ms = r.f64();
   m.threads = r.u32();
 
-  state.task_begin = r.u64();
-  state.task_end = r.u64();
-  if (state.task_end < state.task_begin)
-    throw std::runtime_error("shard state: inverted task range");
-  const std::uint64_t ntasks = state.task_end - state.task_begin;
-  // Plausibility bound before reserving anything: every accumulator blob
-  // is far larger than 64 bytes, so a count the remaining payload cannot
-  // possibly hold is corruption — reject it as such rather than letting
-  // a forged count drive reserve() into bad_alloc.
-  if (ntasks > r.remaining() / 64)
+  const std::uint64_t ntasks = r.u64();
+  // Plausibility bound before reserving anything: every task costs an
+  // 8-byte id plus an accumulator blob far larger than 64 bytes, so a
+  // count the remaining payload cannot possibly hold is corruption —
+  // reject it as such rather than letting a forged count drive reserve()
+  // into bad_alloc.
+  if (ntasks > r.remaining() / 72)
     throw std::runtime_error("shard state: task count exceeds input size");
+  state.tasks.reserve(ntasks);
+  for (std::uint64_t i = 0; i < ntasks; ++i) {
+    const std::uint64_t t = r.u64();
+    if (!state.tasks.empty() && t <= state.tasks.back())
+      throw std::runtime_error(
+          "shard state: task list is not strictly ascending");
+    state.tasks.push_back(t);
+  }
   state.partials.reserve(ntasks);
   for (std::uint64_t i = 0; i < ntasks; ++i)
     state.partials.push_back(get_accumulator(r));
+  const std::uint64_t ncost = r.u64();
+  if (ncost != 0 && ncost != m.cells)
+    throw std::runtime_error(
+        "shard state: cost model cell count disagrees with the sweep");
+  if (ncost > r.remaining() / 16)
+    throw std::runtime_error("shard state: cost section exceeds input size");
+  state.cost.cells.reserve(ncost);
+  for (std::uint64_t i = 0; i < ncost; ++i) {
+    CellCost c;
+    c.replications = r.u64();
+    c.seconds = r.f64();
+    state.cost.cells.push_back(c);
+  }
   if (r.remaining() != 0)
     throw std::runtime_error("shard state: trailing bytes after payload");
   return state;

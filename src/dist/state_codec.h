@@ -7,15 +7,23 @@
 // the exact reducer must validate before merging), the task range, and
 // the raw accumulator states.
 //
-// Format (version 1), all integers little-endian, doubles as IEEE-754
+// Format (version 2), all integers little-endian, doubles as IEEE-754
 // bit patterns:
 //   magic "DVSWEEPS" | u32 version
 //   u32 json_len | meta rendered as JSON  (informational header: `head -2
 //     file.state` and `divsec_sweep inspect` are enough to see what a
 //     file is; the merge reducer never parses it)
 //   binary meta (authoritative)
-//   u64 task_begin | u64 task_end | one accumulator blob per task
+//   u64 ntasks | ntasks × u64 task id (strictly ascending)
+//   one accumulator blob per task, in list order
+//   u64 ncost | ncost × (u64 replications | f64 seconds)  — the per-cell
+//     cost model measured while the shard ran (dist/cost_model.h);
+//     ncost is 0 (no measurements) or the sweep's cell count
 //   u64 FNV-1a checksum of every preceding byte
+// Version 2 replaced version 1's contiguous [task_begin, task_end) range
+// with the explicit task-id list (cost-weighted LPT plans assign
+// non-contiguous sets) and appended the cost section; v1 files are
+// rejected — regenerate shards, they are cheap by construction.
 //
 // Guarantees:
 //   * exact round-trip — decode(encode(s)) restores every accumulator
@@ -31,13 +39,15 @@
 #include <vector>
 
 #include "core/indicator_accumulator.h"
+#include "dist/cost_model.h"
 #include "scenario/scenario_builder.h"
 
 namespace divsec::dist {
 
 /// Codec version of the shard-state format. Bump on any layout change;
-/// decode rejects versions it does not speak.
-inline constexpr std::uint32_t kStateFormatVersion = 1;
+/// decode rejects versions it does not speak. v2: explicit task-id lists
+/// (elastic shard plans) + embedded per-cell cost model.
+inline constexpr std::uint32_t kStateFormatVersion = 2;
 
 /// Everything that identifies a sweep (what must match for partials to
 /// be mergeable) plus per-shard provenance (which shard, how long it
@@ -68,14 +78,16 @@ struct SweepMeta {
 [[nodiscard]] std::uint64_t sweep_fingerprint(const SweepMeta& meta);
 
 /// One shard's serialized payload: the accumulator partial of every task
-/// in [task_begin, task_end), ascending task order. For merged states
-/// (meta.merged) the "tasks" are the per-cell merged accumulators and
-/// the range is [0, cells).
+/// in `tasks` (strictly ascending task ids — contiguous for the balanced
+/// `--shard i/K` split, arbitrary for a cost-weighted `--tasks` list),
+/// plus the per-cell cost measured while the shard ran. For merged
+/// states (meta.merged) the "tasks" are the per-cell merged accumulators
+/// and the list is [0, cells).
 struct ShardState {
   SweepMeta meta;
-  std::uint64_t task_begin = 0;
-  std::uint64_t task_end = 0;
-  std::vector<core::IndicatorAccumulator::State> partials;
+  std::vector<std::uint64_t> tasks;
+  std::vector<core::IndicatorAccumulator::State> partials;  // one per task
+  CostModel cost;
 };
 
 /// Serialize to the versioned byte format. Deterministic: equal states

@@ -23,10 +23,6 @@ double timed_ms(const F& f) {
   return std::chrono::duration<double, std::milli>(t1 - t0).count();
 }
 
-sim::ShardPlan plan_of(const SweepMeta& meta) {
-  return sim::ShardPlan::make(meta.cells, meta.replications,
-                              meta.replication_block, meta.superblock);
-}
 
 std::vector<core::IndicatorSummary> summarize_cells(
     const SweepMeta& meta, const std::vector<core::IndicatorAccumulator>& acc) {
@@ -42,6 +38,11 @@ std::vector<core::IndicatorSummary> summarize_cells(
 }
 
 }  // namespace
+
+sim::ShardPlan sweep_shard_plan(const SweepMeta& meta) {
+  return sim::ShardPlan::make(meta.cells, meta.replications,
+                              meta.replication_block, meta.superblock);
+}
 
 SweepMeta make_meta(const SweepSpec& spec) {
   if (spec.policies.empty())
@@ -129,6 +130,17 @@ core::MeasurementOptions sweep_options(const SweepSpec& spec,
 
 ShardState run_shard(const SweepSpec& spec, std::size_t shard,
                      std::size_t shard_count, const sim::Executor* executor) {
+  const sim::ShardPlan plan = sweep_shard_plan(make_meta(spec));
+  const auto [lo, hi] = plan.shard_range(shard, shard_count);
+  std::vector<std::uint64_t> tasks(hi - lo);
+  for (std::size_t t = 0; t < tasks.size(); ++t) tasks[t] = lo + t;
+  return run_shard_tasks(spec, std::move(tasks), shard, shard_count, executor);
+}
+
+ShardState run_shard_tasks(const SweepSpec& spec,
+                           std::vector<std::uint64_t> tasks, std::size_t shard,
+                           std::size_t shard_count,
+                           const sim::Executor* executor) {
   ShardState state;
   state.meta = make_meta(spec);
   state.meta.shard = shard;
@@ -136,10 +148,8 @@ ShardState run_shard(const SweepSpec& spec, std::size_t shard,
   if (executor)
     state.meta.threads = static_cast<std::uint32_t>(executor->thread_count());
 
-  const sim::ShardPlan plan = plan_of(state.meta);
-  const auto [lo, hi] = plan.shard_range(shard, shard_count);
-  state.task_begin = lo;
-  state.task_end = hi;
+  const sim::ShardPlan plan = sweep_shard_plan(state.meta);
+  state.tasks = std::move(tasks);
 
   state.meta.wall_ms = timed_ms([&] {
     const divers::VariantCatalog catalog =
@@ -148,10 +158,20 @@ ShardState run_shard(const SweepSpec& spec, std::size_t shard,
     const core::MeasurementOptions options = sweep_options(spec, executor);
     const core::MeasurementEngine engine(catalog, profile, options);
     const core::ScenarioSweepPlan sweep = expand_plan(spec, catalog);
+    std::vector<double> task_seconds;
     const std::vector<core::IndicatorAccumulator> partials =
-        engine.measure_scenario_partials(sweep, plan, lo, hi);
+        engine.measure_scenario_tasks(sweep, plan, state.tasks, &task_seconds);
     state.partials.reserve(partials.size());
     for (const auto& p : partials) state.partials.push_back(p.state());
+    // Fold the per-task timings into the per-cell cost model this state
+    // ships: the measurement feed of `divsec_sweep plan --weights`.
+    state.cost.cells.assign(state.meta.cells, CellCost{});
+    for (std::size_t t = 0; t < state.tasks.size(); ++t) {
+      const sim::ShardPlan::Task task = plan.task(state.tasks[t]);
+      CellCost& cell = state.cost.cells[task.group];
+      cell.replications += task.end - task.begin;
+      cell.seconds += task_seconds[t];
+    }
   });
   return state;
 }
@@ -181,21 +201,28 @@ MergeResult merge_shards(const std::vector<ShardState>& states) {
   }
 
   const SweepMeta& meta = states.front().meta;
-  const sim::ShardPlan plan = plan_of(meta);
+  const sim::ShardPlan plan = sweep_shard_plan(meta);
   const std::size_t tasks = plan.task_count();
 
   // Exact coverage: every superblock task exactly once, none foreign.
+  // Task lists need not be contiguous (cost-weighted plans are not) —
+  // only the union matters.
   std::vector<const core::IndicatorAccumulator::State*> slots(tasks, nullptr);
   for (const auto& s : states) {
-    if (s.task_end > tasks || s.partials.size() != s.task_end - s.task_begin)
+    if (s.partials.size() != s.tasks.size())
       throw std::invalid_argument(
-          "merge_shards: task range outside the sweep's plan");
-    for (std::uint64_t t = s.task_begin; t < s.task_end; ++t) {
+          "merge_shards: partial count != task list size");
+    for (std::size_t i = 0; i < s.tasks.size(); ++i) {
+      const std::uint64_t t = s.tasks[i];
+      if (t >= tasks)
+        throw std::invalid_argument(
+            "merge_shards: task " + std::to_string(t) +
+            " outside the sweep's plan");
       if (slots[t])
         throw std::invalid_argument(
             "merge_shards: task " + std::to_string(t) +
             " appears in more than one shard state");
-      slots[t] = &s.partials[t - s.task_begin];
+      slots[t] = &s.partials[i];
     }
   }
   for (std::size_t t = 0; t < tasks; ++t)
@@ -220,6 +247,7 @@ MergeResult merge_shards(const std::vector<ShardState>& states) {
   out.meta.shard = 0;
   out.meta.shard_count = states.size();  // provenance: shards reduced
   out.meta.merged = true;
+  for (const auto& s : states) out.cost.merge(s.cost);
   return out;
 }
 
@@ -227,10 +255,11 @@ ShardState merged_state(const MergeResult& merged) {
   ShardState state;
   state.meta = merged.meta;
   state.meta.merged = true;
-  state.task_begin = 0;
-  state.task_end = merged.accumulators.size();
+  state.tasks.resize(merged.accumulators.size());
+  for (std::size_t c = 0; c < state.tasks.size(); ++c) state.tasks[c] = c;
   state.partials.reserve(merged.accumulators.size());
   for (const auto& a : merged.accumulators) state.partials.push_back(a.state());
+  state.cost = merged.cost;
   return state;
 }
 

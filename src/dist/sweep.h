@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/measurement.h"
+#include "dist/cost_model.h"
 #include "dist/state_codec.h"
 #include "divers/variants.h"
 #include "sim/shard_plan.h"
@@ -75,13 +76,30 @@ struct SweepSpec {
 [[nodiscard]] core::MeasurementOptions sweep_options(
     const SweepSpec& spec, const sim::Executor* executor = nullptr);
 
-/// Compute shard `shard` of `shard_count`: re-expand the plan, run the
-/// owned superblock tasks, and return the serialized-ready state (meta
-/// provenance filled in, wall_ms measured). Pure function of (spec,
-/// shard, shard_count) — thread count and host do not change the bytes.
+/// The superblock task plan a spec induces (what task ids in plan files
+/// and shard states index into).
+[[nodiscard]] sim::ShardPlan sweep_shard_plan(const SweepMeta& meta);
+
+/// Compute shard `shard` of `shard_count` under the contiguous balanced
+/// split: re-expand the plan, run the owned superblock tasks, and return
+/// the serialized-ready state (meta provenance filled in, wall_ms and
+/// the per-cell cost model measured). The accumulator payload is a pure
+/// function of (spec, shard, shard_count) — thread count and host change
+/// only the wall/cost provenance, never the partial bytes.
 [[nodiscard]] ShardState run_shard(const SweepSpec& spec, std::size_t shard,
                                    std::size_t shard_count,
                                    const sim::Executor* executor = nullptr);
+
+/// Elastic variant: run an explicit (strictly ascending) task list —
+/// one shard's slice of a cost-weighted plan. shard/shard_count are
+/// provenance only; the payload depends on (spec, tasks) alone. The
+/// merge accepts any mix of shard states whose lists cover the task
+/// space exactly once.
+[[nodiscard]] ShardState run_shard_tasks(const SweepSpec& spec,
+                                         std::vector<std::uint64_t> tasks,
+                                         std::size_t shard,
+                                         std::size_t shard_count,
+                                         const sim::Executor* executor = nullptr);
 
 /// The single-process reference: the engine's own streaming path end to
 /// end (measure_scenarios). merge_shards output must match this bit for
@@ -95,13 +113,18 @@ struct MergeResult {
   SweepMeta meta;  // merged = true
   std::vector<core::IndicatorAccumulator> accumulators;  // one per cell
   std::vector<core::IndicatorSummary> summaries;         // one per cell
+  CostModel cost;  // fleet-wide per-cell cost (shard models merged)
 };
 
 /// Merge shard states into per-cell results. Validates that every state
 /// shares one sweep fingerprint, none is already merged, and the task
-/// ranges cover [0, task_count) exactly once; throws
+/// lists cover [0, task_count) exactly once; throws
 /// std::invalid_argument otherwise. Partials fold in ascending (cell,
-/// superblock) order — bit-identical to run_in_process on the same spec.
+/// superblock) order — bit-identical to run_in_process on the same spec,
+/// no matter how the covering lists were cut (contiguous ranges,
+/// cost-weighted LPT sets, or any mix). Shard cost models merge into the
+/// result, so the merged state is itself a weights source for the next
+/// `divsec_sweep plan`.
 [[nodiscard]] MergeResult merge_shards(const std::vector<ShardState>& states);
 
 /// The merged result as a writable state file (meta.merged = true, one

@@ -16,6 +16,8 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <vector>
 
@@ -78,6 +80,61 @@ template <typename Acc, typename Make, typename Fold>
     for (std::size_t j = 0; j < n; ++j)
       out[(start + j) / nblocks].merge(partials[j]);
   }
+  return out;
+}
+
+/// Elastic sibling of blocked_reduce_groups: the same (group × block)
+/// reduction, scheduled through a shared atomic work queue instead of
+/// static chunking. Whole groups are the queue items — a thread pulls the
+/// next unclaimed group when it finishes its current one, folds every
+/// block of that group locally (fresh block accumulator, merged in
+/// ascending block order), and moves on. Because each group's fold is the
+/// exact block sequence blocked_reduce_groups performs and no partial
+/// ever crosses a thread, the returned accumulators are bit-identical to
+/// the static schedule for any thread count and any pull order; only the
+/// assignment of groups to threads is dynamic. Use it when group costs
+/// are skewed (a static chunk of expensive groups idles the other
+/// threads); use blocked_reduce_groups when there are fewer groups than
+/// threads (the queue cannot feed the pool, the round schedule can).
+///
+/// group_seconds, when non-null, receives each group's fold wall time in
+/// seconds (resized to `groups`) — single-writer per slot, measured on
+/// the thread that owned the group. This is the measurement feed of the
+/// dist:: cost model.
+template <typename Acc, typename Make, typename Fold>
+[[nodiscard]] std::vector<Acc> queued_reduce_groups(
+    const Executor& executor, std::size_t groups, std::size_t count,
+    std::size_t block, const Make& make, const Fold& fold,
+    std::vector<double>* group_seconds = nullptr) {
+  if (block == 0) block = kDefaultReductionBlock;
+  const std::size_t nblocks = count == 0 ? 0 : (count + block - 1) / block;
+
+  std::vector<Acc> out;
+  out.reserve(groups);
+  for (std::size_t g = 0; g < groups; ++g) out.push_back(make(g));
+  if (group_seconds) group_seconds->assign(groups, 0.0);
+  if (groups == 0 || nblocks == 0) return out;
+
+  std::atomic<std::size_t> next{0};
+  const std::size_t workers = std::min(executor.thread_count(), groups);
+  executor.parallel_for(0, workers, [&](std::size_t) {
+    for (std::size_t g = next.fetch_add(1, std::memory_order_relaxed);
+         g < groups; g = next.fetch_add(1, std::memory_order_relaxed)) {
+      const auto start = std::chrono::steady_clock::now();
+      Acc& acc = out[g];
+      for (std::size_t b = 0; b < nblocks; ++b) {
+        Acc partial = make(g);
+        const std::size_t lo = b * block;
+        const std::size_t hi = std::min(count, lo + block);
+        for (std::size_t i = lo; i < hi; ++i) fold(partial, g, i);
+        acc.merge(partial);
+      }
+      if (group_seconds)
+        (*group_seconds)[g] = std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() - start)
+                                  .count();
+    }
+  });
   return out;
 }
 

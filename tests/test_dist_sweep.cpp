@@ -97,10 +97,12 @@ TEST(StateCodec, EncodeDecodeEncodeIsByteStable) {
   state.meta.shard = 1;
   state.meta.shard_count = 3;
   state.meta.wall_ms = 12.5;
-  state.task_begin = 4;
-  state.task_end = 6;
+  state.tasks = {4, 7, 11};  // non-contiguous, as a cost-weighted plan deals
   state.partials.push_back(filled_accumulator(1, 100).state());
   state.partials.push_back(filled_accumulator(2, 31).state());
+  state.partials.push_back(filled_accumulator(3, 64).state());
+  // Cost model with awkward doubles: round-trip must be exact per bit.
+  state.cost.cells = {{100, 0.1 + 0.2}, {0, 0.0}, {31, 1.0 / 3.0}};
 
   const std::string bytes = encode_shard_state(state);
   const ShardState decoded = decode_shard_state(bytes);
@@ -109,16 +111,19 @@ TEST(StateCodec, EncodeDecodeEncodeIsByteStable) {
 
   EXPECT_EQ(decoded.meta.preset, state.meta.preset);
   EXPECT_EQ(decoded.meta.policies, state.meta.policies);
-  EXPECT_EQ(decoded.task_begin, 4u);
-  EXPECT_EQ(decoded.task_end, 6u);
+  EXPECT_EQ(decoded.tasks, state.tasks);
+  ASSERT_EQ(decoded.cost.cells.size(), 3u);
+  EXPECT_EQ(decoded.cost.cells[0].replications, 100u);
+  EXPECT_EQ(decoded.cost.cells[0].seconds, 0.1 + 0.2);
+  EXPECT_EQ(decoded.cost.cells[2].seconds, 1.0 / 3.0);
   EXPECT_EQ(sweep_fingerprint(decoded.meta), sweep_fingerprint(state.meta));
+  EXPECT_EQ(cost_fingerprint(decoded.meta), cost_fingerprint(state.meta));
 }
 
 TEST(StateCodec, RejectsCorruptBytes) {
   ShardState state;
   state.meta = make_meta(small_spec());
-  state.task_begin = 0;
-  state.task_end = 1;
+  state.tasks = {0};
   state.partials.push_back(filled_accumulator(3, 64).state());
   std::string bytes = encode_shard_state(state);
 
@@ -221,10 +226,11 @@ TEST(DistributedSweep, ShardBytesIndependentOfThreadCount) {
   const sim::Executor eight(8);
   ShardState a = run_shard(spec, 1, 3, &one);
   ShardState b = run_shard(spec, 1, 3, &eight);
-  // Provenance fields (wall time, thread count) differ by design; the
-  // payload must not.
+  // Provenance fields (wall time, thread count, measured costs) differ
+  // by design; the accumulator payload must not.
   b.meta.wall_ms = a.meta.wall_ms;
   b.meta.threads = a.meta.threads;
+  b.cost = a.cost;
   EXPECT_EQ(encode_shard_state(a), encode_shard_state(b));
 }
 

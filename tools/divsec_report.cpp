@@ -154,7 +154,25 @@ int report_from_merged(const Args& args) {
         std::to_string(merged.meta.replications) + "\n";
   md += "- merged from a " + std::to_string(merged.meta.shard_count) +
         "-shard run (state format v" +
-        std::to_string(dist::kStateFormatVersion) + ")\n\n";
+        std::to_string(dist::kStateFormatVersion) + ")\n";
+  md += "- sweep fingerprint " +
+        dist::fingerprint_hex(dist::sweep_fingerprint(merged.meta)) +
+        ", cost fingerprint " +
+        dist::fingerprint_hex(dist::cost_fingerprint(merged.meta)) + "\n";
+  if (merged.cost.measured()) {
+    md += "- measured cost (weights for `divsec_sweep plan`):";
+    for (std::size_t c = 0; c < merged.cost.cells.size(); ++c) {
+      if (merged.cost.cells[c].replications == 0) continue;
+      char cost[96];
+      std::snprintf(cost, sizeof(cost), "%s %s=%.3g s/rep",
+                    c ? "," : "",
+                    scenario::to_string(merged.meta.policies[c]),
+                    merged.cost.sec_per_rep(c));
+      md += cost;
+    }
+    md += "\n";
+  }
+  md += "\n";
   md += "| policy | P[success] | TTA rmean (h) | TTSF rmean (h) | final ratio |\n";
   md += "|---|---|---|---|---|\n";
   for (std::size_t c = 0; c < summaries.size(); ++c) {

@@ -9,19 +9,34 @@
 //           and <out>_summary.json — the single-process reference.
 //           With --shard i/K: computes shard i's superblock-task
 //           partials and writes the versioned state file <out> (default
-//           <preset>_shard<i>of<K>.state).
+//           <preset>_shard<i>of<K>.state). With --tasks PLAN --shard i:
+//           computes the explicit task list shard i owns in a
+//           cost-weighted plan file instead of the contiguous range.
+//   plan    cost-weighted shard planner: merges the per-cell cost models
+//           measured by prior runs (--weights *.state, any compatible
+//           sweep — cost transfers across replication counts) and deals
+//           the superblock tasks to --shards K by LPT, writing a task
+//           plan `run --tasks` executes. Every shard state records
+//           costs, so the first (statically sharded) run of a sweep is
+//           its own calibration.
 //   merge   exact cross-process reducer: validates shard compatibility
-//           and task coverage, folds partials in ascending (cell,
-//           superblock) order, and writes <out>_measurements.csv +
+//           and exact task coverage (contiguous ranges, LPT lists, or
+//           any mix), folds partials in ascending (cell, superblock)
+//           order, and writes <out>_measurements.csv +
 //           <out>_summary.json + <out>_merged.state. Output is
 //           bit-identical to the in-process `run` on the same spec —
-//           for any shard count, including 1.
+//           for any shard count, including 1, and for any exact-coverage
+//           assignment of tasks to shards.
 //   inspect print a state file's JSON header and accumulator dump.
 //
 // Examples:
 //   divsec_sweep run --preset enterprise1024 --replications 100000 \
 //       --shard 0/8 --out s0.state            # ×8, one per process/host
 //   divsec_sweep merge --out fleet s*.state
+//   divsec_sweep plan --preset enterprise1024 --replications 100000 \
+//       --shards 8 --weights fleet_merged.state --out fleet.tasks
+//   divsec_sweep run --preset enterprise1024 --replications 100000 \
+//       --tasks fleet.tasks --shard 0 --out e0.state   # ×8, elastic
 //   divsec_sweep run --preset enterprise1024 --replications 100000 \
 //       --out fleet_ref                       # the equality reference
 #include <algorithm>
@@ -47,9 +62,10 @@ namespace {
 void usage(std::FILE* to) {
   std::fprintf(
       to,
-      "usage: divsec_sweep <run|merge|inspect> [options]\n"
+      "usage: divsec_sweep <run|plan|merge|inspect> [options]\n"
       "\n"
-      "divsec_sweep run [sweep options] [--shard i/K] [--out PATH]\n"
+      "divsec_sweep run [sweep options] [--shard i/K | --tasks PLAN --shard i]\n"
+      "                 [--out PATH]\n"
       "  --preset NAME        scenario preset (default enterprise256)\n"
       "  --policies a,b,c     cell arms from {monoculture,zone-stratified,\n"
       "                       random-per-node} (aliases mono/zone/random;\n"
@@ -63,9 +79,20 @@ void usage(std::FILE* to) {
       "  --bins N             survival-estimator bins (default 64)\n"
       "  --horizon H          measurement horizon in hours (default 2160)\n"
       "  --threads T          executor threads (default DIVSEC_THREADS)\n"
-      "  --shard i/K          compute only shard i of K and write its\n"
-      "                       state file instead of summaries\n"
+      "  --shard i/K          compute only shard i of K (contiguous\n"
+      "                       balanced ranges) and write its state file\n"
+      "  --tasks PLAN         execute the task list --shard i owns in the\n"
+      "                       plan file (from `divsec_sweep plan`); the\n"
+      "                       plan's fingerprint must match the sweep flags\n"
       "  --out PATH           state-file path (sharded) or artifact prefix\n"
+      "\n"
+      "divsec_sweep plan [sweep options] --shards K [--weights STATE]...\n"
+      "                  [--out PATH]\n"
+      "  deals the sweep's superblock tasks to K shards by LPT over the\n"
+      "  per-cell costs measured in the --weights state files (shard or\n"
+      "  merged; replication counts may differ — cost is per replication).\n"
+      "  Without --weights all tasks cost the same (balanced deal). Writes\n"
+      "  the task plan to PATH (default <preset>_<K>shards.tasks)\n"
       "\n"
       "divsec_sweep merge [--out PREFIX] [--bench-json FILE] STATE...\n"
       "  reduces shard state files to <PREFIX>_measurements.csv,\n"
@@ -152,55 +179,102 @@ struct ArgReader {
   }
 };
 
+/// The sweep-identity flags shared by `run` and `plan`. Returns false if
+/// `flag` is not a sweep flag (the caller handles its own).
+bool parse_sweep_flag(ArgReader& args, const std::string& flag,
+                      dist::SweepSpec& spec) {
+  if (flag == "--preset") spec.preset = args.value(flag);
+  else if (flag == "--policies") {
+    spec.policies.clear();
+    for (const auto& p : split_csv(args.value(flag)))
+      spec.policies.push_back(parse_policy(p));
+  } else if (flag == "--threat") spec.threat = args.value(flag);
+  else if (flag == "--seed") spec.seed = parse_u64(flag, args.value(flag));
+  else if (flag == "--replications")
+    spec.replications = parse_u64(flag, args.value(flag));
+  else if (flag == "--block")
+    spec.replication_block = parse_u64(flag, args.value(flag));
+  else if (flag == "--superblock")
+    spec.superblock = parse_u64(flag, args.value(flag));
+  else if (flag == "--bins")
+    spec.survival_bins = parse_u64(flag, args.value(flag));
+  else if (flag == "--horizon")
+    spec.horizon_hours = parse_f64(flag, args.value(flag));
+  else return false;
+  return true;
+}
+
 int cmd_run(int argc, char** argv) {
   dist::SweepSpec spec;
   bool sharded = false;
-  std::size_t shard = 0, shard_count = 1;
+  std::string shard_value;
   std::size_t threads = 0;
   std::string out;
+  std::string tasks_path;
 
   ArgReader args{argc, argv, 2};
   for (; args.i < argc; ++args.i) {
     const std::string flag = argv[args.i];
-    if (flag == "--preset") spec.preset = args.value(flag);
-    else if (flag == "--policies") {
-      spec.policies.clear();
-      for (const auto& p : split_csv(args.value(flag)))
-        spec.policies.push_back(parse_policy(p));
-    } else if (flag == "--threat") spec.threat = args.value(flag);
-    else if (flag == "--seed") spec.seed = parse_u64(flag, args.value(flag));
-    else if (flag == "--replications")
-      spec.replications = parse_u64(flag, args.value(flag));
-    else if (flag == "--block")
-      spec.replication_block = parse_u64(flag, args.value(flag));
-    else if (flag == "--superblock")
-      spec.superblock = parse_u64(flag, args.value(flag));
-    else if (flag == "--bins")
-      spec.survival_bins = parse_u64(flag, args.value(flag));
-    else if (flag == "--horizon")
-      spec.horizon_hours = parse_f64(flag, args.value(flag));
+    if (parse_sweep_flag(args, flag, spec)) continue;
     else if (flag == "--threads")
       threads = parse_u64(flag, args.value(flag));
     else if (flag == "--shard") {
-      std::tie(shard, shard_count) = parse_shard(args.value(flag));
+      shard_value = args.value(flag);
       sharded = true;
-    } else if (flag == "--out") out = args.value(flag);
+    } else if (flag == "--tasks") tasks_path = args.value(flag);
+    else if (flag == "--out") out = args.value(flag);
     else die_unknown(flag);
   }
 
   const sim::Executor executor(threads);  // 0 = DIVSEC_THREADS default
+  if (!tasks_path.empty()) {
+    // Elastic mode: execute the task list shard i owns in the plan file.
+    if (!sharded)
+      die("run --tasks wants --shard i (which task list to execute)");
+    if (shard_value.find('/') != std::string::npos)
+      die("with --tasks, --shard wants a bare index i (K comes from the "
+          "plan file); got: " + shard_value);
+    const std::size_t shard =
+        static_cast<std::size_t>(parse_u64("--shard", shard_value));
+    const dist::TaskPlan plan = dist::read_task_plan(tasks_path);
+    // The PR-4 fingerprint rule, reused: a task assignment is only valid
+    // for the exact sweep it was planned for — running it against other
+    // flags would silently mis-cover the task space.
+    dist::require_fingerprint(dist::sweep_fingerprint(dist::make_meta(spec)),
+                              plan.fingerprint, "task plan " + tasks_path);
+    if (shard >= plan.shards.size())
+      die("--shard " + std::to_string(shard) + " out of range: " +
+          tasks_path + " plans " + std::to_string(plan.shards.size()) +
+          " shard(s)");
+    if (out.empty())
+      out = spec.preset + "_shard" + std::to_string(shard) + "of" +
+            std::to_string(plan.shards.size()) + ".state";
+    const dist::ShardState state = dist::run_shard_tasks(
+        spec, plan.shards[shard], shard, plan.shards.size(), &executor);
+    dist::write_shard_state(out, state);
+    std::printf("shard %zu/%zu: %zu task(s) of %s (cost-weighted plan %s) "
+                "in %.1f ms -> %s\n",
+                shard, plan.shards.size(), state.tasks.size(),
+                spec.preset.c_str(), tasks_path.c_str(), state.meta.wall_ms,
+                out.c_str());
+    return 0;
+  }
+
   if (sharded) {
+    const auto [shard, shard_count] = parse_shard(shard_value);
     if (out.empty())
       out = spec.preset + "_shard" + std::to_string(shard) + "of" +
             std::to_string(shard_count) + ".state";
     const dist::ShardState state =
         dist::run_shard(spec, shard, shard_count, &executor);
+    const unsigned long long lo =
+        state.tasks.empty() ? 0 : static_cast<unsigned long long>(state.tasks.front());
+    const unsigned long long hi =
+        state.tasks.empty() ? 0 : static_cast<unsigned long long>(state.tasks.back()) + 1;
     dist::write_shard_state(out, state);
     std::printf("shard %zu/%zu: tasks [%llu, %llu) of %s in %.1f ms -> %s\n",
-                shard, shard_count,
-                static_cast<unsigned long long>(state.task_begin),
-                static_cast<unsigned long long>(state.task_end),
-                spec.preset.c_str(), state.meta.wall_ms, out.c_str());
+                shard, shard_count, lo, hi, spec.preset.c_str(),
+                state.meta.wall_ms, out.c_str());
     return 0;
   }
 
@@ -217,6 +291,62 @@ int cmd_run(int argc, char** argv) {
               "%s_{measurements.csv,summary.json}\n",
               spec.preset.c_str(), static_cast<unsigned long long>(meta.cells),
               static_cast<unsigned long long>(meta.replications), out.c_str());
+  return 0;
+}
+
+int cmd_plan(int argc, char** argv) {
+  dist::SweepSpec spec;
+  std::size_t shards = 0;
+  std::vector<std::string> weights;
+  std::string out;
+
+  ArgReader args{argc, argv, 2};
+  for (; args.i < argc; ++args.i) {
+    const std::string flag = argv[args.i];
+    if (parse_sweep_flag(args, flag, spec)) continue;
+    else if (flag == "--shards")
+      shards = parse_u64(flag, args.value(flag));
+    else if (flag == "--weights") weights.push_back(args.value(flag));
+    else if (flag == "--out") out = args.value(flag);
+    else die_unknown(flag);
+  }
+  if (shards == 0) die("plan wants --shards K (K >= 1)");
+
+  const dist::SweepMeta meta = dist::make_meta(spec);
+  dist::CostModel cost;
+  for (const auto& path : weights) {
+    const dist::ShardState state = dist::read_shard_state(path);
+    // Weights only need cost-compatibility (same cells, same dynamics):
+    // seconds/rep is independent of replication counts and aggregation
+    // sizes, so a cheap calibration run can weight a full-scale plan.
+    dist::require_fingerprint(dist::cost_fingerprint(meta),
+                              dist::cost_fingerprint(state.meta),
+                              "weights file " + path);
+    cost.merge(state.cost);
+  }
+
+  const sim::ShardPlan task_space = dist::sweep_shard_plan(meta);
+  dist::TaskPlan plan;
+  plan.fingerprint = dist::sweep_fingerprint(meta);
+  plan.shards = dist::cost_weighted_assignment(task_space, cost, shards);
+  if (out.empty())
+    out = spec.preset + "_" + std::to_string(shards) + "shards.tasks";
+  dist::write_task_plan(out, plan);
+
+  const std::vector<double> estimate =
+      dist::assignment_cost(task_space, cost, plan.shards);
+  const bool weighted = cost.measured();
+  std::printf("%s plan over %zu task(s) (%s costs) -> %s\n",
+              weighted ? "cost-weighted LPT" : "balanced",
+              static_cast<std::size_t>(task_space.task_count()),
+              weighted ? "measured" : "uniform", out.c_str());
+  for (std::size_t s = 0; s < plan.shards.size(); ++s) {
+    if (weighted)
+      std::printf("  shard %zu: %4zu task(s)  ~%.2f s predicted\n", s,
+                  plan.shards[s].size(), estimate[s]);
+    else
+      std::printf("  shard %zu: %4zu task(s)\n", s, plan.shards[s].size());
+  }
   return 0;
 }
 
@@ -304,9 +434,18 @@ int cmd_inspect(int argc, char** argv) {
 
   const dist::ShardState state = dist::read_shard_state(path);
   std::printf("%s\n", dist::meta_json(state.meta).c_str());
+  for (std::size_t c = 0; c < state.cost.cells.size(); ++c) {
+    const dist::CellCost& cell = state.cost.cells[c];
+    if (cell.replications == 0) continue;
+    std::printf("{\"cost_cell\": %zu, \"replications\": %llu, \"seconds\": %s, "
+                "\"sec_per_rep\": %s}\n",
+                c, static_cast<unsigned long long>(cell.replications),
+                util::json_number_exact(cell.seconds).c_str(),
+                util::json_number_exact(state.cost.sec_per_rep(c)).c_str());
+  }
   for (std::size_t t = 0; t < state.partials.size(); ++t)
     std::printf("{\"task\": %llu, \"state\": %s}\n",
-                static_cast<unsigned long long>(state.task_begin + t),
+                static_cast<unsigned long long>(state.tasks[t]),
                 dist::accumulator_json(state.partials[t]).c_str());
   return 0;
 }
@@ -330,6 +469,7 @@ int main(int argc, char** argv) {
   }
   try {
     if (cmd == "run") return cmd_run(argc, argv);
+    if (cmd == "plan") return cmd_plan(argc, argv);
     if (cmd == "merge") return cmd_merge(argc, argv);
     if (cmd == "inspect") return cmd_inspect(argc, argv);
   } catch (const std::exception& e) {
