@@ -21,6 +21,7 @@
 #include <cstring>
 
 #include "bench/bench_util.h"
+#include "bench/indexed_campaign.h"
 #include "bench/legacy_campaign.h"
 #include "core/indicator_accumulator.h"
 #include "core/indicators.h"
@@ -431,6 +432,183 @@ bool elastic_scheduling_phase() {
   return identical && work_gain >= 1.3;
 }
 
+/// SoA kernel vs the preserved PR-5 indexed engine
+/// (bench/indexed_campaign.h): the acceptance gate of the SoA refactor.
+/// Same enterprise1024 fleet and sustained-throughput configuration as
+/// the fleet phase. The SoA kernel draws from per-event-class streams
+/// (different sequence, same event law), so equivalence is statistical
+/// (5 sigma); the batched and scalar-reference kernels of the NEW engine
+/// share the draw contract, so those two must agree bit for bit. Gates:
+/// equivalence, bit-identity, and >= 2x per-replication speedup over the
+/// indexed engine. Appends its records to BENCH_e5_soa.json together
+/// with the 10^4-cell residency phase below.
+bool soa_kernel_phase(std::vector<util::BenchRecord>& records) {
+  constexpr std::size_t kNodes = 1024;
+  constexpr std::size_t kReps = 96;
+  constexpr std::uint64_t kSeed = 2013;
+  const std::string preset = "enterprise" + std::to_string(kNodes);
+
+  const divers::VariantCatalog cat = divers::VariantCatalog::standard(2013);
+  const attack::ThreatProfile stuxnet = attack::ThreatProfile::stuxnet();
+  const scenario::GeneratedScenario fleet = scenario::make_preset(
+      preset, cat, kSeed, scenario::VariantPolicy::kMonoculture);
+
+  bench::section("E5 SoA: " + preset +
+                 " campaign, PR-5 indexed engine vs SoA kernel");
+
+  attack::CampaignOptions opts;
+  opts.detection_halts_attack = false;
+  attack::CampaignOptions scalar_opts = opts;
+  scalar_opts.kernel = attack::CampaignKernel::kScalarReference;
+
+  const bench::indexed::CampaignSimulator indexed_sim(fleet.scenario, stuxnet,
+                                                      cat, {}, opts);
+  const attack::CampaignSimulator batched_sim(fleet.scenario, stuxnet, cat, {},
+                                              opts);
+  const attack::CampaignSimulator scalar_sim(fleet.scenario, stuxnet, cat, {},
+                                             scalar_opts);
+
+  const auto run_set = [&](const auto& sim, stats::OnlineStats& ratio,
+                           stats::OnlineStats& ttsf, stats::OnlineStats& success,
+                           std::size_t& events) {
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t r = 0; r < kReps; ++r) {
+      stats::Rng rng(kSeed, r);
+      const auto res = sim.run(rng);
+      ratio.add(res.compromised_ratio.back().second);
+      ttsf.add(res.time_to_detection.value_or(opts.t_max_hours));
+      success.add(res.attack_succeeded() ? 1.0 : 0.0);
+      events += res.events_executed;
+    }
+    return wall_ms_since(start) / kReps;
+  };
+
+  stats::OnlineStats idx_ratio, idx_ttsf, idx_success;
+  stats::OnlineStats soa_ratio, soa_ttsf, soa_success;
+  stats::OnlineStats ref_ratio, ref_ttsf, ref_success;
+  std::size_t idx_events = 0, soa_events = 0, ref_events = 0;
+  const double indexed_ms =
+      run_set(indexed_sim, idx_ratio, idx_ttsf, idx_success, idx_events);
+  const double batched_ms =
+      run_set(batched_sim, soa_ratio, soa_ttsf, soa_success, soa_events);
+  const double scalar_ms =
+      run_set(scalar_sim, ref_ratio, ref_ttsf, ref_success, ref_events);
+
+  // Batched vs scalar reference: same draw contract, so exact equality
+  // of the folded replication statistics (the per-run bit-identity is
+  // pinned exhaustively in tests/test_soa_campaign.cpp).
+  const bool bit_identical = soa_ratio.mean() == ref_ratio.mean() &&
+                             soa_ttsf.mean() == ref_ttsf.mean() &&
+                             soa_success.mean() == ref_success.mean() &&
+                             soa_events == ref_events;
+
+  const auto close = [&](const stats::OnlineStats& a, const stats::OnlineStats& b,
+                         double floor) {
+    const double se = std::sqrt(a.variance() / static_cast<double>(kReps) +
+                                b.variance() / static_cast<double>(kReps));
+    return std::abs(a.mean() - b.mean()) <= 5.0 * se + floor;
+  };
+  const bool equivalent = close(idx_ratio, soa_ratio, 1e-3) &&
+                          close(idx_ttsf, soa_ttsf, 1e-6) &&
+                          close(idx_success, soa_success, 1e-3);
+
+  const double speedup = batched_ms > 0.0 ? indexed_ms / batched_ms : 0.0;
+  bench::row({"kernel", "ms/replication", "events/rep", "speedup"}, 18);
+  bench::row({"indexed (PR-5)", bench::fmt(indexed_ms, 3),
+              bench::fmt_int(static_cast<long long>(idx_events / kReps)),
+              bench::fmt(1.0, 2)},
+             18);
+  bench::row({"soa scalar-ref", bench::fmt(scalar_ms, 3),
+              bench::fmt_int(static_cast<long long>(ref_events / kReps)),
+              bench::fmt(scalar_ms > 0.0 ? indexed_ms / scalar_ms : 0.0, 2)},
+             18);
+  bench::row({"soa batched", bench::fmt(batched_ms, 3),
+              bench::fmt_int(static_cast<long long>(soa_events / kReps)),
+              bench::fmt(speedup, 2)},
+             18);
+  std::printf(
+      "equivalence (%zu reps): %s  ratio %.4f vs %.4f | mean TTSF %.1f vs "
+      "%.1f | success %.3f vs %.3f   batched == scalar-ref: %s\n",
+      kReps, equivalent ? "OK" : "FAILED", idx_ratio.mean(), soa_ratio.mean(),
+      idx_ttsf.mean(), soa_ttsf.mean(), idx_success.mean(), soa_success.mean(),
+      bit_identical ? "yes" : "NO (BUG)");
+
+  records.push_back(
+      {"e5.soa_campaign_indexed_" + std::to_string(kNodes), indexed_ms, 1, 1.0});
+  records.push_back({"e5.soa_campaign_batched_" + std::to_string(kNodes),
+                     batched_ms, 1, speedup});
+  return equivalent && bit_identical && speedup >= 2.0;
+}
+
+/// Context residency at 10^4 cells: a same-topology enterprise128 sweep
+/// through measure_scenarios with streaming aggregation. The engine
+/// builds contexts lazily per scheduling round and shares the one
+/// reachability index, so the sweep's peak-RSS delta — measured AFTER
+/// plan construction, whose 10^4 Scenario copies are the caller's own
+/// storage — must stay far below what 10^4 eager contexts would cost
+/// (the pre-SoA path held every context for the whole call). Gates:
+/// distinct_reach == 1, peak residency a small multiple of the round
+/// width, RSS delta <= 64 MiB.
+bool context_residency_phase(std::vector<util::BenchRecord>& records) {
+  constexpr std::size_t kCells = 10000;
+  constexpr std::uint64_t kSeed = 2013;
+  const divers::VariantCatalog cat = divers::VariantCatalog::standard(2013);
+  const attack::ThreatProfile stuxnet = attack::ThreatProfile::stuxnet();
+  const scenario::GeneratedScenario fleet = scenario::make_preset(
+      "enterprise128", cat, kSeed, scenario::VariantPolicy::kMonoculture);
+
+  bench::section("E5 SoA: context residency, 10^4-cell enterprise128 sweep");
+
+  core::ScenarioSweepPlan plan;
+  plan.cells.reserve(kCells);
+  for (std::size_t c = 0; c < kCells; ++c)
+    plan.cells.push_back({fleet.scenario, kSeed + c});
+
+  core::ContextStats stats;
+  core::MeasurementOptions mo;
+  mo.engine = core::Engine::kCampaign;
+  mo.replications = 4;
+  mo.seed = kSeed;
+  mo.keep_samples = false;
+  mo.campaign.t_max_hours = 24.0;  // residency phase, not a throughput one
+  mo.context_stats = &stats;
+  const core::MeasurementEngine engine(cat, stuxnet, mo);
+
+  const double rss_base = bench::peak_rss_mb();  // after plan construction
+  const auto start = std::chrono::steady_clock::now();
+  const auto summaries = engine.measure_scenarios(plan);
+  const double wall_ms = wall_ms_since(start);
+  const double rss_delta = bench::peak_rss_mb() - rss_base;
+
+  const std::size_t threads = engine.executor().thread_count();
+  std::printf(
+      "cells=%zu reps=%zu horizon=%.0fh threads=%zu: wall %.1f ms, contexts "
+      "built=%zu peak_live=%zu distinct_reach=%zu, peak-RSS delta %.1f MiB\n",
+      plan.cell_count(), mo.replications, mo.campaign.t_max_hours, threads,
+      wall_ms, stats.built, stats.peak_live, stats.distinct_reach, rss_delta);
+
+  records.push_back({"e5.soa_sweep10000_wall", wall_ms,
+                     static_cast<int>(threads), 1.0});
+  records.push_back({"e5.soa_sweep10000_peak_rss_delta", wall_ms,
+                     static_cast<int>(threads), 1.0,
+                     std::isfinite(rss_delta) ? rss_delta : 0.0});
+
+  const bool residency_ok =
+      stats.built == kCells && stats.distinct_reach == 1 &&
+      stats.peak_live <= 8 * threads + 8;
+  const bool rss_ok = !std::isfinite(rss_delta) || rss_delta <= 64.0;
+  return summaries.size() == kCells && residency_ok && rss_ok;
+}
+
+/// Wrapper run by --fleet-smoke: both SoA phases share one JSON.
+bool soa_phases() {
+  std::vector<util::BenchRecord> records;
+  const bool kernel_ok = soa_kernel_phase(records);
+  const bool residency_ok = context_residency_phase(records);
+  bench::write_bench_json("BENCH_e5_soa.json", records);
+  return kernel_ok && residency_ok;
+}
+
 struct Setup {
   divers::VariantCatalog cat = divers::VariantCatalog::standard(2013);
   core::SystemDescription desc = core::make_scope_description(cat);
@@ -527,17 +705,19 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--fleet-smoke") == 0) {
       const bool fleet_ok = fleet_speedup_phase();
+      const bool soa_ok = soa_phases();
       const bool streaming_ok = streaming_aggregation_phase(kStreamingReps);
       const bool elastic_ok = elastic_scheduling_phase();
-      return fleet_ok && streaming_ok && elastic_ok ? 0 : 1;
+      return fleet_ok && soa_ok && streaming_ok && elastic_ok ? 0 : 1;
     }
   }
   print_curves();
   const bool fleet_ok = fleet_speedup_phase();
+  const bool soa_ok = soa_phases();
   const bool streaming_ok = streaming_aggregation_phase(kStreamingReps);
   const bool elastic_ok = elastic_scheduling_phase();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return fleet_ok && streaming_ok && elastic_ok ? 0 : 1;
+  return fleet_ok && soa_ok && streaming_ok && elastic_ok ? 0 : 1;
 }

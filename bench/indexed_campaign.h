@@ -1,0 +1,421 @@
+// indexed_campaign.h — the PR-5 indexed campaign inner loop, preserved
+// verbatim as the perf baseline for the SoA batched-RNG kernel.
+//
+// This is the engine attack::CampaignSimulator shipped between the PR-2
+// indexed refactor and the PR-6 SoA kernel: flat per-node exploit tables
+// and superposed-Poisson aggregate processes (both kept by the SoA
+// engine), but single-stream RNG draws taken lazily in event order,
+// log()-based exponential sampling on every aggregate redraw, a
+// linear scan over the root pool per plant-alarm poll, and an
+// order-preserving erase in the unowned-target pool. The SoA kernel
+// samples the SAME indicator distributions through a different draw
+// discipline (per-event-class substreams consumed from batched blocks,
+// ziggurat exponentials), so per-replication results are NOT comparable
+// seed by seed. bench_e5 --fleet-smoke asserts (a) statistical
+// equivalence of the indicator means (5-sigma gate) and (b) the >= 2x
+// per-replication speedup of the SoA kernel over this baseline.
+//
+// Bench-only code: nothing in src/ may include this header. The legacy
+// (PR-1) per-node engine is preserved separately in legacy_campaign.h.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "attack/campaign.h"
+#include "net/reachability_index.h"
+
+namespace divsec::bench::indexed {
+
+using attack::CampaignEventKind;
+using attack::CampaignOptions;
+using attack::CampaignResult;
+using attack::DetectionModel;
+using attack::NodeState;
+using attack::Scenario;
+using attack::ThreatProfile;
+using divers::ComponentKind;
+using net::NodeId;
+
+/// Everything run() reads per event, precomputed once per scenario into
+/// flat arrays indexed by NodeId (the PR-2 table layout).
+struct CampaignTables {
+  net::ReachabilityIndex reach;
+
+  std::size_t node_count = 0;
+
+  std::vector<std::uint8_t> is_plc;
+  std::vector<std::uint8_t> host_target;
+  std::vector<std::uint8_t> monitoring_view;
+  std::vector<std::uint8_t> payload_source;
+
+  std::vector<double> activation_p, activation_rate;
+  std::vector<double> privesc_p, privesc_rate;
+  std::vector<double> lateral_p;
+  std::vector<double> plc_direct_p;
+  std::vector<double> plc_modbus_p;
+  double firewall_bypass_p = 0.0;
+  double host_detection_rate = 0.0;
+
+  CampaignTables(const Scenario& sc, const ThreatProfile& pr,
+                 const divers::VariantCatalog& cat, const DetectionModel& det)
+      : reach(sc.topology, sc.firewall), node_count(sc.topology.node_count()) {
+    const std::size_t n = node_count;
+    is_plc.assign(n, 0);
+    host_target.assign(n, 0);
+    monitoring_view.assign(n, 0);
+    payload_source.assign(n, 0);
+    activation_p.resize(n);
+    activation_rate.resize(n);
+    privesc_p.resize(n);
+    privesc_rate.resize(n);
+    lateral_p.resize(n);
+    plc_direct_p.assign(n, 0.0);
+    plc_modbus_p.assign(n, 0.0);
+    for (NodeId i = 0; i < n; ++i) {
+      const net::Role role = sc.topology.node(i).role;
+      is_plc[i] = role == net::Role::kPlc;
+      host_target[i] =
+          role != net::Role::kPlc && role != net::Role::kSensorGateway;
+      monitoring_view[i] = role == net::Role::kHmi ||
+                           role == net::Role::kScadaServer ||
+                           role == net::Role::kEngineering;
+      payload_source[i] =
+          pr.has_sabotage_payload && (role == net::Role::kEngineering ||
+                                      role == net::Role::kScadaServer);
+      const std::size_t os = sc.software[i].os;
+      activation_p[i] = cat.exploit_success(pr.activation_exploit, os);
+      activation_rate[i] =
+          pr.activation_rate / cat.exploit_work_factor(pr.activation_exploit, os);
+      privesc_p[i] = cat.exploit_success(pr.privesc_exploit, os);
+      privesc_rate[i] =
+          pr.privesc_rate / cat.exploit_work_factor(pr.privesc_exploit, os);
+      lateral_p[i] = cat.exploit_success(pr.lateral_exploit, os);
+    }
+    for (NodeId plc : sc.target_plcs) {
+      plc_direct_p[plc] =
+          cat.exploit_success(pr.plc_exploit, *sc.software[plc].plc_firmware);
+      plc_modbus_p[plc] =
+          plc_direct_p[plc] *
+          cat.exploit_success(pr.protocol_exploit, sc.software[plc].protocol);
+    }
+    firewall_bypass_p = cat.exploit_success(pr.firewall_exploit, sc.firewall_variant);
+    host_detection_rate = det.host_detection_rate * (1.0 - pr.stealth);
+  }
+};
+
+namespace detail {
+
+struct QEvent {
+  double at = 0.0;
+  std::uint32_t seq = 0;
+  std::uint32_t node = 0;
+  std::uint8_t kind = 0;  // 0 = activation, 1 = privesc
+};
+
+struct QLater {
+  [[nodiscard]] bool operator()(const QEvent& x, const QEvent& y) const noexcept {
+    if (x.at != y.at) return x.at > y.at;
+    return x.seq > y.seq;
+  }
+};
+
+constexpr double kNever = std::numeric_limits<double>::infinity();
+
+/// Mutable state of one run() over the read-only CampaignTables — the
+/// PR-5 event loop, verbatim.
+struct RunState {
+  const Scenario& sc;
+  const ThreatProfile& pr;
+  const DetectionModel& det;
+  const CampaignOptions& opt;
+  const CampaignTables& tb;
+  stats::Rng& rng;
+  CampaignResult result;
+
+  double now = 0.0;
+  bool stopped = false;
+
+  double t_entry = kNever;
+  double t_prop = kNever;
+  double t_payload = kNever;
+  double t_host = kNever;
+  double t_alarm = kNever;
+  double t_sabotage = kNever;
+
+  std::vector<QEvent> heap;
+  std::uint32_t next_seq = 0;
+
+  std::vector<NodeState> state;
+  std::vector<std::uint8_t> plc_owned;
+  std::vector<NodeId> roots;
+  std::vector<NodeId> payload_sources;
+  std::vector<NodeId> owned_plcs;
+  std::vector<NodeId> unowned_targets;
+  std::size_t hosts_owned = 0;
+  std::size_t activated_count = 0;
+
+  RunState(const Scenario& s, const ThreatProfile& p,
+           const CampaignTables& t, const DetectionModel& d,
+           const CampaignOptions& o, stats::Rng& r)
+      : sc(s), pr(p), det(d), opt(o), tb(t), rng(r) {
+    state.assign(tb.node_count, NodeState::kClean);
+    plc_owned.assign(tb.node_count, 0);
+    unowned_targets = sc.target_plcs;
+    heap.reserve(64);
+    result.compromised_ratio.emplace_back(0.0, 0.0);
+  }
+
+  void note(NodeId n, CampaignEventKind kind) {
+    if (opt.record_events) result.events.push_back({now, n, kind});
+  }
+
+  [[nodiscard]] double exp_delay(double rate) {
+    return -std::log(1.0 - rng.uniform()) / rate;
+  }
+
+  [[nodiscard]] double exp_in(double rate) {
+    return rate > 0.0 ? now + exp_delay(rate) : kNever;
+  }
+
+  void push(std::uint8_t kind, NodeId node, double delay) {
+    heap.push_back(QEvent{now + delay, next_seq++,
+                          static_cast<std::uint32_t>(node), kind});
+    std::push_heap(heap.begin(), heap.end(), QLater{});
+  }
+
+  void record_ratio() {
+    const double r = static_cast<double>(hosts_owned + owned_plcs.size()) /
+                     static_cast<double>(tb.node_count);
+    result.compromised_ratio.emplace_back(now, r);
+  }
+
+  void record_detection(CampaignEventKind what) {
+    if (result.time_to_detection) return;
+    result.time_to_detection = now;
+    note(0, what);
+    t_host = kNever;
+    t_alarm = kNever;
+    maybe_finish();
+  }
+
+  void failed_attempt() {
+    const double p = det.failed_attempt_detection;
+    if (p > 0.0 && rng.bernoulli(p))
+      record_detection(CampaignEventKind::kFailedExploitDetected);
+  }
+
+  void maybe_finish() {
+    if (result.time_to_detection.has_value() &&
+        (result.time_to_attack.has_value() || opt.detection_halts_attack))
+      stopped = true;
+  }
+
+  [[nodiscard]] bool effective_reach(NodeId from, NodeId to, net::Channel ch) {
+    if (tb.reach.can_reach(from, to, ch)) return true;
+    if (ch == net::Channel::kUsb) return false;
+    if (!tb.reach.linked(from, to)) return false;
+    return rng.bernoulli(tb.firewall_bypass_p);
+  }
+
+  void deliver(NodeId n, CampaignEventKind kind) {
+    state[n] = NodeState::kDelivered;
+    note(n, kind);
+    push(0, n, exp_delay(tb.activation_rate[n]));
+  }
+
+  void on_entry() {
+    const NodeId n = sc.entry_nodes[rng.below(sc.entry_nodes.size())];
+    if (state[n] == NodeState::kClean) {
+      if (!result.time_of_entry) result.time_of_entry = now;
+      deliver(n, CampaignEventKind::kDelivered);
+    }
+    t_entry = exp_in(pr.entry_rate);
+  }
+
+  void on_activation(NodeId n) {
+    if (state[n] != NodeState::kDelivered) return;
+    if (rng.bernoulli(tb.activation_p[n])) {
+      state[n] = NodeState::kActivated;
+      if (!tb.is_plc[n]) ++hosts_owned;
+      ++activated_count;
+      if (!result.time_to_detection && tb.host_detection_rate > 0.0)
+        t_host = exp_in(tb.host_detection_rate *
+                        static_cast<double>(activated_count));
+      note(n, CampaignEventKind::kActivated);
+      record_ratio();
+      push(1, n, exp_delay(tb.privesc_rate[n]));
+    } else {
+      failed_attempt();
+      push(0, n, exp_delay(tb.activation_rate[n]));
+    }
+  }
+
+  void on_privesc(NodeId n) {
+    if (state[n] != NodeState::kActivated) return;
+    if (rng.bernoulli(tb.privesc_p[n])) {
+      state[n] = NodeState::kRoot;
+      if (!result.first_root) result.first_root = now;
+      note(n, CampaignEventKind::kRoot);
+      roots.push_back(n);
+      t_prop = exp_in(pr.propagation_rate * static_cast<double>(roots.size()));
+      if (tb.payload_source[n]) {
+        payload_sources.push_back(n);
+        if (!unowned_targets.empty())
+          t_payload = exp_in(pr.payload_rate *
+                             static_cast<double>(payload_sources.size()));
+      }
+    } else {
+      failed_attempt();
+      push(1, n, exp_delay(tb.privesc_rate[n]));
+    }
+  }
+
+  void on_propagation() {
+    const NodeId n = roots[rng.below(roots.size())];
+    const NodeId v = static_cast<NodeId>(rng.below(tb.node_count));
+    const net::Channel ch = pr.channels[rng.below(pr.channels.size())];
+    if (v != n && tb.host_target[v] && state[v] == NodeState::kClean &&
+        effective_reach(n, v, ch)) {
+      if (rng.bernoulli(tb.lateral_p[v])) {
+        deliver(v, CampaignEventKind::kDeliveredLateral);
+      } else {
+        failed_attempt();
+      }
+    }
+    t_prop = exp_in(pr.propagation_rate * static_cast<double>(roots.size()));
+  }
+
+  void on_payload() {
+    if (!unowned_targets.empty()) {
+      const NodeId n = payload_sources[rng.below(payload_sources.size())];
+      const std::size_t pick = rng.below(unowned_targets.size());
+      const NodeId plc = unowned_targets[pick];
+      const bool via_project = effective_reach(n, plc, net::Channel::kProjectFile);
+      const bool via_modbus =
+          !via_project && effective_reach(n, plc, net::Channel::kModbus);
+      if (via_project || via_modbus) {
+        const double p = via_modbus ? tb.plc_modbus_p[plc] : tb.plc_direct_p[plc];
+        if (rng.bernoulli(p)) {
+          plc_owned[plc] = 1;
+          owned_plcs.push_back(plc);
+          unowned_targets.erase(unowned_targets.begin() +
+                                static_cast<std::ptrdiff_t>(pick));
+          if (!result.first_plc_compromise) result.first_plc_compromise = now;
+          note(plc, CampaignEventKind::kPlcCompromised);
+          record_ratio();
+          const double owned = static_cast<double>(owned_plcs.size());
+          if (!result.time_to_attack)
+            t_sabotage = exp_in(owned / pr.sabotage_mean_hours);
+          if (!result.time_to_detection)
+            t_alarm = exp_in(det.alarm_detection_rate * owned);
+        } else {
+          failed_attempt();
+        }
+      }
+    }
+    t_payload =
+        unowned_targets.empty()
+            ? kNever
+            : exp_in(pr.payload_rate * static_cast<double>(payload_sources.size()));
+  }
+
+  void on_sabotage() {
+    const NodeId plc = owned_plcs[rng.below(owned_plcs.size())];
+    result.time_to_attack = now;
+    note(plc, CampaignEventKind::kDeviceImpaired);
+    t_sabotage = kNever;
+    maybe_finish();
+  }
+
+  void on_host_detect() {
+    record_detection(CampaignEventKind::kHostIdsDetection);
+  }
+
+  void on_alarm_detect() {
+    bool view_owned = false;
+    for (const NodeId n : roots)
+      if (tb.monitoring_view[n]) {
+        view_owned = true;
+        break;
+      }
+    const double spoof = pr.spoof_effectiveness * (view_owned ? 1.0 : 0.5);
+    if (rng.bernoulli(1.0 - spoof)) {
+      record_detection(CampaignEventKind::kPlantAlarmDetection);
+      return;
+    }
+    t_alarm =
+        exp_in(det.alarm_detection_rate * static_cast<double>(owned_plcs.size()));
+  }
+
+  void run_until(double t_max) {
+    t_entry = exp_in(pr.entry_rate);
+    while (!stopped) {
+      double at = t_entry;
+      int which = 0;
+      if (t_prop < at) { at = t_prop; which = 1; }
+      if (t_payload < at) { at = t_payload; which = 2; }
+      if (t_sabotage < at) { at = t_sabotage; which = 3; }
+      if (t_host < at) { at = t_host; which = 4; }
+      if (t_alarm < at) { at = t_alarm; which = 5; }
+      if (!heap.empty() && heap.front().at < at) { at = heap.front().at; which = 6; }
+      if (at > t_max) break;
+      now = at;
+      ++result.events_executed;
+      switch (which) {
+        case 0: on_entry(); break;
+        case 1: on_propagation(); break;
+        case 2: on_payload(); break;
+        case 3: on_sabotage(); break;
+        case 4: on_host_detect(); break;
+        case 5: on_alarm_detect(); break;
+        case 6: {
+          const QEvent ev = heap.front();
+          std::pop_heap(heap.begin(), heap.end(), QLater{});
+          heap.pop_back();
+          if (ev.kind == 0)
+            on_activation(ev.node);
+          else
+            on_privesc(ev.node);
+          break;
+        }
+      }
+    }
+  }
+};
+
+}  // namespace detail
+
+class CampaignSimulator {
+ public:
+  CampaignSimulator(Scenario scenario, ThreatProfile profile,
+                    const divers::VariantCatalog& catalog,
+                    DetectionModel detection = {}, CampaignOptions options = {})
+      : scenario_(std::move(scenario)),
+        profile_(std::move(profile)),
+        detection_(detection),
+        options_(options),
+        tables_(scenario_, profile_, catalog, detection_) {
+    profile_.validate();
+    detection_.validate();
+  }
+
+  [[nodiscard]] CampaignResult run(stats::Rng& rng) const {
+    detail::RunState st(scenario_, profile_, tables_, detection_, options_, rng);
+    st.run_until(options_.t_max_hours);
+    st.result.hosts_compromised = st.hosts_owned;
+    st.result.plcs_compromised = st.owned_plcs.size();
+    return std::move(st.result);
+  }
+
+ private:
+  Scenario scenario_;
+  ThreatProfile profile_;
+  DetectionModel detection_;
+  CampaignOptions options_;
+  CampaignTables tables_;
+};
+
+}  // namespace divsec::bench::indexed

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <utility>
 
+#include "attack/campaign_rng.h"
 #include "net/reachability_index.h"
 
 namespace divsec::attack {
@@ -73,18 +75,25 @@ double CampaignResult::ratio_at(double t) const noexcept {
 }
 
 /// Everything run() reads per event, precomputed once per scenario into
-/// flat arrays indexed by NodeId. Deeply immutable after construction:
-/// concurrent replications share one Tables instance read-only.
+/// structure-of-arrays tables indexed by NodeId. Deeply immutable after
+/// construction: concurrent replications share one Tables instance
+/// read-only, and simulators of the same topology share one
+/// ReachabilityIndex through the shared_ptr.
 struct CampaignTables {
-  net::ReachabilityIndex reach;
+  // Role-derived per-node flags, fused into one byte per node so the
+  // hot loop touches a single contiguous array.
+  enum : std::uint8_t {
+    kFlagPlc = 1,            // counts only when owned
+    kFlagHostTarget = 2,     // valid lateral victim
+    kFlagMonitoring = 4,     // HMI / SCADA / engineering view
+    kFlagPayloadSource = 8,  // can push a PLC payload
+  };
+
+  std::shared_ptr<const net::ReachabilityIndex> reach;
 
   std::size_t node_count = 0;
 
-  // Role-derived flags.
-  std::vector<std::uint8_t> is_plc;           // counts only when owned
-  std::vector<std::uint8_t> host_target;      // valid lateral victims
-  std::vector<std::uint8_t> monitoring_view;  // HMI / SCADA / engineering
-  std::vector<std::uint8_t> payload_source;   // can push a PLC payload
+  std::vector<std::uint8_t> flags;
 
   // Exploit tables: per-session success probability and exponential
   // delay rate per node (the VariantCatalog walk, paid once).
@@ -96,14 +105,31 @@ struct CampaignTables {
   double firewall_bypass_p = 0.0;
   double host_detection_rate = 0.0;  // stealth-discounted
 
+  // Thinned-scan weights: scan_w[i] / tunnel_w[i] count node i's
+  // (channel, victim) scan slots over pr.channels — statically reachable
+  // targets and linked-but-blocked (tunnel) targets respectively. A
+  // root's slot range in the weighted victim pick is laid out
+  // [direct slots][tunnel slots], channels in pr.channels order; the
+  // aggregate scan clock fires at propagation_rate × total slots ×
+  // scan_norm, the exact Poisson thinning of per-root uniform
+  // (victim, channel) scanning.
+  std::vector<std::uint64_t> scan_w, tunnel_w;
+  double scan_norm = 0.0;  // 1 / (node_count × |pr.channels|)
+
   CampaignTables(const Scenario& sc, const ThreatProfile& pr,
-                 const divers::VariantCatalog& cat, const DetectionModel& det)
-      : reach(sc.topology, sc.firewall), node_count(sc.topology.node_count()) {
+                 const divers::VariantCatalog& cat, const DetectionModel& det,
+                 std::shared_ptr<const net::ReachabilityIndex> shared_reach)
+      : reach(shared_reach
+                  ? std::move(shared_reach)
+                  : std::make_shared<const net::ReachabilityIndex>(sc.topology,
+                                                                   sc.firewall)),
+        node_count(sc.topology.node_count()) {
+    if (reach->node_count() != node_count)
+      throw std::invalid_argument(
+          "CampaignSimulator: shared ReachabilityIndex node count does not "
+          "match the scenario topology");
     const std::size_t n = node_count;
-    is_plc.assign(n, 0);
-    host_target.assign(n, 0);
-    monitoring_view.assign(n, 0);
-    payload_source.assign(n, 0);
+    flags.assign(n, 0);
     activation_p.resize(n);
     activation_rate.resize(n);
     privesc_p.resize(n);
@@ -113,15 +139,17 @@ struct CampaignTables {
     plc_modbus_p.assign(n, 0.0);
     for (NodeId i = 0; i < n; ++i) {
       const net::Role role = sc.topology.node(i).role;
-      is_plc[i] = role == net::Role::kPlc;
-      host_target[i] =
-          role != net::Role::kPlc && role != net::Role::kSensorGateway;
-      monitoring_view[i] = role == net::Role::kHmi ||
-                           role == net::Role::kScadaServer ||
-                           role == net::Role::kEngineering;
-      payload_source[i] =
-          pr.has_sabotage_payload && (role == net::Role::kEngineering ||
-                                      role == net::Role::kScadaServer);
+      std::uint8_t f = 0;
+      if (role == net::Role::kPlc) f |= kFlagPlc;
+      if (role != net::Role::kPlc && role != net::Role::kSensorGateway)
+        f |= kFlagHostTarget;
+      if (role == net::Role::kHmi || role == net::Role::kScadaServer ||
+          role == net::Role::kEngineering)
+        f |= kFlagMonitoring;
+      if (pr.has_sabotage_payload && (role == net::Role::kEngineering ||
+                                      role == net::Role::kScadaServer))
+        f |= kFlagPayloadSource;
+      flags[i] = f;
       const std::size_t os = sc.software[i].os;
       activation_p[i] = cat.exploit_success(pr.activation_exploit, os);
       activation_rate[i] =
@@ -141,12 +169,32 @@ struct CampaignTables {
     }
     firewall_bypass_p = cat.exploit_success(pr.firewall_exploit, sc.firewall_variant);
     host_detection_rate = det.host_detection_rate * (1.0 - pr.stealth);
+    scan_w.assign(n, 0);
+    tunnel_w.assign(n, 0);
+    for (NodeId i = 0; i < n; ++i) {
+      for (const net::Channel c : pr.channels) {
+        scan_w[i] += reach->scan_targets(c, i).size();
+        tunnel_w[i] += reach->tunnel_targets(c, i).size();
+      }
+    }
+    scan_norm = pr.channels.empty()
+                    ? 0.0
+                    : 1.0 / (static_cast<double>(n) *
+                             static_cast<double>(pr.channels.size()));
   }
 };
 
 CampaignSimulator::CampaignSimulator(Scenario scenario, ThreatProfile profile,
                                      const divers::VariantCatalog& catalog,
                                      DetectionModel detection, CampaignOptions options)
+    : CampaignSimulator(std::move(scenario), std::move(profile), catalog,
+                        detection, options, nullptr) {}
+
+CampaignSimulator::CampaignSimulator(
+    Scenario scenario, ThreatProfile profile,
+    const divers::VariantCatalog& catalog, DetectionModel detection,
+    CampaignOptions options,
+    std::shared_ptr<const net::ReachabilityIndex> shared_reach)
     : scenario_(std::move(scenario)),
       profile_(std::move(profile)),
       catalog_(catalog),
@@ -157,13 +205,19 @@ CampaignSimulator::CampaignSimulator(Scenario scenario, ThreatProfile profile,
   scenario_.validate(catalog_);
   if (!(options_.t_max_hours > 0.0))
     throw std::invalid_argument("CampaignOptions: t_max_hours must be > 0");
-  tables_ = std::make_unique<const CampaignTables>(scenario_, profile_, catalog_, detection_);
+  tables_ = std::make_unique<const CampaignTables>(
+      scenario_, profile_, catalog_, detection_, std::move(shared_reach));
 }
 
 CampaignSimulator::~CampaignSimulator() = default;
 CampaignSimulator::CampaignSimulator(CampaignSimulator&&) noexcept = default;
 
 const net::ReachabilityIndex& CampaignSimulator::reachability() const noexcept {
+  return *tables_->reach;
+}
+
+std::shared_ptr<const net::ReachabilityIndex>
+CampaignSimulator::shared_reachability() const noexcept {
   return tables_->reach;
 }
 
@@ -212,14 +266,30 @@ struct QLater {
 
 constexpr double kNever = std::numeric_limits<double>::infinity();
 
-/// Mutable state of one run() over the read-only CampaignTables.
+/// Mutable state of one run() over the read-only CampaignTables, shared
+/// by both kernels through a compile-time switch. Every random decision
+/// draws from the per-event-class facade (attack/campaign_rng.h) under
+/// the documented draw-order contract, so the two instantiations consume
+/// identical per-class word sequences and produce bit-identical results:
+///
+///  * kSoA = true  — the batched structure-of-arrays kernel: per-class
+///    words prefetched in blocks, victim eligibility fused into one
+///    scan_clean byte per node (host-target AND still-clean), the
+///    monitoring-view ownership kept as an incremental counter, and the
+///    unowned-target pool shrunk by swap-remove;
+///  * kSoA = false — the scalar reference: a straight port of the
+///    pre-SoA loop (per-draw streams, separate flag tests, linear
+///    monitoring scan) onto the same facade. The swap-remove pool
+///    discipline is shared — it is part of the draw-order contract,
+///    because the pool order feeds later uniform picks.
+template <bool kSoA>
 struct RunState {
   const Scenario& sc;
   const ThreatProfile& pr;
   const DetectionModel& det;
   const CampaignOptions& opt;
   const CampaignTables& tb;
-  stats::Rng& rng;
+  CampaignRng rng;
   CampaignResult result;
 
   double now = 0.0;
@@ -239,19 +309,35 @@ struct RunState {
 
   std::vector<NodeState> state;
   std::vector<std::uint8_t> plc_owned;
+  /// kSoA only: scan_clean[v] == (host-target AND state == kClean), the
+  /// fused one-load eligibility test of the propagation fast path.
+  std::vector<std::uint8_t> scan_clean;
   std::vector<NodeId> roots;            // nodes at kRoot, in promotion order
+  std::vector<std::uint64_t> root_cum;  // cumulative scan+tunnel slots per root
+  std::uint64_t scan_slots = 0;         // == root_cum.back() (0 when no roots)
   std::vector<NodeId> payload_sources;  // rooted engineering/SCADA nodes
   std::vector<NodeId> owned_plcs;       // owned targets, in capture order
-  std::vector<NodeId> unowned_targets;  // target_plcs minus owned, in order
+  std::vector<NodeId> unowned_targets;  // target_plcs minus owned (swap-remove)
   std::size_t hosts_owned = 0;     // non-PLC nodes at >= kActivated
   std::size_t activated_count = 0;  // A(t): host-IDS exposure pool
+  std::size_t monitoring_owned = 0;  // kSoA: rooted monitoring-view nodes
 
   RunState(const Scenario& s, const ThreatProfile& p,
            const CampaignTables& t, const DetectionModel& d,
-           const CampaignOptions& o, stats::Rng& r)
-      : sc(s), pr(p), det(d), opt(o), tb(t), rng(r) {
+           const CampaignOptions& o, const stats::Rng& base)
+      : sc(s),
+        pr(p),
+        det(d),
+        opt(o),
+        tb(t),
+        rng(base, kSoA ? kDefaultDrawBlock : 1) {
     state.assign(tb.node_count, NodeState::kClean);
     plc_owned.assign(tb.node_count, 0);
+    if constexpr (kSoA) {
+      scan_clean.resize(tb.node_count);
+      for (std::size_t i = 0; i < tb.node_count; ++i)
+        scan_clean[i] = (tb.flags[i] & CampaignTables::kFlagHostTarget) ? 1 : 0;
+    }
     unowned_targets = sc.target_plcs;
     heap.reserve(64);
     result.compromised_ratio.emplace_back(0.0, 0.0);
@@ -261,13 +347,14 @@ struct RunState {
     if (opt.record_events) result.events.push_back({now, n, kind});
   }
 
-  [[nodiscard]] double exp_delay(double rate) {
-    return -std::log(1.0 - rng.uniform()) / rate;
+  [[nodiscard]] double exp_delay(DrawClass c, double rate) {
+    return rng.exp_std(c) / rate;
   }
 
-  /// Next firing of an aggregate process at `rate`, from now.
-  [[nodiscard]] double exp_in(double rate) {
-    return rate > 0.0 ? now + exp_delay(rate) : kNever;
+  /// Next firing of an aggregate process at `rate`, from now. The draw
+  /// belongs to the class of the process being armed.
+  [[nodiscard]] double exp_in(DrawClass c, double rate) {
+    return rate > 0.0 ? now + exp_delay(c, rate) : kNever;
   }
 
   void push(std::uint8_t kind, NodeId node, double delay) {
@@ -292,10 +379,11 @@ struct RunState {
   }
 
   /// A failed exploitation attempt may trip crash reporting / AV / IDS.
-  /// Deliberately not stealth-discounted: crashes are loud.
-  void failed_attempt() {
+  /// Deliberately not stealth-discounted: crashes are loud. The draw
+  /// belongs to the class of the handler whose attempt failed.
+  void failed_attempt(DrawClass c) {
     const double p = det.failed_attempt_detection;
-    if (p > 0.0 && rng.bernoulli(p))
+    if (p > 0.0 && rng.bernoulli(c, p))
       record_detection(CampaignEventKind::kFailedExploitDetected);
   }
 
@@ -310,84 +398,133 @@ struct RunState {
 
   // --- Attack processes ------------------------------------------------
 
-  [[nodiscard]] bool effective_reach(NodeId from, NodeId to, net::Channel ch) {
+  [[nodiscard]] bool effective_reach(DrawClass c, NodeId from, NodeId to,
+                                     net::Channel ch) {
     // Physical / policy reachability; a denied-by-policy hop can still be
     // attempted through a firewall exploit (tunnelling).
-    if (tb.reach.can_reach(from, to, ch)) return true;
+    if (tb.reach->can_reach(from, to, ch)) return true;
     if (ch == net::Channel::kUsb) return false;
-    if (!tb.reach.linked(from, to)) return false;
-    return rng.bernoulli(tb.firewall_bypass_p);
+    if (!tb.reach->linked(from, to)) return false;
+    return rng.bernoulli(c, tb.firewall_bypass_p);
   }
 
   void deliver(NodeId n, CampaignEventKind kind) {
     state[n] = NodeState::kDelivered;
+    if constexpr (kSoA) scan_clean[n] = 0;
     note(n, kind);
-    push(0, n, exp_delay(tb.activation_rate[n]));
+    push(0, n, exp_delay(DrawClass::kActivation, tb.activation_rate[n]));
   }
 
   void on_entry() {
-    const NodeId n = sc.entry_nodes[rng.below(sc.entry_nodes.size())];
+    const NodeId n =
+        sc.entry_nodes[rng.below(DrawClass::kEntry, sc.entry_nodes.size())];
     if (state[n] == NodeState::kClean) {
       if (!result.time_of_entry) result.time_of_entry = now;
       deliver(n, CampaignEventKind::kDelivered);
     }
-    t_entry = exp_in(pr.entry_rate);  // operators keep plugging media in
+    // Operators keep plugging media in.
+    t_entry = exp_in(DrawClass::kEntry, pr.entry_rate);
   }
 
   void on_activation(NodeId n) {
     if (state[n] != NodeState::kDelivered) return;
-    if (rng.bernoulli(tb.activation_p[n])) {
+    if (rng.bernoulli(DrawClass::kActivation, tb.activation_p[n])) {
       state[n] = NodeState::kActivated;
-      if (!tb.is_plc[n]) ++hosts_owned;
+      if (!(tb.flags[n] & CampaignTables::kFlagPlc)) ++hosts_owned;
       ++activated_count;
       if (!result.time_to_detection && tb.host_detection_rate > 0.0)
-        t_host = exp_in(tb.host_detection_rate *
-                        static_cast<double>(activated_count));
+        t_host = exp_in(DrawClass::kHostIds,
+                        tb.host_detection_rate *
+                            static_cast<double>(activated_count));
       note(n, CampaignEventKind::kActivated);
       record_ratio();
-      push(1, n, exp_delay(tb.privesc_rate[n]));
+      push(1, n, exp_delay(DrawClass::kPrivesc, tb.privesc_rate[n]));
     } else {
-      failed_attempt();
-      push(0, n, exp_delay(tb.activation_rate[n]));
+      failed_attempt(DrawClass::kActivation);
+      push(0, n, exp_delay(DrawClass::kActivation, tb.activation_rate[n]));
     }
   }
 
   void on_privesc(NodeId n) {
     if (state[n] != NodeState::kActivated) return;
-    if (rng.bernoulli(tb.privesc_p[n])) {
+    if (rng.bernoulli(DrawClass::kPrivesc, tb.privesc_p[n])) {
       state[n] = NodeState::kRoot;
       if (!result.first_root) result.first_root = now;
       note(n, CampaignEventKind::kRoot);
       roots.push_back(n);
-      t_prop = exp_in(pr.propagation_rate * static_cast<double>(roots.size()));
-      if (tb.payload_source[n]) {
+      scan_slots += tb.scan_w[n] + tb.tunnel_w[n];
+      root_cum.push_back(scan_slots);
+      if constexpr (kSoA) {
+        if (tb.flags[n] & CampaignTables::kFlagMonitoring) ++monitoring_owned;
+      }
+      t_prop = exp_in(DrawClass::kPropagation,
+                      pr.propagation_rate * static_cast<double>(scan_slots) *
+                          tb.scan_norm);
+      if (tb.flags[n] & CampaignTables::kFlagPayloadSource) {
         payload_sources.push_back(n);
         if (!unowned_targets.empty())
-          t_payload = exp_in(pr.payload_rate *
-                             static_cast<double>(payload_sources.size()));
+          t_payload =
+              exp_in(DrawClass::kPayload,
+                     pr.payload_rate *
+                         static_cast<double>(payload_sources.size()));
       }
     } else {
-      failed_attempt();
-      push(1, n, exp_delay(tb.privesc_rate[n]));
+      failed_attempt(DrawClass::kPrivesc);
+      push(1, n, exp_delay(DrawClass::kPrivesc, tb.privesc_rate[n]));
     }
   }
 
   void on_propagation() {
-    // One scan of the aggregate worm process: owner uniform over roots,
-    // then a random victim and channel; most attempts fizzle, which is
-    // exactly how scanning worms behave.
-    const NodeId n = roots[rng.below(roots.size())];
-    const NodeId v = static_cast<NodeId>(rng.below(tb.node_count));
-    const net::Channel ch = pr.channels[rng.below(pr.channels.size())];
-    if (v != n && tb.host_target[v] && state[v] == NodeState::kClean &&
-        effective_reach(n, v, ch)) {
-      if (rng.bernoulli(tb.lateral_p[v])) {
+    // One candidate firing of the thinned worm-scan process. The model
+    // is "every root scans uniform (victim, channel) picks at rate λ" —
+    // but ~95% of those scans hit an unreachable pair and change
+    // nothing. Poisson thinning makes skipping them exact: the
+    // sub-process of scans that land on a *statically possible* pair
+    // (reachable, weight 1, or tunnel-linked, later accepted with the
+    // bypass probability) is Poisson at rate λ × slots × scan_norm with
+    // the pair uniform over the slot ranges, so one weighted word picks
+    // root, channel and victim from the precomputed ReachabilityIndex
+    // target lists and per-(root, victim, channel) intensities match the
+    // unthinned scan exactly. Victim eligibility is then the SoA fast
+    // path — one fused scan_clean load instead of two array reads (the
+    // lists never contain the owner, so v != n is structural).
+    const std::uint64_t x = rng.below(DrawClass::kPropagation, scan_slots);
+    const std::size_t ri =
+        static_cast<std::size_t>(std::upper_bound(root_cum.begin(),
+                                                  root_cum.end(), x) -
+                                 root_cum.begin());
+    const NodeId n = roots[ri];
+    std::uint64_t rem = x - (ri == 0 ? 0 : root_cum[ri - 1]);
+    const bool direct = rem < tb.scan_w[n];
+    if (!direct) rem -= tb.scan_w[n];
+    NodeId v = 0;
+    for (const net::Channel c : pr.channels) {
+      const auto row = direct ? tb.reach->scan_targets(c, n)
+                              : tb.reach->tunnel_targets(c, n);
+      if (rem < row.size()) {
+        v = row[rem];
+        break;
+      }
+      rem -= row.size();
+    }
+    bool eligible;
+    if constexpr (kSoA) {
+      eligible = scan_clean[v] != 0;
+    } else {
+      eligible = (tb.flags[v] & CampaignTables::kFlagHostTarget) &&
+                 state[v] == NodeState::kClean;
+    }
+    if (eligible &&
+        (direct || rng.bernoulli(DrawClass::kPropagation, tb.firewall_bypass_p))) {
+      if (rng.bernoulli(DrawClass::kPropagation, tb.lateral_p[v])) {
         deliver(v, CampaignEventKind::kDeliveredLateral);
       } else {
-        failed_attempt();
+        failed_attempt(DrawClass::kPropagation);
       }
     }
-    t_prop = exp_in(pr.propagation_rate * static_cast<double>(roots.size()));
+    t_prop = exp_in(DrawClass::kPropagation,
+                    pr.propagation_rate * static_cast<double>(scan_slots) *
+                        tb.scan_norm);
   }
 
   void on_payload() {
@@ -397,43 +534,52 @@ struct RunState {
     // process disarms — targets never refill, so later firings could
     // only ever be no-ops.
     if (!unowned_targets.empty()) {
-      const NodeId n = payload_sources[rng.below(payload_sources.size())];
-      const std::size_t pick = rng.below(unowned_targets.size());
+      const NodeId n = payload_sources[rng.below(
+          DrawClass::kPayload, payload_sources.size())];
+      const std::size_t pick =
+          rng.below(DrawClass::kPayload, unowned_targets.size());
       const NodeId plc = unowned_targets[pick];
-      const bool via_project = effective_reach(n, plc, net::Channel::kProjectFile);
+      const bool via_project =
+          effective_reach(DrawClass::kPayload, n, plc, net::Channel::kProjectFile);
       const bool via_modbus =
-          !via_project && effective_reach(n, plc, net::Channel::kModbus);
+          !via_project &&
+          effective_reach(DrawClass::kPayload, n, plc, net::Channel::kModbus);
       if (via_project || via_modbus) {
         const double p = via_modbus ? tb.plc_modbus_p[plc] : tb.plc_direct_p[plc];
-        if (rng.bernoulli(p)) {
+        if (rng.bernoulli(DrawClass::kPayload, p)) {
           plc_owned[plc] = 1;
           owned_plcs.push_back(plc);
-          unowned_targets.erase(unowned_targets.begin() +
-                                static_cast<std::ptrdiff_t>(pick));
+          // Swap-remove (contract): the pool order feeds later picks,
+          // so both kernels shrink it the same O(1) way.
+          unowned_targets[pick] = unowned_targets.back();
+          unowned_targets.pop_back();
           if (!result.first_plc_compromise) result.first_plc_compromise = now;
           note(plc, CampaignEventKind::kPlcCompromised);
           record_ratio();
           const double owned = static_cast<double>(owned_plcs.size());
           if (!result.time_to_attack)
-            t_sabotage = exp_in(owned / pr.sabotage_mean_hours);
+            t_sabotage =
+                exp_in(DrawClass::kSabotage, owned / pr.sabotage_mean_hours);
           if (!result.time_to_detection)
-            t_alarm = exp_in(det.alarm_detection_rate * owned);
+            t_alarm = exp_in(DrawClass::kAlarm, det.alarm_detection_rate * owned);
         } else {
-          failed_attempt();
+          failed_attempt(DrawClass::kPayload);
         }
       }
     }
-    t_payload =
-        unowned_targets.empty()
-            ? kNever
-            : exp_in(pr.payload_rate * static_cast<double>(payload_sources.size()));
+    t_payload = unowned_targets.empty()
+                    ? kNever
+                    : exp_in(DrawClass::kPayload,
+                             pr.payload_rate *
+                                 static_cast<double>(payload_sources.size()));
   }
 
   void on_sabotage() {
     // First passage of the aggregate sabotage process: slow physical
     // damage develops on one owned PLC (uniform by symmetry of the
     // constant per-PLC hazards).
-    const NodeId plc = owned_plcs[rng.below(owned_plcs.size())];
+    const NodeId plc =
+        owned_plcs[rng.below(DrawClass::kSabotage, owned_plcs.size())];
     result.time_to_attack = now;
     note(plc, CampaignEventKind::kDeviceImpaired);
     t_sabotage = kNever;
@@ -454,24 +600,32 @@ struct RunState {
     // Full-strength spoofing needs an owned monitoring view (HMI, SCADA
     // server, or the engineering station running the vendor tools, where
     // Stuxnet actually hooked the s7otbxdx DLL); otherwise replaying
-    // recorded signals is only half effective.
-    bool view_owned = false;
-    for (const NodeId n : roots)
-      if (tb.monitoring_view[n]) {
-        view_owned = true;
-        break;
-      }
+    // recorded signals is only half effective. The SoA kernel keeps the
+    // rooted-monitoring count incrementally; the reference scans the
+    // root pool — same boolean, no draw either way.
+    bool view_owned;
+    if constexpr (kSoA) {
+      view_owned = monitoring_owned > 0;
+    } else {
+      view_owned = false;
+      for (const NodeId n : roots)
+        if (tb.flags[n] & CampaignTables::kFlagMonitoring) {
+          view_owned = true;
+          break;
+        }
+    }
     const double spoof = pr.spoof_effectiveness * (view_owned ? 1.0 : 0.5);
-    if (rng.bernoulli(1.0 - spoof)) {
+    if (rng.bernoulli(DrawClass::kAlarm, 1.0 - spoof)) {
       record_detection(CampaignEventKind::kPlantAlarmDetection);
       return;
     }
-    t_alarm =
-        exp_in(det.alarm_detection_rate * static_cast<double>(owned_plcs.size()));
+    t_alarm = exp_in(DrawClass::kAlarm,
+                     det.alarm_detection_rate *
+                         static_cast<double>(owned_plcs.size()));
   }
 
   void run_until(double t_max) {
-    t_entry = exp_in(pr.entry_rate);
+    t_entry = exp_in(DrawClass::kEntry, pr.entry_rate);
     while (!stopped) {
       // Next event: min over the aggregate clocks and the retry heap.
       // Exact ties are measure-zero (all delays are continuous); the
@@ -509,14 +663,28 @@ struct RunState {
   }
 };
 
-}  // namespace
-
-CampaignResult CampaignSimulator::run(stats::Rng& rng) const {
-  RunState st(scenario_, profile_, *tables_, detection_, options_, rng);
-  st.run_until(options_.t_max_hours);
+template <bool kSoA>
+CampaignResult run_kernel(const Scenario& sc, const ThreatProfile& pr,
+                          const CampaignTables& tb, const DetectionModel& det,
+                          const CampaignOptions& opt, const stats::Rng& base) {
+  RunState<kSoA> st(sc, pr, tb, det, opt, base);
+  st.run_until(opt.t_max_hours);
   st.result.hosts_compromised = st.hosts_owned;
   st.result.plcs_compromised = st.owned_plcs.size();
   return std::move(st.result);
+}
+
+}  // namespace
+
+CampaignResult CampaignSimulator::run(stats::Rng& rng) const {
+  // The facade derives the class streams without consuming base state,
+  // so run() leaves `rng` untouched — a (cell, rep) job stays a pure
+  // function of Rng(cell.seed, rep).
+  if (options_.kernel == CampaignKernel::kScalarReference)
+    return run_kernel<false>(scenario_, profile_, *tables_, detection_,
+                             options_, rng);
+  return run_kernel<true>(scenario_, profile_, *tables_, detection_, options_,
+                          rng);
 }
 
 Scenario make_scope_cooling_scenario() {

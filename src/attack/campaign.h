@@ -117,11 +117,28 @@ struct CampaignResult {
   [[nodiscard]] double ratio_at(double t) const noexcept;
 };
 
+/// Which inner loop run() executes. Both kernels implement the identical
+/// event model over the identical per-event-class draw contract
+/// (attack/campaign_rng.h), so their results are bit-identical; the
+/// scalar reference exists to prove exactly that (tests compare them).
+enum class CampaignKernel : std::uint8_t {
+  /// Structure-of-arrays hot loop: batched per-class RNG blocks, fused
+  /// scan-eligibility bytes, incremental membership counters,
+  /// swap-remove pools. The default.
+  kBatched,
+  /// Straight port of the pre-SoA loop onto the class-stream facade:
+  /// per-draw (block = 1) streams, separate flag arrays, linear
+  /// monitoring-view scan. Same draws, same bits, slower.
+  kScalarReference,
+};
+
 struct CampaignOptions {
   double t_max_hours = 2160.0;  // 90-day horizon
   bool record_events = false;
   /// Detection freezes attacker progress (incident response).
   bool detection_halts_attack = true;
+  /// Inner-loop selection; results are bit-identical across kernels.
+  CampaignKernel kernel = CampaignKernel::kBatched;
 };
 
 /// Precomputed flat per-node campaign state (defined in campaign.cpp).
@@ -132,6 +149,18 @@ class CampaignSimulator {
   CampaignSimulator(Scenario scenario, ThreatProfile profile,
                     const divers::VariantCatalog& catalog,
                     DetectionModel detection = {}, CampaignOptions options = {});
+
+  /// Shared-topology construction: reuse a prebuilt ReachabilityIndex
+  /// instead of evaluating the all-pairs relation again. The index must
+  /// have been built from this scenario's topology and firewall (node
+  /// counts are validated; the caller owns the stronger equivalence —
+  /// core::MeasurementEngine keys its cache on the full structural
+  /// input). Construction consumes no randomness either way, so results
+  /// are identical to the self-building constructor.
+  CampaignSimulator(Scenario scenario, ThreatProfile profile,
+                    const divers::VariantCatalog& catalog,
+                    DetectionModel detection, CampaignOptions options,
+                    std::shared_ptr<const net::ReachabilityIndex> shared_reach);
   ~CampaignSimulator();
   CampaignSimulator(CampaignSimulator&&) noexcept;
 
@@ -145,6 +174,11 @@ class CampaignSimulator {
   /// The per-scenario reachability index built at construction; share it
   /// with net::MeanFieldEpidemic instead of recomputing all pairs.
   [[nodiscard]] const net::ReachabilityIndex& reachability() const noexcept;
+
+  /// Owning handle on the same index, for sharing across simulators of
+  /// the same topology (the MeasurementEngine context cache does this).
+  [[nodiscard]] std::shared_ptr<const net::ReachabilityIndex>
+  shared_reachability() const noexcept;
 
  private:
   Scenario scenario_;

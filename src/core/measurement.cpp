@@ -1,13 +1,18 @@
 #include "core/measurement.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <future>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <stdexcept>
+#include <unordered_map>
 #include <utility>
 
 #include "core/indicator_accumulator.h"
+#include "net/reachability_index.h"
 #include "san/simulator.h"
 #include "sim/executor.h"
 #include "sim/shard_plan.h"
@@ -28,24 +33,6 @@ struct CellContext {
   };
   std::optional<StagedSan> san;
 };
-
-CellContext make_context(const SystemDescription& description,
-                         const attack::ThreatProfile& profile,
-                         const MeasurementOptions& options,
-                         const Configuration& config) {
-  CellContext ctx;
-  if (options.engine == Engine::kCampaign) {
-    ctx.campaign.emplace(description.instantiate(config), profile,
-                         description.catalog(), options.detection,
-                         options.campaign);
-  } else {
-    auto& staged = ctx.san.emplace();
-    staged.asan = attack::build_attack_san(
-        derive_staged_model(description, config, profile, options.detection));
-    staged.terminal = staged.asan.terminal_predicate();
-  }
-  return ctx;
-}
 
 /// One (cell, replication) job. All randomness comes from `rng`, so the
 /// sample depends only on (cell seed, replication index).
@@ -77,10 +64,143 @@ IndicatorSample run_job(const CellContext& ctx, double horizon, stats::Rng rng) 
 
 }  // namespace
 
-/// unique_ptr slots sidestep CellContext's non-assignable members while
-/// still letting contexts be built by a parallel_for.
-struct MeasurementEngine::CellContextList {
-  std::vector<std::unique_ptr<CellContext>> slots;
+/// The one place cell contexts come from — every entry point (measure,
+/// measure_scenarios, measure_scenario_tasks) used to carry its own
+/// eager construction loop; they now all go through this factory, which
+/// run_tasks drives lazily one scheduling round at a time.
+///
+/// Campaign contexts from structurally identical topologies share one
+/// net::ReachabilityIndex: the cache is keyed on the FULL structural
+/// input (ReachabilityIndex::StructuralKey, compared on fingerprint
+/// hits — a hash collision can cost a lookup, never alias an index).
+/// Concurrent builders of the same key deduplicate through a
+/// shared_future, so a fleet of same-topology cells pays the all-pairs
+/// sweep exactly once. Construction consumes no randomness, so sharing
+/// and laziness leave results bit-identical.
+///
+/// Thread-safe; one instance per measurement call (the cache — and the
+/// indexes it pins — lives exactly that long).
+class MeasurementEngine::ContextFactory {
+ public:
+  /// Configuration-plan cells (instantiated through the description).
+  ContextFactory(const SystemDescription& description,
+                 const attack::ThreatProfile& profile,
+                 const MeasurementOptions& options,
+                 std::span<const MeasurementCell> cells)
+      : description_(&description),
+        catalog_(&description.catalog()),
+        profile_(&profile),
+        options_(&options),
+        config_cells_(cells) {}
+
+  /// Explicit-scenario cells (campaign engine; callers validate).
+  ContextFactory(const divers::VariantCatalog& catalog,
+                 const attack::ThreatProfile& profile,
+                 const MeasurementOptions& options,
+                 std::span<const ScenarioCell> cells)
+      : catalog_(&catalog),
+        profile_(&profile),
+        options_(&options),
+        scenario_cells_(cells) {}
+
+  [[nodiscard]] std::size_t cell_count() const noexcept {
+    return description_ ? config_cells_.size() : scenario_cells_.size();
+  }
+
+  /// Build cell c's context. Thread-safe (run_tasks builds a round's
+  /// contexts in a parallel_for).
+  [[nodiscard]] std::unique_ptr<CellContext> build(std::size_t c) {
+    auto ctx = std::make_unique<CellContext>();
+    if (options_->engine == Engine::kStagedSan) {
+      auto& staged = ctx->san.emplace();
+      staged.asan = attack::build_attack_san(
+          derive_staged_model(*description_, config_cells_[c].configuration,
+                              *profile_, options_->detection));
+      staged.terminal = staged.asan.terminal_predicate();
+    } else {
+      attack::Scenario sc = description_
+                                ? description_->instantiate(
+                                      config_cells_[c].configuration)
+                                : scenario_cells_[c].scenario;
+      auto reach = shared_reach(sc.topology, sc.firewall);
+      ctx->campaign.emplace(std::move(sc), *profile_, *catalog_,
+                            options_->detection, options_->campaign,
+                            std::move(reach));
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      ++built_;
+      ++live_;
+      peak_live_ = std::max(peak_live_, live_);
+    }
+    return ctx;
+  }
+
+  /// run_tasks reports contexts it drops, so peak_live_ means what it says.
+  void note_dropped(std::size_t count) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    live_ -= count;
+  }
+
+  /// Publish the counters to options.context_stats (if requested).
+  void flush_stats() {
+    if (!options_->context_stats) return;
+    const std::lock_guard<std::mutex> lock(mu_);
+    std::size_t distinct = 0;
+    for (const auto& [fp, bucket] : reach_cache_) distinct += bucket.size();
+    *options_->context_stats = ContextStats{built_, peak_live_, distinct};
+  }
+
+ private:
+  using IndexPtr = std::shared_ptr<const net::ReachabilityIndex>;
+
+  [[nodiscard]] IndexPtr shared_reach(const net::Topology& topo,
+                                      const net::Firewall& fw) {
+    auto key = net::ReachabilityIndex::structural_key(topo, fw);
+    const std::uint64_t fp = key.fingerprint();
+    std::promise<IndexPtr> promise;
+    std::shared_future<IndexPtr> future;
+    bool builder = false;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      auto& bucket = reach_cache_[fp];
+      for (const auto& entry : bucket)
+        if (entry.key == key) {
+          future = entry.future;
+          break;
+        }
+      if (!future.valid()) {
+        future = promise.get_future().share();
+        bucket.push_back(Entry{std::move(key), future});
+        builder = true;
+      }
+    }
+    if (builder) {
+      try {
+        promise.set_value(std::make_shared<const net::ReachabilityIndex>(topo, fw));
+      } catch (...) {
+        promise.set_exception(std::current_exception());
+      }
+    }
+    return future.get();
+  }
+
+  const SystemDescription* description_ = nullptr;
+  const divers::VariantCatalog* catalog_;
+  const attack::ThreatProfile* profile_;
+  const MeasurementOptions* options_;
+  std::span<const MeasurementCell> config_cells_;
+  std::span<const ScenarioCell> scenario_cells_;
+
+  struct Entry {
+    net::ReachabilityIndex::StructuralKey key;
+    std::shared_future<IndexPtr> future;
+  };
+  std::mutex mu_;
+  std::unordered_map<std::uint64_t, std::vector<Entry>> reach_cache_;
+  std::size_t built_ = 0;
+  std::size_t live_ = 0;
+  std::size_t peak_live_ = 0;
 };
 
 namespace {
@@ -126,75 +246,140 @@ sim::ShardPlan MeasurementEngine::shard_plan(std::size_t cells) const {
 }
 
 std::vector<IndicatorAccumulator> MeasurementEngine::run_tasks(
-    const CellContextList& contexts, std::span<const std::uint64_t> seeds,
+    ContextFactory& factory, std::span<const std::uint64_t> seeds,
     const sim::ShardPlan& shard, std::span<const std::uint64_t> tasks,
     std::vector<IndicatorSample>* samples,
     std::vector<double>* task_seconds) const {
   const double horizon = options_.campaign.t_max_hours;
   const std::size_t reps = options_.replications;
+  const std::size_t total = tasks.size();
+  const std::size_t threads = executor_->thread_count();
   const auto make = [&](std::size_t) {
     return IndicatorAccumulator(horizon, options_.survival_bins);
   };
-  // One blocked fold per superblock task: block partials merge in
-  // ascending block order inside the task, so a task's partial depends
-  // only on (cell, superblock, RNG contract) — not on the thread count,
-  // the schedule, or which process runs it. Tasks past a cell's
-  // replication count bound-check to no-ops (uniform task_span keeps the
-  // schedule rectangular).
-  const auto fold = [&](IndicatorAccumulator& a, std::size_t g, std::size_t i) {
-    const sim::ShardPlan::Task task = shard.task(tasks[g]);
-    const std::size_t rep = task.begin + i;
-    if (rep >= task.end) return;
-    const IndicatorSample s = run_job(*contexts.slots[task.group], horizon,
-                                      stats::Rng(seeds[task.group], rep));
-    if (samples) (*samples)[task.group * reps + rep] = s;
-    a.add(s);
-  };
-  // Schedule selection. The fold/merge sequence per task is identical
-  // either way (bit-identical partials), so this is purely a wall-time
-  // choice: the elastic work queue keeps threads busy under skewed
-  // per-cell costs, while the static block rounds expose sub-task
-  // parallelism when there are too few tasks to feed every thread.
-  const bool queued = options_.schedule == Scheduling::kElastic &&
-                      tasks.size() >= executor_->thread_count();
-  if (queued)
-    return sim::queued_reduce_groups<IndicatorAccumulator>(
-        *executor_, tasks.size(), shard.task_span(), shard.block(), make, fold,
-        task_seconds);
-  if (!task_seconds)
-    return sim::blocked_reduce_groups<IndicatorAccumulator>(
-        *executor_, tasks.size(), shard.task_span(), shard.block(), make, fold);
 
-  // Cost capture under the static rounds (a shard with fewer tasks than
-  // threads must not give up sub-task parallelism just to be timed): one
-  // task's block jobs run on several threads, so per-task seconds
-  // accumulate atomically from per-replication timings — two clock reads
-  // per campaign replication, noise against the simulation itself.
-  std::unique_ptr<std::atomic<double>[]> seconds(
-      new std::atomic<double>[tasks.size()]());
-  const auto timed_fold = [&](IndicatorAccumulator& a, std::size_t g,
-                              std::size_t i) {
-    const auto start = std::chrono::steady_clock::now();
-    fold(a, g, i);
-    seconds[g].fetch_add(
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-            .count(),
-        std::memory_order_relaxed);
-  };
-  std::vector<IndicatorAccumulator> out =
-      sim::blocked_reduce_groups<IndicatorAccumulator>(
-          *executor_, tasks.size(), shard.task_span(), shard.block(), make,
+  // The task list is consumed one scheduling round at a time — the same
+  // 4 × threads sizing as the static block rounds — and cell contexts
+  // are built only for the cells a round touches, then dropped once the
+  // ascending task order has moved past them. Per-task partials depend
+  // only on (cell, superblock, RNG contract), so chunking the schedule
+  // changes no bits; it changes residency: a 10^4-cell sweep holds
+  // O(threads) contexts instead of 10^4 (reachability indexes are
+  // shared per topology through the factory and live for the whole
+  // call, so round boundaries never rebuild one).
+  const std::size_t round_tasks = std::max<std::size_t>(4 * threads, 1);
+  std::vector<std::unique_ptr<CellContext>> slots(factory.cell_count());
+  std::vector<std::size_t> live;   // engaged slots, ascending cell ids
+  std::vector<std::size_t> fresh;  // scratch: cells this round must build
+
+  std::vector<IndicatorAccumulator> out;
+  out.reserve(total);
+  if (task_seconds) {
+    task_seconds->clear();
+    task_seconds->reserve(total);
+  }
+
+  for (std::size_t begin = 0; begin < total; begin += round_tasks) {
+    const std::size_t end = std::min(begin + round_tasks, total);
+    const std::size_t count = end - begin;
+
+    // Contexts are independent, so a round's missing ones build in a
+    // parallel_for of their own (same-topology duplicates dedupe on the
+    // factory's index cache).
+    fresh.clear();
+    for (std::size_t t = begin; t < end; ++t) {
+      const std::size_t cell = shard.task(tasks[t]).group;
+      if (!slots[cell] && (fresh.empty() || fresh.back() != cell))
+        fresh.push_back(cell);
+    }
+    executor_->parallel_for(0, fresh.size(), [&](std::size_t i) {
+      slots[fresh[i]] = factory.build(fresh[i]);
+    });
+    live.insert(live.end(), fresh.begin(), fresh.end());
+
+    // One blocked fold per superblock task: block partials merge in
+    // ascending block order inside the task, so a task's partial depends
+    // only on (cell, superblock, RNG contract) — not on the thread
+    // count, the schedule, or which process runs it. Tasks past a cell's
+    // replication count bound-check to no-ops (uniform task_span keeps
+    // the schedule rectangular).
+    const auto fold = [&](IndicatorAccumulator& a, std::size_t g,
+                          std::size_t i) {
+      const sim::ShardPlan::Task task = shard.task(tasks[begin + g]);
+      const std::size_t rep = task.begin + i;
+      if (rep >= task.end) return;
+      const IndicatorSample s = run_job(*slots[task.group], horizon,
+                                        stats::Rng(seeds[task.group], rep));
+      if (samples) (*samples)[task.group * reps + rep] = s;
+      a.add(s);
+    };
+
+    // Schedule selection, per round. The fold/merge sequence per task is
+    // identical either way (bit-identical partials), so this is purely a
+    // wall-time choice: the elastic work queue keeps threads busy under
+    // skewed per-cell costs, while the static block rounds expose
+    // sub-task parallelism when a round (e.g. the tail of the list)
+    // cannot feed every thread.
+    const bool queued =
+        options_.schedule == Scheduling::kElastic && count >= threads;
+    std::vector<IndicatorAccumulator> part;
+    std::vector<double> part_seconds;
+    if (queued) {
+      part = sim::queued_reduce_groups<IndicatorAccumulator>(
+          *executor_, count, shard.task_span(), shard.block(), make, fold,
+          task_seconds ? &part_seconds : nullptr);
+    } else if (!task_seconds) {
+      part = sim::blocked_reduce_groups<IndicatorAccumulator>(
+          *executor_, count, shard.task_span(), shard.block(), make, fold);
+    } else {
+      // Cost capture under the static rounds (a round with fewer tasks
+      // than threads must not give up sub-task parallelism just to be
+      // timed): one task's block jobs run on several threads, so
+      // per-task seconds accumulate atomically from per-replication
+      // timings — two clock reads per campaign replication, noise
+      // against the simulation itself.
+      std::unique_ptr<std::atomic<double>[]> seconds(
+          new std::atomic<double>[count]());
+      const auto timed_fold = [&](IndicatorAccumulator& a, std::size_t g,
+                                  std::size_t i) {
+        const auto start = std::chrono::steady_clock::now();
+        fold(a, g, i);
+        seconds[g].fetch_add(std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - start)
+                                 .count(),
+                             std::memory_order_relaxed);
+      };
+      part = sim::blocked_reduce_groups<IndicatorAccumulator>(
+          *executor_, count, shard.task_span(), shard.block(), make,
           timed_fold);
-  task_seconds->resize(tasks.size());
-  for (std::size_t g = 0; g < tasks.size(); ++g)
-    (*task_seconds)[g] = seconds[g].load(std::memory_order_relaxed);
+      part_seconds.resize(count);
+      for (std::size_t g = 0; g < count; ++g)
+        part_seconds[g] = seconds[g].load(std::memory_order_relaxed);
+    }
+    for (auto& p : part) out.push_back(std::move(p));
+    if (task_seconds)
+      task_seconds->insert(task_seconds->end(), part_seconds.begin(),
+                           part_seconds.end());
+
+    // Drop what the ascending order has passed; keep cells the next
+    // round still touches (a cell's tasks can straddle the boundary).
+    const std::size_t keep_from =
+        end < total ? shard.task(tasks[end]).group : factory.cell_count();
+    std::size_t dropped = 0;
+    while (dropped < live.size() && live[dropped] < keep_from)
+      slots[live[dropped++]].reset();
+    live.erase(live.begin(), live.begin() + static_cast<std::ptrdiff_t>(dropped));
+    factory.note_dropped(dropped);
+  }
+  factory.note_dropped(live.size());
+  factory.flush_stats();
   return out;
 }
 
 std::vector<IndicatorSummary> MeasurementEngine::run_cells(
-    const CellContextList& contexts, std::span<const std::uint64_t> seeds,
+    ContextFactory& factory, std::span<const std::uint64_t> seeds,
     const CellVisitor& visit) const {
-  const std::size_t cells = contexts.slots.size();
+  const std::size_t cells = factory.cell_count();
   const std::size_t reps = options_.replications;
   const double horizon = options_.campaign.t_max_hours;
   const auto make = [&](std::size_t) {
@@ -216,7 +401,7 @@ std::vector<IndicatorSummary> MeasurementEngine::run_cells(
   std::vector<std::uint64_t> all_tasks(plan.task_count());
   for (std::size_t t = 0; t < all_tasks.size(); ++t) all_tasks[t] = t;
   std::vector<IndicatorAccumulator> partials =
-      run_tasks(contexts, seeds, plan, all_tasks, retain ? &samples : nullptr,
+      run_tasks(factory, seeds, plan, all_tasks, retain ? &samples : nullptr,
                 /*task_seconds=*/nullptr);
   std::vector<IndicatorAccumulator> acc =
       sim::reduce_task_partials(plan, std::move(partials), make);
@@ -242,19 +427,11 @@ std::vector<IndicatorSummary> MeasurementEngine::measure(
         "MeasurementEngine::measure: engine was built without a "
         "SystemDescription (scenario-sweep-only)");
   const std::size_t cells = plan.cell_count();
-
-  // Instantiate each cell's read-only context; contexts are independent,
-  // so building them is itself a parallel_for.
-  CellContextList contexts;
-  contexts.slots.resize(cells);
-  executor_->parallel_for(0, cells, [&](std::size_t c) {
-    contexts.slots[c] = std::make_unique<CellContext>(make_context(
-        *description_, *profile_, options_, plan.cells[c].configuration));
-  });
-
+  ContextFactory factory(*description_, *profile_, options_,
+                         std::span<const MeasurementCell>(plan.cells));
   std::vector<std::uint64_t> seeds(cells);
   for (std::size_t c = 0; c < cells; ++c) seeds[c] = plan.cells[c].seed;
-  return run_cells(contexts, seeds, visit);
+  return run_cells(factory, seeds, visit);
 }
 
 std::vector<IndicatorSummary> MeasurementEngine::measure_scenarios(
@@ -263,21 +440,11 @@ std::vector<IndicatorSummary> MeasurementEngine::measure_scenarios(
     throw std::invalid_argument(
         "measure_scenarios: requires the campaign engine");
   const std::size_t cells = plan.cell_count();
-
-  // Campaign construction precomputes the per-scenario reachability index
-  // and exploit tables — worth a parallel_for of its own on big fleets.
-  CellContextList contexts;
-  contexts.slots.resize(cells);
-  executor_->parallel_for(0, cells, [&](std::size_t c) {
-    auto ctx = std::make_unique<CellContext>();
-    ctx->campaign.emplace(plan.cells[c].scenario, *profile_, *catalog_,
-                          options_.detection, options_.campaign);
-    contexts.slots[c] = std::move(ctx);
-  });
-
+  ContextFactory factory(*catalog_, *profile_, options_,
+                         std::span<const ScenarioCell>(plan.cells));
   std::vector<std::uint64_t> seeds(cells);
   for (std::size_t c = 0; c < cells; ++c) seeds[c] = plan.cells[c].seed;
-  return run_cells(contexts, seeds, visit);
+  return run_cells(factory, seeds, visit);
 }
 
 std::vector<IndicatorAccumulator> MeasurementEngine::measure_scenario_partials(
@@ -318,31 +485,16 @@ std::vector<IndicatorAccumulator> MeasurementEngine::measure_scenario_tasks(
     return {};
   }
 
-  // Only the cells this task list touches get a campaign context — shard
-  // processes of a huge sweep must not pay for the whole fleet's
-  // reachability indexes. Cost-weighted lists may skip cells in the
-  // middle of their range, so collect the distinct touched cells rather
-  // than spanning [first, last]. The list is ascending, so so is the
-  // touched-cell sequence.
-  std::vector<std::size_t> touched;
-  for (const std::uint64_t t : tasks) {
-    const std::size_t cell = shard.task(t).group;
-    if (touched.empty() || touched.back() != cell) touched.push_back(cell);
-  }
-  CellContextList contexts;
-  contexts.slots.resize(plan.cell_count());
-  executor_->parallel_for(0, touched.size(), [&](std::size_t i) {
-    const std::size_t c = touched[i];
-    auto ctx = std::make_unique<CellContext>();
-    ctx->campaign.emplace(plan.cells[c].scenario, *profile_, *catalog_,
-                          options_.detection, options_.campaign);
-    contexts.slots[c] = std::move(ctx);
-  });
-
+  // Contexts are built lazily per scheduling round inside run_tasks, so
+  // only the cells this task list touches — a handful at a time — ever
+  // get a campaign context; shard processes of a huge sweep never pay
+  // for the whole fleet's scenarios or reachability indexes.
+  ContextFactory factory(*catalog_, *profile_, options_,
+                         std::span<const ScenarioCell>(plan.cells));
   std::vector<std::uint64_t> seeds(plan.cell_count());
   for (std::size_t c = 0; c < plan.cell_count(); ++c)
     seeds[c] = plan.cells[c].seed;
-  return run_tasks(contexts, seeds, shard, tasks, /*samples=*/nullptr,
+  return run_tasks(factory, seeds, shard, tasks, /*samples=*/nullptr,
                    task_seconds);
 }
 

@@ -29,21 +29,13 @@ MeanFieldEpidemic::MeanFieldEpidemic(const ReachabilityIndex& index,
   for (NodeId s : seeds_)
     if (s >= index.node_count())
       throw std::out_of_range("MeanFieldEpidemic: seed out of range");
-  build(index.union_graph(channels));
+  // The index hands back the in-edge CSR directly from its bit rows; the
+  // old path materialized out-edge vector-of-vectors and inverted them
+  // here — two allocations per node for data the Euler loop reads flat.
+  auto csr = index.union_in_csr(channels);
+  in_off_ = std::move(csr.off);
+  in_edge_ = std::move(csr.edge);
   reset();
-}
-
-void MeanFieldEpidemic::build(const std::vector<std::vector<NodeId>>& out_edges) {
-  // Invert out-edges j->i into CSR in-edge rows with a counting pass.
-  const std::size_t n = out_edges.size();
-  in_off_.assign(n + 1, 0);
-  for (const auto& outs : out_edges)
-    for (NodeId i : outs) ++in_off_[i + 1];
-  for (std::size_t i = 0; i < n; ++i) in_off_[i + 1] += in_off_[i];
-  in_edge_.resize(in_off_[n]);
-  std::vector<std::size_t> cursor(in_off_.begin(), in_off_.end() - 1);
-  for (NodeId j = 0; j < n; ++j)
-    for (NodeId i : out_edges[j]) in_edge_[cursor[i]++] = j;
 }
 
 void MeanFieldEpidemic::reset() {

@@ -67,7 +67,6 @@ class MeanFieldEpidemic {
   [[nodiscard]] std::vector<double> ratio_curve(const std::vector<double>& grid_hours);
 
  private:
-  void build(const std::vector<std::vector<NodeId>>& out_edges);
   void reset();
   // In-edges j -> i in CSR form: the sources of node i occupy
   // in_edge_[in_off_[i] .. in_off_[i + 1]).

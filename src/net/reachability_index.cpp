@@ -1,5 +1,6 @@
 #include "net/reachability_index.h"
 
+#include <algorithm>
 #include <bit>
 
 namespace divsec::net {
@@ -64,6 +65,43 @@ ReachabilityIndex::ReachabilityIndex(const Topology& topo, const Firewall& fw)
       row[a / 64] &= ~(std::uint64_t{1} << (a % 64));  // never self-reach
     }
   }
+
+  // Scan / tunnel target lists: the same relations as flat CSR lists,
+  // the sampling substrate of the campaign kernel's thinned worm scan.
+  // `word(a, w)` yields word w of source a's row of the relation.
+  const auto build_csr = [this](TargetCsr& csr, auto&& word) {
+    csr.off.assign(n_ + 1, 0);
+    for (NodeId a = 0; a < n_; ++a) {
+      std::uint32_t count = 0;
+      for (std::size_t w = 0; w < words_; ++w)
+        count += static_cast<std::uint32_t>(std::popcount(word(a, w)));
+      csr.off[a + 1] = csr.off[a] + count;
+    }
+    csr.tgt.resize(csr.off[n_]);
+    for (NodeId a = 0; a < n_; ++a) {
+      std::uint32_t* out = csr.tgt.data() + csr.off[a];
+      for (std::size_t w = 0; w < words_; ++w) {
+        std::uint64_t bits = word(a, w);
+        while (bits) {
+          *out++ = static_cast<std::uint32_t>(
+              w * 64 + static_cast<std::size_t>(std::countr_zero(bits)));
+          bits &= bits - 1;
+        }
+      }
+    }
+  };
+  for (std::size_t ch = 0; ch < kChannelCount; ++ch) {
+    const std::vector<std::uint64_t>& rows = reach_[ch];
+    build_csr(scan_[ch],
+              [&](NodeId a, std::size_t w) { return rows[a * words_ + w]; });
+    if (static_cast<Channel>(ch) == Channel::kUsb) {
+      tunnel_[ch].off.assign(n_ + 1, 0);  // no tunnelling on removable media
+    } else {
+      build_csr(tunnel_[ch], [&](NodeId a, std::size_t w) {
+        return linked_bits_[a * words_ + w] & ~rows[a * words_ + w];
+      });
+    }
+  }
 }
 
 std::vector<std::vector<NodeId>> ReachabilityIndex::union_graph(
@@ -85,6 +123,94 @@ std::vector<std::vector<NodeId>> ReachabilityIndex::union_graph(
     }
   }
   return out;
+}
+
+ReachabilityIndex::UnionInCsr ReachabilityIndex::union_in_csr(
+    const std::vector<Channel>& channels) const {
+  // Two passes over the union rows: count in-degrees, prefix-sum, fill.
+  // Iterating sources in ascending order makes every destination's
+  // source list ascending — the same lists union_graph inverts to.
+  UnionInCsr csr;
+  csr.off.assign(n_ + 1, 0);
+  std::vector<std::uint64_t> row(words_);
+  const auto union_row = [&](NodeId a) {
+    std::fill(row.begin(), row.end(), 0);
+    for (Channel c : channels) {
+      const std::uint64_t* r =
+          reach_[static_cast<std::size_t>(c)].data() + a * words_;
+      for (std::size_t w = 0; w < words_; ++w) row[w] |= r[w];
+    }
+  };
+  for (NodeId a = 0; a < n_; ++a) {
+    union_row(a);
+    for (std::size_t w = 0; w < words_; ++w) {
+      std::uint64_t bits = row[w];
+      while (bits) {
+        ++csr.off[w * 64 + static_cast<std::size_t>(std::countr_zero(bits)) + 1];
+        bits &= bits - 1;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n_; ++i) csr.off[i + 1] += csr.off[i];
+  csr.edge.resize(csr.off[n_]);
+  std::vector<std::size_t> cursor(csr.off.begin(), csr.off.end() - 1);
+  for (NodeId a = 0; a < n_; ++a) {
+    union_row(a);
+    for (std::size_t w = 0; w < words_; ++w) {
+      std::uint64_t bits = row[w];
+      while (bits) {
+        const std::size_t b =
+            w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+        csr.edge[cursor[b]++] = a;
+        bits &= bits - 1;
+      }
+    }
+  }
+  return csr;
+}
+
+ReachabilityIndex::StructuralKey ReachabilityIndex::structural_key(
+    const Topology& topo, const Firewall& fw) {
+  StructuralKey key;
+  key.node_count = topo.node_count();
+  key.nodes.reserve(key.node_count);
+  for (NodeId i = 0; i < key.node_count; ++i) {
+    const Node& node = topo.node(i);
+    key.nodes.push_back(static_cast<std::uint8_t>(
+        static_cast<std::uint8_t>(node.zone) |
+        (node.usb_exposure ? 0x80u : 0u)));
+  }
+  key.links.reserve(topo.links().size());
+  for (const Link& l : topo.links())
+    key.links.emplace_back(std::min(l.a, l.b), std::max(l.a, l.b));
+  std::sort(key.links.begin(), key.links.end());
+  key.links.erase(std::unique(key.links.begin(), key.links.end()),
+                  key.links.end());
+  std::size_t i = 0;
+  for (std::size_t za = 0; za < kZoneCount; ++za)
+    for (std::size_t zb = 0; zb < kZoneCount; ++zb)
+      for (std::size_t ch = 0; ch < kChannelCount; ++ch)
+        key.allow[i++] = fw.allows(static_cast<Zone>(za), static_cast<Zone>(zb),
+                                   static_cast<Channel>(ch));
+  return key;
+}
+
+std::uint64_t ReachabilityIndex::StructuralKey::fingerprint() const noexcept {
+  std::uint64_t h = 14695981039346656037ull;  // FNV-1a offset basis
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(node_count);
+  for (std::uint8_t b : nodes) mix(b);
+  for (const auto& [a, b] : links) {
+    mix(a);
+    mix(b);
+  }
+  for (bool v : allow) mix(v ? 1 : 0);
+  return h;
 }
 
 }  // namespace divsec::net

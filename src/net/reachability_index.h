@@ -18,6 +18,8 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "net/firewall.h"
@@ -49,16 +51,83 @@ class ReachabilityIndex {
   [[nodiscard]] std::vector<std::vector<NodeId>> union_graph(
       const std::vector<Channel>& channels) const;
 
+  /// Flat in-edge CSR over the union relation: the sources j with
+  /// j -> i over ANY of `channels` occupy edge[off[i] .. off[i + 1]),
+  /// ascending. Same relation as union_graph inverted, built straight
+  /// from the bit rows without the vector-of-vectors intermediary —
+  /// this is the adjacency MeanFieldEpidemic's Euler loop runs on.
+  struct UnionInCsr {
+    std::vector<std::size_t> off;  // node_count + 1 offsets
+    std::vector<NodeId> edge;      // concatenated source lists
+  };
+  [[nodiscard]] UnionInCsr union_in_csr(const std::vector<Channel>& channels) const;
+
+  /// The statically reachable targets of `a` on channel `c` — the set
+  /// bits of the can_reach row, ascending, never containing `a` itself.
+  /// The campaign kernel's thinned worm-scan process samples victims
+  /// from these lists at the thinned Poisson rate instead of rejection-
+  /// testing uniform (victim, channel) picks, which is exact by Poisson
+  /// thinning and skips the ~95% of scans that cannot land. Entries are
+  /// uint32 to keep the lists compact.
+  [[nodiscard]] std::span<const std::uint32_t> scan_targets(
+      Channel c, NodeId a) const noexcept {
+    return row_span(scan_[static_cast<std::size_t>(c)], a);
+  }
+
+  /// The linked-but-policy-blocked targets of `a` on channel `c`:
+  /// reachable only by winning a firewall-bypass (tunnelling) exploit.
+  /// Always empty for kUsb — removable media cannot tunnel a firewall.
+  [[nodiscard]] std::span<const std::uint32_t> tunnel_targets(
+      Channel c, NodeId a) const noexcept {
+    return row_span(tunnel_[static_cast<std::size_t>(c)], a);
+  }
+
+  /// The exact structural input the constructor reads, in canonical form:
+  /// two topologies/firewalls with equal keys produce identical indexes,
+  /// so an index built for one may be shared with the other. This is the
+  /// cache key of core::MeasurementEngine's shared-context path (compared
+  /// in full on fingerprint hits — hashes alone never alias contexts).
+  struct StructuralKey {
+    std::size_t node_count = 0;
+    /// Per node: zone in the low bits, usb_exposure in bit 7.
+    std::vector<std::uint8_t> nodes;
+    /// Undirected links as (min, max) pairs, sorted (link order and
+    /// endpoint order in the Topology are not structural).
+    std::vector<std::pair<NodeId, NodeId>> links;
+    /// Firewall verdicts over (zone, zone, channel), flattened.
+    std::array<bool, kZoneCount * kZoneCount * kChannelCount> allow{};
+
+    bool operator==(const StructuralKey&) const = default;
+
+    /// FNV-1a digest over the canonical form, for bucketing only.
+    [[nodiscard]] std::uint64_t fingerprint() const noexcept;
+  };
+  [[nodiscard]] static StructuralKey structural_key(const Topology& topo,
+                                                   const Firewall& fw);
+
  private:
+  /// Per-source target lists of one channel, CSR over uint32 node ids.
+  struct TargetCsr {
+    std::vector<std::uint32_t> off;  // node_count + 1 offsets
+    std::vector<std::uint32_t> tgt;  // concatenated ascending target lists
+  };
+
   [[nodiscard]] bool test(const std::vector<std::uint64_t>& bits, NodeId a,
                           NodeId b) const noexcept {
     return (bits[a * words_ + b / 64] >> (b % 64)) & 1u;
+  }
+
+  [[nodiscard]] static std::span<const std::uint32_t> row_span(
+      const TargetCsr& csr, NodeId a) noexcept {
+    return {csr.tgt.data() + csr.off[a], csr.off[a + 1] - csr.off[a]};
   }
 
   std::size_t n_ = 0;
   std::size_t words_ = 0;  // 64-bit words per row
   std::vector<std::uint64_t> linked_bits_;  // n_ rows of words_ words
   std::array<std::vector<std::uint64_t>, kChannelCount> reach_;
+  std::array<TargetCsr, kChannelCount> scan_;    // reach rows as lists
+  std::array<TargetCsr, kChannelCount> tunnel_;  // linked & ~reach, no kUsb
 };
 
 }  // namespace divsec::net
