@@ -50,6 +50,14 @@ void IndicatorAccumulator::merge(const IndicatorAccumulator& other) {
   final_ratio_.merge(other.final_ratio_);
 }
 
+bool IndicatorAccumulator::precision_reached(const sim::StoppingRule& rule) const {
+  sim::StoppingRule time_rule = rule;
+  time_rule.absolute_precision = rule.absolute_precision * horizon_;
+  return sim::precision_reached(tta_.moments(), time_rule) &&
+         sim::precision_reached(ttsf_.moments(), time_rule) &&
+         sim::precision_reached(final_ratio_, rule);
+}
+
 IndicatorSummary IndicatorAccumulator::summarize() const {
   IndicatorSummary s;
   s.replications = n_;

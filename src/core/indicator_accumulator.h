@@ -14,6 +14,7 @@
 #pragma once
 
 #include "core/indicators.h"
+#include "sim/stopping.h"
 #include "stats/survival.h"
 
 namespace divsec::core {
@@ -51,6 +52,15 @@ class IndicatorAccumulator {
   [[nodiscard]] IndicatorSummary summarize() const;
 
   [[nodiscard]] std::size_t count() const noexcept { return n_; }
+
+  /// The adaptive sweep's per-cell stopping test: true when every
+  /// indicator's streaming moments meet the rule's precision criteria
+  /// (sim::precision_reached) — the censored-at-horizon TTA and TTSF
+  /// moments with the absolute floor scaled by the horizon
+  /// (rule.absolute_precision * horizon hours), and the final compromised
+  /// ratio with the floor applied as-is. The rule's min/max bounds are
+  /// the round driver's concern, not this predicate's.
+  [[nodiscard]] bool precision_reached(const sim::StoppingRule& rule) const;
 
  private:
   double horizon_ = 0.0;

@@ -210,6 +210,8 @@ void put_meta(std::string& out, const SweepMeta& m) {
   put_u64(out, m.survival_bins);
   put_f64(out, m.horizon_hours);
   put_u64(out, m.cells);
+  put_u64(out, m.achieved.size());
+  for (const std::uint64_t a : m.achieved) put_u64(out, a);
   put_u64(out, m.shard);
   put_u64(out, m.shard_count);
   put_u32(out, m.merged ? 1 : 0);
@@ -234,6 +236,11 @@ std::uint64_t sweep_fingerprint(const SweepMeta& meta) {
   fnv1a_mix(h, meta.survival_bins);
   fnv1a_mix(h, std::bit_cast<std::uint64_t>(meta.horizon_hours));
   fnv1a_mix(h, meta.cells);
+  // The achieved list is identity: an adaptive merge/replay must agree on
+  // where every cell stopped, and a fixed-budget state (empty list) must
+  // never merge with an adaptive one.
+  fnv1a_mix(h, static_cast<std::uint64_t>(meta.achieved.size()));
+  for (const std::uint64_t a : meta.achieved) fnv1a_mix(h, a);
   return h;
 }
 
@@ -258,6 +265,16 @@ std::string meta_json(const SweepMeta& meta) {
   out += ", \"survival_bins\": " + std::to_string(meta.survival_bins);
   out += ", \"horizon_hours\": " + json_number_exact(meta.horizon_hours);
   out += ", \"cells\": " + std::to_string(meta.cells);
+  out += std::string(", \"adaptive\": ") +
+         (meta.achieved.empty() ? "false" : "true");
+  if (!meta.achieved.empty()) {
+    out += ", \"achieved\": [";
+    for (std::size_t i = 0; i < meta.achieved.size(); ++i) {
+      if (i) out += ", ";
+      out += std::to_string(meta.achieved[i]);
+    }
+    out += "]";
+  }
   out += ", \"shard\": " + std::to_string(meta.shard);
   out += ", \"shard_count\": " + std::to_string(meta.shard_count);
   out += std::string(", \"merged\": ") + (meta.merged ? "true" : "false");
@@ -285,6 +302,19 @@ std::string encode_shard_state(const ShardState& state) {
   if (!state.cost.cells.empty() && state.cost.cells.size() != state.meta.cells)
     throw std::invalid_argument(
         "encode_shard_state: cost model cell count != sweep cell count");
+  if (!state.meta.achieved.empty()) {
+    if (state.meta.achieved.size() != state.meta.cells)
+      throw std::invalid_argument(
+          "encode_shard_state: achieved count != sweep cell count");
+    for (const std::uint64_t a : state.meta.achieved)
+      if (a == 0 || a > state.meta.replications)
+        throw std::invalid_argument(
+            "encode_shard_state: achieved replications outside (0, budget]");
+  }
+  if (!state.cell_rounds.empty() &&
+      state.cell_rounds.size() != state.meta.cells)
+    throw std::invalid_argument(
+        "encode_shard_state: termination-round count != sweep cell count");
   put_u64(out, state.tasks.size());
   for (const std::uint64_t t : state.tasks) put_u64(out, t);
   for (const auto& p : state.partials) put_accumulator(out, p);
@@ -293,6 +323,17 @@ std::string encode_shard_state(const ShardState& state) {
     put_u64(out, c.replications);
     put_f64(out, c.seconds);
   }
+  put_u64(out, state.rounds.size());
+  for (const RoundLog& rl : state.rounds) {
+    put_u64(out, rl.round);
+    put_u64(out, rl.active_cells);
+    put_u64(out, rl.tasks);
+    put_u64(out, rl.replications);
+    put_f64(out, rl.wall_ms);
+    put_f64(out, rl.merge_ms);
+  }
+  put_u64(out, state.cell_rounds.size());
+  for (const std::uint64_t cr : state.cell_rounds) put_u64(out, cr);
   put_u64(out, fnv1a(out));
   return out;
 }
@@ -345,6 +386,20 @@ ShardState decode_shard_state(std::string_view bytes) {
   if (m.cells != m.policies.size())
     throw std::runtime_error(
         "shard state: cell count disagrees with the policy list");
+  const std::uint64_t nachieved = r.u64();
+  if (nachieved != 0 && nachieved != m.cells)
+    throw std::runtime_error(
+        "shard state: achieved-count list disagrees with the cell count");
+  if (nachieved > r.remaining() / 8)
+    throw std::runtime_error("shard state: achieved list exceeds input size");
+  m.achieved.reserve(nachieved);
+  for (std::uint64_t i = 0; i < nachieved; ++i) {
+    const std::uint64_t a = r.u64();
+    if (a == 0 || a > m.replications)
+      throw std::runtime_error(
+          "shard state: achieved replications outside (0, budget]");
+    m.achieved.push_back(a);
+  }
   m.shard = r.u64();
   m.shard_count = r.u64();
   m.merged = r.u32() != 0;
@@ -383,6 +438,29 @@ ShardState decode_shard_state(std::string_view bytes) {
     c.seconds = r.f64();
     state.cost.cells.push_back(c);
   }
+  const std::uint64_t nrounds = r.u64();
+  if (nrounds > r.remaining() / 48)
+    throw std::runtime_error("shard state: round log exceeds input size");
+  state.rounds.reserve(nrounds);
+  for (std::uint64_t i = 0; i < nrounds; ++i) {
+    RoundLog rl;
+    rl.round = r.u64();
+    rl.active_cells = r.u64();
+    rl.tasks = r.u64();
+    rl.replications = r.u64();
+    rl.wall_ms = r.f64();
+    rl.merge_ms = r.f64();
+    state.rounds.push_back(rl);
+  }
+  const std::uint64_t ncr = r.u64();
+  if (ncr != 0 && ncr != m.cells)
+    throw std::runtime_error(
+        "shard state: termination-round list disagrees with the cell count");
+  if (ncr > r.remaining() / 8)
+    throw std::runtime_error(
+        "shard state: termination-round list exceeds input size");
+  state.cell_rounds.reserve(ncr);
+  for (std::uint64_t i = 0; i < ncr; ++i) state.cell_rounds.push_back(r.u64());
   if (r.remaining() != 0)
     throw std::runtime_error("shard state: trailing bytes after payload");
   return state;

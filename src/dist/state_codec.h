@@ -7,23 +7,29 @@
 // the exact reducer must validate before merging), the task range, and
 // the raw accumulator states.
 //
-// Format (version 2), all integers little-endian, doubles as IEEE-754
+// Format (version 3), all integers little-endian, doubles as IEEE-754
 // bit patterns:
 //   magic "DVSWEEPS" | u32 version
 //   u32 json_len | meta rendered as JSON  (informational header: `head -2
 //     file.state` and `divsec_sweep inspect` are enough to see what a
 //     file is; the merge reducer never parses it)
-//   binary meta (authoritative)
+//   binary meta (authoritative; includes the per-cell achieved-replication
+//     list — empty for fixed-budget sweeps, part of the identity)
 //   u64 ntasks | ntasks × u64 task id (strictly ascending)
 //   one accumulator blob per task, in list order
 //   u64 ncost | ncost × (u64 replications | f64 seconds)  — the per-cell
 //     cost model measured while the shard ran (dist/cost_model.h);
 //     ncost is 0 (no measurements) or the sweep's cell count
+//   u64 nrounds | nrounds × RoundLog — the adaptive coordinator's round
+//     log (empty for fixed-budget sweeps; provenance, not identity)
+//   u64 ncellrounds | per-cell termination round (0 or cells entries)
 //   u64 FNV-1a checksum of every preceding byte
 // Version 2 replaced version 1's contiguous [task_begin, task_end) range
 // with the explicit task-id list (cost-weighted LPT plans assign
-// non-contiguous sets) and appended the cost section; v1 files are
-// rejected — regenerate shards, they are cheap by construction.
+// non-contiguous sets) and appended the cost section; version 3 added the
+// adaptive sections (achieved counts, round log, termination rounds).
+// Older versions are rejected — regenerate shards, they are cheap by
+// construction.
 //
 // Guarantees:
 //   * exact round-trip — decode(encode(s)) restores every accumulator
@@ -46,8 +52,10 @@ namespace divsec::dist {
 
 /// Codec version of the shard-state format. Bump on any layout change;
 /// decode rejects versions it does not speak. v2: explicit task-id lists
-/// (elastic shard plans) + embedded per-cell cost model.
-inline constexpr std::uint32_t kStateFormatVersion = 2;
+/// (elastic shard plans) + embedded per-cell cost model. v3: adaptive
+/// sweeps — per-cell achieved-replication counts in the meta (identity),
+/// round log + termination rounds appended (provenance).
+inline constexpr std::uint32_t kStateFormatVersion = 3;
 
 /// Everything that identifies a sweep (what must match for partials to
 /// be mergeable) plus per-shard provenance (which shard, how long it
@@ -64,6 +72,14 @@ struct SweepMeta {
   std::uint64_t survival_bins = 0;
   double horizon_hours = 0.0;
   std::uint64_t cells = 0;
+  /// Per-cell achieved replication counts of an adaptive sweep — the
+  /// reproducibility record: cell c's accumulators cover exactly
+  /// achieved[c] replications, i.e. its first ceil(achieved[c] /
+  /// superblock) superblock tasks. Empty for fixed-budget sweeps (every
+  /// cell covers `replications`). Non-empty lists are part of the
+  /// identity: a merge/replay must agree on where every cell stopped, so
+  /// the fingerprint covers them. Each entry is in (0, replications].
+  std::vector<std::uint64_t> achieved;
 
   // -- per-file provenance: not part of the identity ------------------
   std::uint64_t shard = 0;
@@ -83,11 +99,29 @@ struct SweepMeta {
 /// plus the per-cell cost measured while the shard ran. For merged
 /// states (meta.merged) the "tasks" are the per-cell merged accumulators
 /// and the list is [0, cells).
+/// One round of an adaptive coordinator run (dist::run_adaptive):
+/// wall-clock bookkeeping carried on the merged state so `inspect` can
+/// show where the budget went. Provenance only — never part of the
+/// identity; the reproducibility contract is SweepMeta::achieved.
+struct RoundLog {
+  std::uint64_t round = 0;         // 1-based
+  std::uint64_t active_cells = 0;  // cells still unconverged this round
+  std::uint64_t tasks = 0;         // superblock tasks dealt this round
+  std::uint64_t replications = 0;  // replications folded this round
+  double wall_ms = 0.0;            // slowest shard's wall time
+  double merge_ms = 0.0;           // coordinator decode+fold time
+};
+
 struct ShardState {
   SweepMeta meta;
   std::vector<std::uint64_t> tasks;
   std::vector<core::IndicatorAccumulator::State> partials;  // one per task
   CostModel cost;
+  /// Adaptive provenance (both empty for fixed-budget sweeps):
+  /// the coordinator's round log, and each cell's termination round
+  /// (1-based; 0 or cells entries).
+  std::vector<RoundLog> rounds;
+  std::vector<std::uint64_t> cell_rounds;
 };
 
 /// Serialize to the versioned byte format. Deterministic: equal states

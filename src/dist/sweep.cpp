@@ -26,12 +26,16 @@ double timed_ms(const F& f) {
 
 std::vector<core::IndicatorSummary> summarize_cells(
     const SweepMeta& meta, const std::vector<core::IndicatorAccumulator>& acc) {
-  // Mirrors MeasurementEngine::run_cells' reassembly exactly so merged
-  // summaries are field-for-field identical to the in-process path.
+  // Mirrors the engine's reassembly exactly so merged summaries are
+  // field-for-field identical to the in-process path (run_cells for
+  // fixed budgets, measure_scenarios_adaptive for recorded counts — the
+  // achieved list feeds replications-derived columns like success_prob).
   std::vector<core::IndicatorSummary> out(acc.size());
   for (std::size_t c = 0; c < acc.size(); ++c) {
     out[c] = acc[c].summarize();
-    out[c].replications = meta.replications;
+    out[c].replications = meta.achieved.empty()
+                              ? meta.replications
+                              : static_cast<std::size_t>(meta.achieved[c]);
     out[c].horizon_hours = meta.horizon_hours;
   }
   return out;
@@ -42,6 +46,27 @@ std::vector<core::IndicatorSummary> summarize_cells(
 sim::ShardPlan sweep_shard_plan(const SweepMeta& meta) {
   return sim::ShardPlan::make(meta.cells, meta.replications,
                               meta.replication_block, meta.superblock);
+}
+
+std::vector<std::uint64_t> achieved_tasks(const SweepMeta& meta) {
+  const sim::ShardPlan plan = sweep_shard_plan(meta);
+  const std::size_t per_group = plan.superblocks_per_group();
+  std::vector<std::uint64_t> tasks;
+  if (meta.achieved.empty()) {
+    tasks.resize(plan.task_count());
+    for (std::size_t t = 0; t < tasks.size(); ++t) tasks[t] = t;
+    return tasks;
+  }
+  if (meta.achieved.size() != meta.cells)
+    throw std::invalid_argument(
+        "achieved_tasks: achieved-count list must have one entry per cell");
+  for (std::size_t c = 0; c < meta.cells; ++c) {
+    const std::uint64_t needed =
+        (meta.achieved[c] + meta.superblock - 1) / meta.superblock;
+    for (std::uint64_t s = 0; s < needed; ++s)
+      tasks.push_back(c * per_group + s);
+  }
+  return tasks;
 }
 
 SweepMeta make_meta(const SweepSpec& spec) {
@@ -66,6 +91,16 @@ SweepMeta make_meta(const SweepSpec& spec) {
                            ? spec.horizon_hours
                            : attack::CampaignOptions{}.t_max_hours;
   meta.cells = spec.policies.size();
+  if (!spec.achieved.empty()) {
+    if (spec.achieved.size() != spec.policies.size())
+      throw std::invalid_argument(
+          "sweep: achieved-count list must have one entry per cell");
+    for (const std::uint64_t a : spec.achieved)
+      if (a == 0 || a > spec.replications)
+        throw std::invalid_argument(
+            "sweep: achieved replications outside (0, budget]");
+    meta.achieved = spec.achieved;
+  }
   meta.threads = static_cast<std::uint32_t>(sim::Executor::default_thread_count());
   return meta;
 }
@@ -81,6 +116,7 @@ SweepSpec spec_from_meta(const SweepMeta& meta) {
   spec.superblock = meta.superblock;
   spec.survival_bins = meta.survival_bins;
   spec.horizon_hours = meta.horizon_hours;
+  spec.achieved = meta.achieved;
   return spec;
 }
 
@@ -204,9 +240,13 @@ MergeResult merge_shards(const std::vector<ShardState>& states) {
   const sim::ShardPlan plan = sweep_shard_plan(meta);
   const std::size_t tasks = plan.task_count();
 
-  // Exact coverage: every superblock task exactly once, none foreign.
-  // Task lists need not be contiguous (cost-weighted plans are not) —
-  // only the union matters.
+  // Exact coverage of the sweep's task set: every task of the full plan
+  // for fixed budgets, each cell's achieved prefix for adaptive sweeps —
+  // exactly once, none foreign. Task lists need not be contiguous
+  // (cost-weighted plans are not); only the union matters.
+  const std::vector<std::uint64_t> expect = achieved_tasks(meta);
+  std::vector<char> expected(tasks, 0);
+  for (const std::uint64_t t : expect) expected[t] = 1;
   std::vector<const core::IndicatorAccumulator::State*> slots(tasks, nullptr);
   for (const auto& s : states) {
     if (s.partials.size() != s.tasks.size())
@@ -214,10 +254,10 @@ MergeResult merge_shards(const std::vector<ShardState>& states) {
           "merge_shards: partial count != task list size");
     for (std::size_t i = 0; i < s.tasks.size(); ++i) {
       const std::uint64_t t = s.tasks[i];
-      if (t >= tasks)
+      if (t >= tasks || !expected[t])
         throw std::invalid_argument(
             "merge_shards: task " + std::to_string(t) +
-            " outside the sweep's plan");
+            " outside the sweep's task set");
       if (slots[t])
         throw std::invalid_argument(
             "merge_shards: task " + std::to_string(t) +
@@ -225,23 +265,30 @@ MergeResult merge_shards(const std::vector<ShardState>& states) {
       slots[t] = &s.partials[i];
     }
   }
-  for (std::size_t t = 0; t < tasks; ++t)
+  for (const std::uint64_t t : expect)
     if (!slots[t])
       throw std::invalid_argument("merge_shards: task " + std::to_string(t) +
                                   " is missing (incomplete shard set)");
 
-  // Restore and fold in ascending (cell, superblock) order — the same
-  // left-fold the in-process reducer performs.
-  std::vector<core::IndicatorAccumulator> partials;
-  partials.reserve(tasks);
-  for (std::size_t t = 0; t < tasks; ++t)
-    partials.push_back(core::IndicatorAccumulator::from_state(*slots[t]));
-  const auto make = [&](std::size_t) {
-    return core::IndicatorAccumulator(meta.horizon_hours, meta.survival_bins);
-  };
+  // Restore and fold each cell's covered prefix in ascending (cell,
+  // superblock) order — the same left-fold the in-process reducer
+  // performs (sim::reduce_task_partials: the first partial becomes the
+  // accumulator, later ones merge into it).
+  const std::size_t per_group = plan.superblocks_per_group();
   MergeResult out;
-  out.accumulators =
-      sim::reduce_task_partials(plan, std::move(partials), make);
+  out.accumulators.reserve(meta.cells);
+  for (std::size_t c = 0; c < meta.cells; ++c) {
+    const std::size_t needed =
+        meta.achieved.empty()
+            ? per_group
+            : static_cast<std::size_t>((meta.achieved[c] + meta.superblock - 1) /
+                                       meta.superblock);
+    core::IndicatorAccumulator acc =
+        core::IndicatorAccumulator::from_state(*slots[c * per_group]);
+    for (std::size_t s = 1; s < needed; ++s)
+      acc.merge(core::IndicatorAccumulator::from_state(*slots[c * per_group + s]));
+    out.accumulators.push_back(std::move(acc));
+  }
   out.summaries = summarize_cells(meta, out.accumulators);
   out.meta = meta;
   out.meta.shard = 0;

@@ -45,6 +45,11 @@ struct SweepSpec {
   std::size_t superblock = 0;         // 0 = sim::kDefaultSuperblockReps
   std::size_t survival_bins = 64;
   double horizon_hours = 0.0;  // 0 = attack::CampaignOptions default
+  /// Per-cell achieved replication counts recorded by an adaptive run
+  /// (SweepMeta::achieved): empty for fixed-budget sweeps. A non-empty
+  /// list restricts the sweep's task space to each cell's prefix — the
+  /// replay contract. Specs round-trip through make_meta/spec_from_meta.
+  std::vector<std::uint64_t> achieved;
 };
 
 /// Resolve a spec into the authoritative meta block (defaults filled in,
@@ -79,6 +84,13 @@ struct SweepSpec {
 /// The superblock task plan a spec induces (what task ids in plan files
 /// and shard states index into).
 [[nodiscard]] sim::ShardPlan sweep_shard_plan(const SweepMeta& meta);
+
+/// The superblock tasks the meta's recorded per-cell achieved counts
+/// cover, in ascending order: cell c's first ceil(achieved[c] /
+/// superblock) tasks. Fixed-budget metas (empty achieved) cover every
+/// task of the plan. This is the exact-coverage set merge_shards
+/// validates against and the task list an adaptive replay runs.
+[[nodiscard]] std::vector<std::uint64_t> achieved_tasks(const SweepMeta& meta);
 
 /// Compute shard `shard` of `shard_count` under the contiguous balanced
 /// split: re-expand the plan, run the owned superblock tasks, and return
@@ -118,13 +130,14 @@ struct MergeResult {
 
 /// Merge shard states into per-cell results. Validates that every state
 /// shares one sweep fingerprint, none is already merged, and the task
-/// lists cover [0, task_count) exactly once; throws
+/// lists cover the sweep's task set — [0, task_count) for fixed budgets,
+/// achieved_tasks(meta) for adaptive sweeps — exactly once; throws
 /// std::invalid_argument otherwise. Partials fold in ascending (cell,
-/// superblock) order — bit-identical to run_in_process on the same spec,
-/// no matter how the covering lists were cut (contiguous ranges,
-/// cost-weighted LPT sets, or any mix). Shard cost models merge into the
-/// result, so the merged state is itself a weights source for the next
-/// `divsec_sweep plan`.
+/// superblock) order — bit-identical to run_in_process (fixed) or to the
+/// adaptive driver that recorded the counts, no matter how the covering
+/// lists were cut (contiguous ranges, cost-weighted LPT sets, or any
+/// mix). Shard cost models merge into the result, so the merged state is
+/// itself a weights source for the next `divsec_sweep plan`.
 [[nodiscard]] MergeResult merge_shards(const std::vector<ShardState>& states);
 
 /// The merged result as a writable state file (meta.merged = true, one

@@ -1,7 +1,6 @@
 #include "sim/replication.h"
 
 #include <algorithm>
-#include <cmath>
 #include <stdexcept>
 
 namespace divsec::sim {
@@ -74,13 +73,7 @@ ReplicationResult run_sequential(const Experiment& experiment,
       r.samples.push_back(y);
       ++folded;
       if (folded < opts.min_replications) continue;
-      const auto ci = r.confidence_interval(opts.confidence_level);
-      const double hw = ci.half_width();
-      const bool rel_ok = opts.relative_precision > 0.0 &&
-                          hw <= opts.relative_precision * std::fabs(r.stats.mean());
-      const bool abs_ok =
-          opts.absolute_precision > 0.0 && hw <= opts.absolute_precision;
-      if (rel_ok || abs_ok) return r;
+      if (precision_reached(r.stats, opts)) return r;
     }
   }
   return r;

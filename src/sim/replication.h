@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "sim/executor.h"
+#include "sim/stopping.h"
 #include "stats/descriptive.h"
 #include "stats/rng.h"
 
@@ -42,15 +43,9 @@ struct ReplicationResult {
                                                  std::uint64_t seed,
                                                  const Executor* executor = nullptr);
 
-struct SequentialOptions {
-  std::size_t min_replications = 10;
-  std::size_t max_replications = 10000;
-  double confidence_level = 0.95;
-  /// Stop when CI half-width <= relative_precision * |mean| (or when the
-  /// absolute target is met, whichever first; 0 disables a criterion).
-  double relative_precision = 0.05;
-  double absolute_precision = 0.0;
-};
+/// The sequential knobs are the shared stopping rule (sim/stopping.h);
+/// the historical name stays for the single-experiment API.
+using SequentialOptions = StoppingRule;
 
 /// Sequential replication until the precision target or max_replications.
 /// With an executor the sample sequence grows in parallel batches, but

@@ -73,12 +73,17 @@ inline std::string json_number_exact(double v) {
 /// is relative to whatever the writer defines as its serial baseline
 /// (1.0 for standalone timings). `peak_mb` is an optional memory datum
 /// (peak RSS or aggregation footprint, in MiB); NaN serializes as null.
+/// `wall_floor_ms` is an optional per-metric noise floor: the gate skips
+/// the wall comparison while the baseline wall sits below it — set it on
+/// sub-millisecond metrics (per-round merge times) where the global 5 ms
+/// CLI floor would be wrong in the other direction. NaN = omitted.
 struct BenchRecord {
   std::string name;
   double wall_ms = 0.0;
   int threads = 1;
   double speedup = 1.0;
   double peak_mb = std::numeric_limits<double>::quiet_NaN();
+  double wall_floor_ms = std::numeric_limits<double>::quiet_NaN();
 };
 
 /// Write records as a JSON array to `path` (BENCH_*.json convention), so
@@ -91,12 +96,15 @@ inline void write_bench_json(const std::string& path,
   std::fprintf(f, "[\n");
   for (std::size_t i = 0; i < records.size(); ++i) {
     const BenchRecord& r = records[i];
+    std::string floor;
+    if (std::isfinite(r.wall_floor_ms))
+      floor = ", \"wall_floor_ms\": " + json_number(r.wall_floor_ms);
     std::fprintf(f,
                  "  {\"name\": \"%s\", \"wall_ms\": %s, \"threads\": %d, "
-                 "\"speedup\": %s, \"peak_mb\": %s}%s\n",
+                 "\"speedup\": %s, \"peak_mb\": %s%s}%s\n",
                  json_escape(r.name).c_str(), json_number(r.wall_ms).c_str(),
                  r.threads, json_number(r.speedup).c_str(),
-                 json_number(r.peak_mb).c_str(),
+                 json_number(r.peak_mb).c_str(), floor.c_str(),
                  i + 1 < records.size() ? "," : "");
   }
   std::fprintf(f, "]\n");

@@ -8,8 +8,13 @@ when a metric regresses past its tolerance:
 
   * wall_ms   may not rise above baseline * (1 + --wall-tol); getting
               faster is always fine. Records whose baseline wall is
-              below --wall-floor-ms are skipped for wall comparison —
-              timer noise dominates sub-millisecond phases.
+              below the noise floor are skipped for wall comparison —
+              timer noise dominates sub-millisecond phases. The floor is
+              per metric: a baseline record carrying "wall_floor_ms"
+              overrides the global --wall-floor-ms for that record, so a
+              sub-millisecond metric (per-round merge time) can opt into
+              a floor that fits its own scale instead of being silently
+              exempted by the global 5 ms default.
   * speedup   may not fall below baseline * (1 - --speedup-tol) — the
               speedup floors (e.g. the indexed-engine 5x, the elastic
               worst-shard 1.3x improvement).
@@ -66,8 +71,11 @@ def check_file(produced_path, baseline_path, args, failures, notes):
         got = produced[key]
 
         base_wall, got_wall = num(base.get("wall_ms")), num(got.get("wall_ms"))
+        floor = num(base.get("wall_floor_ms"))
+        if floor is None:
+            floor = args.wall_floor_ms
         if (base_wall is not None and got_wall is not None
-                and base_wall >= args.wall_floor_ms):
+                and base_wall >= floor):
             limit = base_wall * (1.0 + args.wall_tol)
             if got_wall > limit:
                 failures.append(
@@ -112,7 +120,8 @@ def main():
                         help="allowed relative peak_mb increase (default 0.25)")
     parser.add_argument("--wall-floor-ms", type=float, default=5.0,
                         help="skip wall comparison below this baseline wall "
-                             "(timer noise; default 5 ms)")
+                             "(timer noise; default 5 ms); a baseline "
+                             "record's own wall_floor_ms overrides this")
     parser.add_argument("--update", action="store_true",
                         help="copy produced files into the baseline dir "
                              "instead of gating")

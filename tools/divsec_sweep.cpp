@@ -27,7 +27,20 @@
 //           bit-identical to the in-process `run` on the same spec —
 //           for any shard count, including 1, and for any exact-coverage
 //           assignment of tasks to shards.
-//   inspect print a state file's JSON header and accumulator dump.
+//   adapt   variance-driven coordinator (dist/adaptive.h): multi-round
+//           loop that re-deals only the unconverged cells' next
+//           superblocks each round (LPT over the cost measured so far)
+//           and retires a cell once its CI half-width passes the
+//           stopping rule. Writes the merged artifacts plus
+//           <out>_adaptive.state, whose per-cell achieved counts are the
+//           reproducibility contract.
+//           With --replay STATE, `run` re-executes exactly the recorded
+//           achieved counts — any thread count, any --shard i/K cut —
+//           and merging reproduces the adaptive CSV byte for byte.
+//   inspect print a state file's JSON header, per-cell summary lines
+//           (achieved replications, measured sec/rep, termination round
+//           for adaptive states), the adaptive round log, and the
+//           accumulator dump.
 //
 // Examples:
 //   divsec_sweep run --preset enterprise1024 --replications 100000 \
@@ -50,6 +63,7 @@
 #include <vector>
 
 #include "core/report.h"
+#include "dist/adaptive.h"
 #include "dist/sweep.h"
 #include "sim/executor.h"
 #include "util/json.h"
@@ -62,10 +76,10 @@ namespace {
 void usage(std::FILE* to) {
   std::fprintf(
       to,
-      "usage: divsec_sweep <run|plan|merge|inspect> [options]\n"
+      "usage: divsec_sweep <run|plan|merge|adapt|inspect> [options]\n"
       "\n"
-      "divsec_sweep run [sweep options] [--shard i/K | --tasks PLAN --shard i]\n"
-      "                 [--out PATH]\n"
+      "divsec_sweep run [sweep options] [--shard i/K | --tasks PLAN --shard i\n"
+      "                 | --replay STATE [--shard i/K]] [--out PATH]\n"
       "  --preset NAME        scenario preset (default enterprise256)\n"
       "  --policies a,b,c     cell arms from {monoculture,zone-stratified,\n"
       "                       random-per-node} (aliases mono/zone/random;\n"
@@ -84,6 +98,12 @@ void usage(std::FILE* to) {
       "  --tasks PLAN         execute the task list --shard i owns in the\n"
       "                       plan file (from `divsec_sweep plan`); the\n"
       "                       plan's fingerprint must match the sweep flags\n"
+      "  --replay STATE       re-execute the per-cell achieved counts an\n"
+      "                       adaptive state recorded (sweep flags come\n"
+      "                       from the state, not the command line); no\n"
+      "                       --shard reproduces the CSV directly, --shard\n"
+      "                       i/K writes shard i's slice of the achieved\n"
+      "                       task list for a later `merge`\n"
       "  --out PATH           state-file path (sharded) or artifact prefix\n"
       "\n"
       "divsec_sweep plan [sweep options] --shards K [--weights STATE]...\n"
@@ -98,6 +118,27 @@ void usage(std::FILE* to) {
       "  reduces shard state files to <PREFIX>_measurements.csv,\n"
       "  <PREFIX>_summary.json and <PREFIX>_merged.state; --bench-json\n"
       "  records per-shard wall times in BENCH json format\n"
+      "\n"
+      "divsec_sweep adapt [sweep options] [--shards K] [--threads T]\n"
+      "                   [--out PREFIX]\n"
+      "  variance-driven sweep: rounds of one superblock per unconverged\n"
+      "  cell, dealt to K in-process shards by LPT over measured cost,\n"
+      "  until every cell's CI half-width meets the stopping rule or hits\n"
+      "  the --replications budget. Writes <PREFIX>_measurements.csv,\n"
+      "  <PREFIX>_summary.json and <PREFIX>_adaptive.state\n"
+      "  --shards K           coordinator shards per round (default 1)\n"
+      "  --precision R        relative CI half-width target (default 0.05;\n"
+      "                       0 disables the relative criterion)\n"
+      "  --abs-floor A        absolute half-width floor in ratio units\n"
+      "                       (scaled by the horizon for time indicators;\n"
+      "                       default 0 = off) — a near-zero-mean cell\n"
+      "                       converges on this even when R*|mean| ~ 0\n"
+      "  --confidence C       CI confidence level (default 0.95)\n"
+      "  --min N              replications before a cell may stop\n"
+      "                       (default: one superblock)\n"
+      "  --max N              per-cell cap (default: --replications)\n"
+      "  --round N            replications added per round per cell\n"
+      "                       (default: one superblock)\n"
       "\n"
       "divsec_sweep inspect STATE\n"
       "\n"
@@ -211,6 +252,7 @@ int cmd_run(int argc, char** argv) {
   std::size_t threads = 0;
   std::string out;
   std::string tasks_path;
+  std::string replay_path;
 
   ArgReader args{argc, argv, 2};
   for (; args.i < argc; ++args.i) {
@@ -222,11 +264,65 @@ int cmd_run(int argc, char** argv) {
       shard_value = args.value(flag);
       sharded = true;
     } else if (flag == "--tasks") tasks_path = args.value(flag);
+    else if (flag == "--replay") replay_path = args.value(flag);
     else if (flag == "--out") out = args.value(flag);
     else die_unknown(flag);
   }
 
   const sim::Executor executor(threads);  // 0 = DIVSEC_THREADS default
+  if (!replay_path.empty()) {
+    // Replay mode: the state file, not the command line, names the sweep
+    // — its meta carries the flags AND the per-cell achieved counts the
+    // adaptive run recorded. Re-running exactly those counts through the
+    // ordinary task runner reproduces the adaptive CSV byte for byte.
+    if (!tasks_path.empty()) die("--replay and --tasks are exclusive");
+    const dist::ShardState recorded = dist::read_shard_state(replay_path);
+    if (recorded.meta.achieved.empty())
+      die("--replay wants an adaptive state (no per-cell achieved counts "
+          "in " + replay_path + ")");
+    const dist::SweepSpec replay_spec = dist::spec_from_meta(recorded.meta);
+    const std::vector<std::uint64_t> tasks =
+        dist::achieved_tasks(recorded.meta);
+
+    if (sharded) {
+      // Shard i's slice of the achieved task LIST (contiguous balanced
+      // over list positions — task ids themselves are non-contiguous
+      // because each cell contributes only its prefix).
+      const auto [shard, shard_count] = parse_shard(shard_value);
+      const std::size_t base = tasks.size() / shard_count;
+      const std::size_t rem = tasks.size() % shard_count;
+      const std::size_t begin = shard * base + std::min(shard, rem);
+      const std::size_t end = begin + base + (shard < rem ? 1 : 0);
+      const std::vector<std::uint64_t> slice(tasks.begin() + begin,
+                                             tasks.begin() + end);
+      if (out.empty())
+        out = replay_spec.preset + "_replay_shard" + std::to_string(shard) +
+              "of" + std::to_string(shard_count) + ".state";
+      const dist::ShardState state = dist::run_shard_tasks(
+          replay_spec, slice, shard, shard_count, &executor);
+      dist::write_shard_state(out, state);
+      std::printf("replay shard %zu/%zu: %zu of %zu achieved task(s) of %s "
+                  "in %.1f ms -> %s\n",
+                  shard, shard_count, state.tasks.size(), tasks.size(),
+                  replay_spec.preset.c_str(), state.meta.wall_ms, out.c_str());
+      return 0;
+    }
+
+    if (out.empty()) out = replay_spec.preset + "_replay";
+    const dist::ShardState state =
+        dist::run_shard_tasks(replay_spec, tasks, 0, 1, &executor);
+    const dist::MergeResult merged = dist::merge_shards({state});
+    core::save_to_file(out + "_measurements.csv",
+                       dist::sweep_csv(merged.meta, merged.summaries));
+    core::save_to_file(out + "_summary.json",
+                       dist::summary_json(merged.meta, merged.summaries));
+    std::printf("replayed %zu achieved task(s) of %s in %.1f ms -> "
+                "%s_{measurements.csv,summary.json}\n",
+                tasks.size(), replay_spec.preset.c_str(), state.meta.wall_ms,
+                out.c_str());
+    return 0;
+  }
+
   if (!tasks_path.empty()) {
     // Elastic mode: execute the task list shard i owns in the plan file.
     if (!sharded)
@@ -420,6 +516,68 @@ int cmd_merge(int argc, char** argv) {
   return 0;
 }
 
+int cmd_adapt(int argc, char** argv) {
+  dist::SweepSpec spec;
+  dist::AdaptiveSweepOptions options;
+  std::size_t threads = 0;
+  std::string out;
+
+  ArgReader args{argc, argv, 2};
+  for (; args.i < argc; ++args.i) {
+    const std::string flag = argv[args.i];
+    if (parse_sweep_flag(args, flag, spec)) continue;
+    else if (flag == "--shards")
+      options.shards = parse_u64(flag, args.value(flag));
+    else if (flag == "--precision")
+      options.relative_precision = parse_f64(flag, args.value(flag));
+    else if (flag == "--abs-floor")
+      options.absolute_precision = parse_f64(flag, args.value(flag));
+    else if (flag == "--confidence")
+      options.confidence_level = parse_f64(flag, args.value(flag));
+    else if (flag == "--min")
+      options.min_replications = parse_u64(flag, args.value(flag));
+    else if (flag == "--max")
+      options.max_replications = parse_u64(flag, args.value(flag));
+    else if (flag == "--round")
+      options.round_replications = parse_u64(flag, args.value(flag));
+    else if (flag == "--threads")
+      threads = parse_u64(flag, args.value(flag));
+    else if (flag == "--out") out = args.value(flag);
+    else die_unknown(flag);
+  }
+  if (options.shards == 0) die("adapt wants --shards K >= 1");
+  if (out.empty()) out = spec.preset;
+
+  const sim::Executor executor(threads);
+  const dist::AdaptiveResult result =
+      dist::run_adaptive(spec, options, &executor);
+
+  core::save_to_file(out + "_measurements.csv",
+                     dist::sweep_csv(result.meta, result.summaries));
+  core::save_to_file(out + "_summary.json",
+                     dist::summary_json(result.meta, result.summaries));
+  dist::write_shard_state(out + "_adaptive.state",
+                          dist::adaptive_state(result));
+
+  const double savings =
+      result.total_replications > 0
+          ? static_cast<double>(result.budget_replications) /
+                static_cast<double>(result.total_replications)
+          : 0.0;
+  std::printf("adaptive sweep of %s: %zu round(s), %llu of %llu budget "
+              "replication(s) (%.2fx saved) across %zu shard(s) in %.1f ms "
+              "-> %s_{measurements.csv,summary.json,adaptive.state}\n",
+              spec.preset.c_str(), result.rounds.size(),
+              static_cast<unsigned long long>(result.total_replications),
+              static_cast<unsigned long long>(result.budget_replications),
+              savings, options.shards, result.meta.wall_ms, out.c_str());
+  for (std::size_t c = 0; c < result.meta.cells; ++c)
+    std::printf("  cell %zu: %llu rep(s), stopped round %llu\n", c,
+                static_cast<unsigned long long>(result.meta.achieved[c]),
+                static_cast<unsigned long long>(result.cell_rounds[c]));
+  return 0;
+}
+
 int cmd_inspect(int argc, char** argv) {
   std::string path;
   ArgReader args{argc, argv, 2};
@@ -434,15 +592,52 @@ int cmd_inspect(int argc, char** argv) {
 
   const dist::ShardState state = dist::read_shard_state(path);
   std::printf("%s\n", dist::meta_json(state.meta).c_str());
-  for (std::size_t c = 0; c < state.cost.cells.size(); ++c) {
-    const dist::CellCost& cell = state.cost.cells[c];
-    if (cell.replications == 0) continue;
-    std::printf("{\"cost_cell\": %zu, \"replications\": %llu, \"seconds\": %s, "
-                "\"sec_per_rep\": %s}\n",
-                c, static_cast<unsigned long long>(cell.replications),
-                util::json_number_exact(cell.seconds).c_str(),
-                util::json_number_exact(state.cost.sec_per_rep(c)).c_str());
+
+  // One line per cell: the policy arm, the achieved replication count an
+  // adaptive run recorded (and the round it stopped in), and the measured
+  // cost. Cells with nothing to report (fixed-budget state, no cost
+  // measured) are skipped.
+  const std::vector<std::string> names =
+      dist::cell_names(dist::spec_from_meta(state.meta));
+  const bool adaptive = !state.meta.achieved.empty();
+  for (std::size_t c = 0; c < state.meta.cells; ++c) {
+    const bool costed =
+        c < state.cost.cells.size() && state.cost.cells[c].replications > 0;
+    if (!adaptive && !costed) continue;
+    std::string line = "{\"cell\": " + std::to_string(c) + ", \"policy\": \"" +
+                       names[c] + "\"";
+    if (adaptive) {
+      line += ", \"achieved\": " +
+              std::to_string(static_cast<unsigned long long>(
+                  state.meta.achieved[c]));
+      if (c < state.cell_rounds.size())
+        line += ", \"termination_round\": " +
+                std::to_string(static_cast<unsigned long long>(
+                    state.cell_rounds[c]));
+    }
+    if (costed) {
+      const dist::CellCost& cell = state.cost.cells[c];
+      line += ", \"cost_replications\": " +
+              std::to_string(static_cast<unsigned long long>(
+                  cell.replications)) +
+              ", \"cost_seconds\": " + util::json_number_exact(cell.seconds) +
+              ", \"sec_per_rep\": " +
+              util::json_number_exact(state.cost.sec_per_rep(c));
+    }
+    line += "}";
+    std::printf("%s\n", line.c_str());
   }
+
+  for (const dist::RoundLog& r : state.rounds)
+    std::printf("{\"round\": %llu, \"active_cells\": %llu, \"tasks\": %llu, "
+                "\"replications\": %llu, \"wall_ms\": %s, \"merge_ms\": %s}\n",
+                static_cast<unsigned long long>(r.round),
+                static_cast<unsigned long long>(r.active_cells),
+                static_cast<unsigned long long>(r.tasks),
+                static_cast<unsigned long long>(r.replications),
+                util::json_number_exact(r.wall_ms).c_str(),
+                util::json_number_exact(r.merge_ms).c_str());
+
   for (std::size_t t = 0; t < state.partials.size(); ++t)
     std::printf("{\"task\": %llu, \"state\": %s}\n",
                 static_cast<unsigned long long>(state.tasks[t]),
@@ -471,6 +666,7 @@ int main(int argc, char** argv) {
     if (cmd == "run") return cmd_run(argc, argv);
     if (cmd == "plan") return cmd_plan(argc, argv);
     if (cmd == "merge") return cmd_merge(argc, argv);
+    if (cmd == "adapt") return cmd_adapt(argc, argv);
     if (cmd == "inspect") return cmd_inspect(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "divsec_sweep: error: %s\n", e.what());
