@@ -35,6 +35,8 @@
 #include "sim/executor.h"
 #include "sim/shard_plan.h"
 #include "sim/streaming.h"
+#include "stats/survival.h"
+#include "stats/tdigest.h"
 
 namespace {
 
@@ -265,20 +267,27 @@ bool streaming_aggregation_phase(std::size_t reps) {
 
   // Aggregation state the two backends allocate (deterministic, unlike
   // the RSS high-water deltas also recorded below): the buffered sample
-  // matrix vs the per-cell + in-flight block accumulators.
+  // matrix vs the per-cell + in-flight block accumulators. Per
+  // accumulator, the heap beyond the struct is two survival count arrays,
+  // two t-digests at their 2x-compression compaction ceiling, and the
+  // ratio-curve bin sums; per buffered sample, the ratio_counts vector.
   const double accumulator_bytes =
       static_cast<double>(sizeof(core::IndicatorAccumulator)) +
       2.0 * static_cast<double>((mo.survival_bins + (mo.survival_bins + 1)) *
-                                sizeof(std::uint64_t));
+                                sizeof(std::uint64_t)) +
+      2.0 * 2.0 * stats::CensoredTimeAccumulator::kSketchCompression *
+          static_cast<double>(sizeof(stats::TDigest::Centroid)) +
+      static_cast<double>(mo.survival_bins * sizeof(std::uint64_t));
   const std::size_t round =
       sim::blocked_round_size(streaming_engine.executor());
   const double streaming_mb =
       static_cast<double>(plan.cell_count() + round) * accumulator_bytes /
       (1024.0 * 1024.0);
-  const double buffered_mb = static_cast<double>(plan.cell_count()) *
-                             static_cast<double>(reps) *
-                             static_cast<double>(sizeof(core::IndicatorSample)) /
-                             (1024.0 * 1024.0);
+  const double buffered_mb =
+      static_cast<double>(plan.cell_count()) * static_cast<double>(reps) *
+      (static_cast<double>(sizeof(core::IndicatorSample)) +
+       static_cast<double>(mo.survival_bins * sizeof(std::uint32_t))) /
+      (1024.0 * 1024.0);
   const double footprint_ratio =
       streaming_mb > 0.0 ? buffered_mb / streaming_mb : 0.0;
   const double rss_stream_delta = rss_stream - rss_base;
@@ -712,6 +721,107 @@ bool context_residency_phase(std::vector<util::BenchRecord>& records) {
   return summaries.size() == kCells && residency_ok && rss_ok;
 }
 
+/// State-codec phase at 10^4 cells: the v4 packed shard-state format
+/// against its own fixed-width field walk (identical sections, 8-byte
+/// scalars instead of varints/RLE — the honest "uncompressed
+/// equivalent"). A 10^4-cell enterprise256 sweep with a small
+/// fixed budget is encoded once as a single shard and once as a 4-shard
+/// cut, every state pushed through encode -> decode -> re-encode (the
+/// bytes a real shard file carries), and both cuts merged. Gates: the
+/// re-encode is byte-identical (exact state round-trip), the merged CSVs
+/// of the two cuts agree byte for byte (the codec moves no bits), and
+/// the packed encoding is >= 4x smaller than the fixed-width equivalent.
+/// Encoded size lands in BENCH_e5_codec.json as `state_bytes`, which CI
+/// gates lower-is-better so the format cannot quietly bloat back.
+bool codec_phase() {
+  constexpr std::size_t kCells = 10000;
+  constexpr std::size_t kShards = 4;
+  dist::SweepSpec spec;
+  spec.preset = "enterprise256";
+  spec.seed = 2013;
+  spec.replications = 8;
+  spec.replication_block = 8;
+  spec.superblock = 8;        // one superblock task per cell
+  spec.horizon_hours = 24.0;  // codec phase, not a throughput one
+  spec.policies.clear();
+  spec.policies.reserve(kCells);
+  constexpr scenario::VariantPolicy kCycle[3] = {
+      scenario::VariantPolicy::kMonoculture,
+      scenario::VariantPolicy::kZoneStratified,
+      scenario::VariantPolicy::kRandomPerNode};
+  for (std::size_t c = 0; c < kCells; ++c)
+    spec.policies.push_back(kCycle[c % 3]);
+
+  bench::section("E5 codec: v4 packed shard state, 10^4-cell " + spec.preset +
+                 " sweep");
+
+  const auto run_start = std::chrono::steady_clock::now();
+  const dist::ShardState single = dist::run_shard(spec, 0, 1);
+  const double sweep_ms = wall_ms_since(run_start);
+
+  const auto encode_start = std::chrono::steady_clock::now();
+  const std::string encoded = dist::encode_shard_state(single);
+  const double encode_ms = wall_ms_since(encode_start);
+  const auto decode_start = std::chrono::steady_clock::now();
+  const dist::ShardState decoded = dist::decode_shard_state(encoded);
+  const double decode_ms = wall_ms_since(decode_start);
+  const bool roundtrip = dist::encode_shard_state(decoded) == encoded;
+
+  const std::size_t equivalent = dist::uncompressed_equivalent_bytes(single);
+  const double ratio =
+      encoded.empty() ? 0.0
+                      : static_cast<double>(equivalent) /
+                            static_cast<double>(encoded.size());
+  const dist::StateSectionSizes sizes = dist::state_section_sizes(encoded);
+  bench::row({"section", "header", "meta", "tasks", "accums", "cost", "rounds"},
+             12);
+  bench::row({"bytes", bench::fmt_int(static_cast<long long>(sizes.header)),
+              bench::fmt_int(static_cast<long long>(sizes.meta)),
+              bench::fmt_int(static_cast<long long>(sizes.tasks)),
+              bench::fmt_int(static_cast<long long>(sizes.accumulators)),
+              bench::fmt_int(static_cast<long long>(sizes.cost)),
+              bench::fmt_int(static_cast<long long>(sizes.rounds))},
+             12);
+
+  // The 4-shard cut, with every state pushed through the codec exactly
+  // as the file-based flow would; merged CSVs of the two cuts must agree
+  // byte for byte.
+  std::vector<dist::ShardState> shard_states;
+  for (std::size_t i = 0; i < kShards; ++i)
+    shard_states.push_back(dist::decode_shard_state(
+        dist::encode_shard_state(dist::run_shard(spec, i, kShards))));
+  const dist::MergeResult merged_single = dist::merge_shards({decoded});
+  const dist::MergeResult merged_cut = dist::merge_shards(shard_states);
+  const bool identical =
+      dist::sweep_csv(merged_single.meta, merged_single.summaries) ==
+      dist::sweep_csv(merged_cut.meta, merged_cut.summaries);
+
+  std::printf(
+      "cells=%zu reps=%zu: packed %zu bytes vs %zu fixed-width (%.2fx), "
+      "encode %.1f ms decode %.1f ms\n"
+      "re-encode byte-identical: %s   1-vs-%zu-shard merged CSV identical: "
+      "%s\n",
+      kCells, spec.replications, encoded.size(), equivalent, ratio, encode_ms,
+      decode_ms, roundtrip ? "yes" : "NO (BUG)", kShards,
+      identical ? "yes" : "NO (BUG)");
+
+  // `speedup` on the encode record is the compression ratio (>= 4x bar:
+  // the -20% speedup tolerance keeps it above ~3.2 even on refresh);
+  // `state_bytes` is the absolute ceiling CI gates lower-is-better.
+  util::BenchRecord encode_rec{"e5.codec_encode_10000c", encode_ms, 1, ratio};
+  encode_rec.wall_floor_ms = 0.5;
+  encode_rec.state_bytes = static_cast<double>(encoded.size());
+  util::BenchRecord decode_rec{"e5.codec_decode_10000c", decode_ms, 1, 1.0};
+  decode_rec.wall_floor_ms = 0.5;
+  bench::write_bench_json(
+      "BENCH_e5_codec.json",
+      {{"e5.codec_sweep10000_wall", sweep_ms,
+        static_cast<int>(single.meta.threads), 1.0},
+       encode_rec, decode_rec});
+
+  return roundtrip && identical && ratio >= 4.0;
+}
+
 /// Wrapper run by --fleet-smoke: both SoA phases share one JSON.
 bool soa_phases() {
   std::vector<util::BenchRecord> records;
@@ -821,7 +931,9 @@ int main(int argc, char** argv) {
       const bool streaming_ok = streaming_aggregation_phase(kStreamingReps);
       const bool elastic_ok = elastic_scheduling_phase();
       const bool adaptive_ok = adaptive_sweep_phase();
-      return fleet_ok && soa_ok && streaming_ok && elastic_ok && adaptive_ok
+      const bool codec_ok = codec_phase();
+      return fleet_ok && soa_ok && streaming_ok && elastic_ok && adaptive_ok &&
+                     codec_ok
                  ? 0
                  : 1;
     }
@@ -832,9 +944,12 @@ int main(int argc, char** argv) {
   const bool streaming_ok = streaming_aggregation_phase(kStreamingReps);
   const bool elastic_ok = elastic_scheduling_phase();
   const bool adaptive_ok = adaptive_sweep_phase();
+  const bool codec_ok = codec_phase();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return fleet_ok && soa_ok && streaming_ok && elastic_ok && adaptive_ok ? 0
-                                                                         : 1;
+  return fleet_ok && soa_ok && streaming_ok && elastic_ok && adaptive_ok &&
+                 codec_ok
+             ? 0
+             : 1;
 }

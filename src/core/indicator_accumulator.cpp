@@ -8,11 +8,12 @@ IndicatorAccumulator::IndicatorAccumulator(double horizon_hours,
                                            std::size_t survival_bins)
     : horizon_(horizon_hours),
       tta_(horizon_hours, survival_bins),
-      ttsf_(horizon_hours, survival_bins) {}
+      ttsf_(horizon_hours, survival_bins),
+      curve_(horizon_hours, survival_bins) {}
 
 IndicatorAccumulator::State IndicatorAccumulator::state() const {
-  return {horizon_, n_,           successes_,
-          tta_.state(), ttsf_.state(), final_ratio_.state()};
+  return {horizon_,      n_,            successes_,          tta_.state(),
+          ttsf_.state(), final_ratio_.state(), curve_.state()};
 }
 
 IndicatorAccumulator IndicatorAccumulator::from_state(const State& s) {
@@ -26,6 +27,7 @@ IndicatorAccumulator IndicatorAccumulator::from_state(const State& s) {
   out.tta_ = stats::CensoredTimeAccumulator::from_state(s.tta);
   out.ttsf_ = stats::CensoredTimeAccumulator::from_state(s.ttsf);
   out.final_ratio_ = stats::OnlineStats::from_state(s.final_ratio);
+  out.curve_ = RatioCurveAccumulator::from_state(s.curve);
   return out;
 }
 
@@ -35,6 +37,10 @@ void IndicatorAccumulator::add(const IndicatorSample& sample) {
   tta_.add(sample.tta, sample.tta_censored);
   ttsf_.add(sample.ttsf, sample.ttsf_censored);
   final_ratio_.add(sample.final_ratio);
+  // SAN samples carry no trajectory — the curve accumulator simply
+  // stays empty for that engine.
+  if (!sample.ratio_counts.empty())
+    curve_.add(sample.ratio_counts, sample.ratio_scale);
 }
 
 void IndicatorAccumulator::merge(const IndicatorAccumulator& other) {
@@ -48,6 +54,7 @@ void IndicatorAccumulator::merge(const IndicatorAccumulator& other) {
   tta_.merge(other.tta_);
   ttsf_.merge(other.ttsf_);
   final_ratio_.merge(other.final_ratio_);
+  curve_.merge(other.curve_);
 }
 
 bool IndicatorAccumulator::precision_reached(const sim::StoppingRule& rule) const {
@@ -70,6 +77,7 @@ IndicatorSummary IndicatorAccumulator::summarize() const {
   s.successes = successes_;
   s.tta_event = tta_.summarize();
   s.ttsf_event = ttsf_.summarize();
+  s.ratio_curve = curve_.mean_curve();
   return s;
 }
 

@@ -2,10 +2,11 @@
 // samples.
 //
 // One accumulator holds everything an IndicatorSummary reports — Welford
-// moments, censor counts, success count, and the censoring-aware
-// product-limit / P² state for TTA and TTSF — in O(survival bins)
-// memory, so a measurement sweep can reduce its (cell × replication)
-// jobs without ever materializing the sample matrix. merge() combines
+// moments, censor counts, success count, the censoring-aware
+// product-limit / t-digest state for TTA and TTSF, and the binned
+// compromised-ratio curve — in O(survival bins + sketch) memory, so a
+// measurement sweep can reduce its (cell × replication) jobs without
+// ever materializing the sample matrix. merge() combines
 // block partials; the engine merges them in ascending block order
 // (sim::blocked_reduce_groups), which keeps every summary bit-identical
 // for any DIVSEC_THREADS. The retain-everything path folds its samples
@@ -14,6 +15,7 @@
 #pragma once
 
 #include "core/indicators.h"
+#include "core/ratio_curve.h"
 #include "sim/stopping.h"
 #include "stats/survival.h"
 
@@ -34,6 +36,7 @@ class IndicatorAccumulator {
     stats::CensoredTimeAccumulator::State tta;
     stats::CensoredTimeAccumulator::State ttsf;
     stats::OnlineStats::State final_ratio;
+    RatioCurveAccumulator::State curve;
   };
 
   IndicatorAccumulator() = default;  // mergeable empty state
@@ -69,6 +72,7 @@ class IndicatorAccumulator {
   stats::CensoredTimeAccumulator tta_;
   stats::CensoredTimeAccumulator ttsf_;
   stats::OnlineStats final_ratio_;
+  RatioCurveAccumulator curve_;
 };
 
 }  // namespace divsec::core

@@ -60,6 +60,14 @@ struct IndicatorSample {
   bool ttsf_censored = true;
   bool attack_succeeded = false;
   double final_ratio = 0.0;  // campaign engine only
+  /// Campaign engine: compromised-component counts sampled at the upper
+  /// edges of the ratio-curve bin grid (survival_bins equal bins over
+  /// [0, horizon]), in units of 1/ratio_scale where ratio_scale is the
+  /// component count of the simulated system. Integer counts so the
+  /// curve accumulator's merge stays exact. Empty for the SAN engine,
+  /// which has no c(t) trajectory.
+  std::vector<std::uint32_t> ratio_counts;
+  std::uint64_t ratio_scale = 0;
 };
 
 /// Replication-aggregated indicator estimates for one configuration.
@@ -81,6 +89,13 @@ struct IndicatorSummary {
   /// unbiased companions to report next to them.
   stats::CensoredTimeSummary tta_event;
   stats::CensoredTimeSummary ttsf_event;
+
+  /// Mean compromised-ratio curve c(t) at the upper edges of
+  /// survival_bins equal bins over [0, horizon] (the anchor c(0) = 0 is
+  /// implicit). Streamed by the per-cell curve accumulator — every sweep
+  /// cell gets its curve for free, no re-simulation. Empty for the SAN
+  /// engine. Query at arbitrary t with core::curve_value_at.
+  std::vector<double> ratio_curve;
 
   [[nodiscard]] double attack_success_probability() const noexcept {
     return replications ? static_cast<double>(successes) /
@@ -273,7 +288,8 @@ struct IndicatorComparison {
                                                      const IndicatorSummary& b);
 
 /// Mean compromised-ratio curve over replications, sampled at the given
-/// time grid (campaign engine only).
+/// time grid (campaign engine only). Interpolated from the streamed
+/// binned curve accumulator — no per-configuration re-simulation.
 [[nodiscard]] std::vector<double> mean_compromised_ratio_curve(
     const SystemDescription& description, const Configuration& config,
     const attack::ThreatProfile& profile, const MeasurementOptions& options,

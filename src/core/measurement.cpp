@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -36,7 +37,8 @@ struct CellContext {
 
 /// One (cell, replication) job. All randomness comes from `rng`, so the
 /// sample depends only on (cell seed, replication index).
-IndicatorSample run_job(const CellContext& ctx, double horizon, stats::Rng rng) {
+IndicatorSample run_job(const CellContext& ctx, double horizon,
+                        std::size_t curve_bins, stats::Rng rng) {
   IndicatorSample s;
   if (ctx.campaign) {
     const attack::CampaignResult r = ctx.campaign->run(rng);
@@ -47,6 +49,19 @@ IndicatorSample run_job(const CellContext& ctx, double horizon, stats::Rng rng) 
     s.attack_succeeded = r.attack_succeeded();
     s.final_ratio =
         r.compromised_ratio.empty() ? 0.0 : r.compromised_ratio.back().second;
+    // Sample the replication's step curve at the curve-grid bin upper
+    // edges as integer compromised-component counts (the recorded ratio
+    // is count / node_count, so the llround recovers the count exactly);
+    // the curve accumulator sums these exactly across any merge order.
+    const std::size_t nodes = ctx.campaign->scenario().topology.node_count();
+    s.ratio_scale = static_cast<std::uint64_t>(nodes);
+    s.ratio_counts.resize(curve_bins);
+    for (std::size_t k = 0; k < curve_bins; ++k) {
+      const double t = horizon * static_cast<double>(k + 1) /
+                       static_cast<double>(curve_bins);
+      s.ratio_counts[k] = static_cast<std::uint32_t>(
+          std::llround(r.ratio_at(t) * static_cast<double>(nodes)));
+    }
   } else {
     san::SanSimulator sim(ctx.san->asan.model, rng);
     const auto t = sim.run_until_predicate(ctx.san->terminal, horizon);
@@ -308,8 +323,9 @@ std::vector<IndicatorAccumulator> MeasurementEngine::run_tasks(
       const sim::ShardPlan::Task task = shard.task(tasks[begin + g]);
       const std::size_t rep = task.begin + i;
       if (rep >= task.end) return;
-      const IndicatorSample s = run_job(*slots[task.group], horizon,
-                                        stats::Rng(seeds[task.group], rep));
+      const IndicatorSample s =
+          run_job(*slots[task.group], horizon, options_.survival_bins,
+                  stats::Rng(seeds[task.group], rep));
       if (samples) (*samples)[task.group * reps + rep] = s;
       a.add(s);
     };
@@ -621,36 +637,23 @@ std::vector<double> MeasurementEngine::mean_ratio_curve(
   if (options_.engine != Engine::kCampaign)
     throw std::invalid_argument(
         "mean_ratio_curve: requires the campaign engine");
-  const attack::CampaignSimulator sim(description_->instantiate(config), *profile_,
-                                      description_->catalog(), options_.detection,
-                                      options_.campaign);
-  const std::size_t reps = options_.replications;
-  const std::size_t grid = time_grid_hours.size();
-  const std::size_t block = options_.replication_block
-                                ? options_.replication_block
-                                : sim::kDefaultReductionBlock;
-
-  // Blocked streaming reduction of the per-replication curve rows: each
-  // block sums its replications' grid samples in replication order, block
-  // partials merge in ascending block order — deterministic for any
-  // thread count, O(threads × grid) memory instead of reps × grid rows.
-  struct CurveSum {
-    std::vector<double> sum;
-    void merge(const CurveSum& o) {
-      for (std::size_t i = 0; i < sum.size(); ++i) sum[i] += o.sum[i];
-    }
-  };
-  CurveSum acc = sim::blocked_reduce<CurveSum>(
-      executor_, reps, block,
-      [grid] { return CurveSum{std::vector<double>(grid, 0.0)}; },
-      [&](CurveSum& a, std::size_t rep) {
-        stats::Rng rng(options_.seed, rep);
-        const attack::CampaignResult r = sim.run(rng);
-        for (std::size_t i = 0; i < grid; ++i)
-          a.sum[i] += r.ratio_at(time_grid_hours[i]);
-      });
-  for (double& v : acc.sum) v /= static_cast<double>(reps);
-  return std::move(acc.sum);
+  // The per-cell curve accumulator already streams the binned mean curve
+  // through the standard measurement reduction — run the cell once
+  // (streaming, no retained samples) and interpolate the bin-edge means
+  // onto the requested grid. This retired the per-configuration
+  // re-simulation pass: the curve shares the measurement's replications,
+  // its (cell seed, rep) RNG contract, and the reduction's determinism
+  // (bit-identical for any DIVSEC_THREADS).
+  MeasurementOptions opts = options_;
+  opts.keep_samples = false;
+  opts.executor = executor_;
+  const MeasurementEngine streaming(*description_, *profile_, opts);
+  const IndicatorSummary summary = streaming.measure_one(config);
+  std::vector<double> out(time_grid_hours.size());
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = curve_value_at(summary.ratio_curve, summary.horizon_hours,
+                            time_grid_hours[i]);
+  return out;
 }
 
 }  // namespace divsec::core

@@ -1,7 +1,10 @@
 #include "core/report.h"
 
 #include <fstream>
+#include <span>
 #include <sstream>
+
+#include "core/ratio_curve.h"
 
 namespace divsec::core {
 
@@ -28,9 +31,32 @@ std::string measurement_csv(const MeasurementTable& table,
     os << escape(table.space.factor(f).name) << ",";
   os << "success_prob,tta_mean,tta_censored,tta_rmean,tta_median,"
         "ttsf_mean,ttsf_censored,ttsf_rmean,ttsf_median,"
-        "final_ratio_mean,censor_warning\n";
+        "final_ratio_mean,ratio_t25,ratio_t50,ratio_t75,ratio_auc,"
+        "censor_warning\n";
   const auto median_cell = [](const std::optional<double>& m) {
     return m ? std::to_string(*m) : std::string{};
+  };
+  // Streamed mean compromised-ratio curve, surfaced as quartile-of-horizon
+  // samples plus the normalized area under the curve (1/T ∫ c(t) dt,
+  // trapezoidal over the bin grid anchored at c(0) = 0). Cells without a
+  // curve (SAN engine) leave the fields empty.
+  const auto curve_cells = [](const IndicatorSummary& s, std::ostream& o) {
+    if (s.ratio_curve.empty()) {
+      o << ",,,,";
+      return;
+    }
+    const std::span<const double> curve(s.ratio_curve);
+    const double T = s.horizon_hours;
+    double area = 0.0;
+    double prev = 0.0;
+    for (const double v : curve) {
+      area += 0.5 * (prev + v);
+      prev = v;
+    }
+    area /= static_cast<double>(curve.size());
+    o << curve_value_at(curve, T, 0.25 * T) << ","
+      << curve_value_at(curve, T, 0.50 * T) << ","
+      << curve_value_at(curve, T, 0.75 * T) << "," << area << ",";
   };
   for (std::size_t c = 0; c < table.configuration_count(); ++c) {
     const auto levels = table.space.decode(c);
@@ -43,6 +69,7 @@ std::string measurement_csv(const MeasurementTable& table,
        << median_cell(s.tta_event.median) << "," << s.ttsf.mean() << ","
        << s.ttsf_censored << "," << s.ttsf_event.restricted_mean << ","
        << median_cell(s.ttsf_event.median) << "," << s.final_ratio.mean() << ",";
+    curve_cells(s, os);
     // Flag cells whose censored-at-horizon means are too biased to read
     // on their own: use the rmean/median columns instead.
     std::string warn;

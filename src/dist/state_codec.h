@@ -7,36 +7,51 @@
 // the exact reducer must validate before merging), the task range, and
 // the raw accumulator states.
 //
-// Format (version 3), all integers little-endian, doubles as IEEE-754
-// bit patterns:
+// Format (version 4), all integers little-endian:
 //   magic "DVSWEEPS" | u32 version
 //   u32 json_len | meta rendered as JSON  (informational header: `head -2
 //     file.state` and `divsec_sweep inspect` are enough to see what a
-//     file is; the merge reducer never parses it)
-//   binary meta (authoritative; includes the per-cell achieved-replication
-//     list — empty for fixed-budget sweeps, part of the identity)
-//   u64 ntasks | ntasks × u64 task id (strictly ascending)
-//   one accumulator blob per task, in list order
-//   u64 ncost | ncost × (u64 replications | f64 seconds)  — the per-cell
-//     cost model measured while the shard ran (dist/cost_model.h);
-//     ncost is 0 (no measurements) or the sweep's cell count
-//   u64 nrounds | nrounds × RoundLog — the adaptive coordinator's round
-//     log (empty for fixed-budget sweeps; provenance, not identity)
-//   u64 ncellrounds | per-cell termination round (0 or cells entries)
-//   u64 FNV-1a checksum of every preceding byte
+//     file is; the merge reducer never parses it. Per-cell lists are
+//     elided above 64 cells so the header stays O(1) at fleet scale.)
+//   five length-prefixed sections (varint length, then payload):
+//     meta          — authoritative binary meta, varint-packed; includes
+//                     the per-cell achieved-replication list (run-length
+//                     coded — empty for fixed-budget sweeps, identity)
+//     tasks         — task-id list, delta + varint (strictly ascending)
+//     accumulators  — one packed accumulator blob per task, in order
+//     cost          — per-cell cost model (dist/cost_model.h); 0 or
+//                     `cells` entries
+//     rounds        — adaptive round log + per-cell termination rounds
+//                     (provenance, not identity)
+//   u64 FNV-1a checksum of every preceding byte (fixed-width)
+//
+// v4 packed primitives: LEB128 varints for integers; "varf64" for
+// doubles (varint of the byte-swapped IEEE-754 bit pattern — clean
+// values like a 2160-hour horizon or a zeroed moment cost 1–3 bytes,
+// noisy ones at most 10); zero-run-length coding for sparse count
+// arrays (survival bins); zigzag-delta coding for the monotone curve
+// sums; value-run-length coding for the flat achieved/termination
+// lists. Together these make shard files ≥ 4× smaller than the
+// fixed-width equivalent at 10^4 cells (uncompressed_equivalent_bytes
+// computes that baseline; `divsec_sweep inspect` and the bench_e5 codec
+// phase gate on it), which is what keeps adaptive coordinator-round
+// flushes cheap.
+//
 // Version 2 replaced version 1's contiguous [task_begin, task_end) range
-// with the explicit task-id list (cost-weighted LPT plans assign
-// non-contiguous sets) and appended the cost section; version 3 added the
-// adaptive sections (achieved counts, round log, termination rounds).
-// Older versions are rejected — regenerate shards, they are cheap by
-// construction.
+// with the explicit task-id list; version 3 added the adaptive sections;
+// version 4 replaced the P² sketch blobs with t-digest centroids, added
+// the compromised-ratio curve section of each accumulator, and switched
+// the payload to the packed encoding above. Older versions are rejected
+// with a "regenerate shards" error — shards are cheap by construction.
 //
 // Guarantees:
 //   * exact round-trip — decode(encode(s)) restores every accumulator
 //     bit for bit, and encode(decode(bytes)) == bytes (byte-stable);
 //   * portability — no struct dumps, no host endianness, no padding;
-//   * integrity — truncation, magic/version mismatch, checksum damage,
-//     and structurally corrupt accumulator state all throw.
+//   * integrity — truncation (at any section boundary or inside one),
+//     magic/version mismatch, checksum damage, section-length
+//     inconsistencies, and structurally corrupt accumulator state all
+//     throw.
 #pragma once
 
 #include <cstdint>
@@ -54,8 +69,10 @@ namespace divsec::dist {
 /// decode rejects versions it does not speak. v2: explicit task-id lists
 /// (elastic shard plans) + embedded per-cell cost model. v3: adaptive
 /// sweeps — per-cell achieved-replication counts in the meta (identity),
-/// round log + termination rounds appended (provenance).
-inline constexpr std::uint32_t kStateFormatVersion = 3;
+/// round log + termination rounds appended (provenance). v4: t-digest
+/// sketches + ratio-curve accumulators, varint/delta/run-length packed
+/// sections behind the same framing.
+inline constexpr std::uint32_t kStateFormatVersion = 4;
 
 /// Everything that identifies a sweep (what must match for partials to
 /// be mergeable) plus per-shard provenance (which shard, how long it
@@ -132,8 +149,34 @@ struct ShardState {
 /// Throws std::runtime_error on corrupt or foreign bytes.
 [[nodiscard]] ShardState decode_shard_state(std::string_view bytes);
 
-/// The JSON rendering of a meta block (the embedded header).
+/// The JSON rendering of a meta block (the embedded header). Per-cell
+/// lists (policies, achieved) are elided above 64 cells — the binary
+/// meta stays authoritative; the header only has to identify the file.
 [[nodiscard]] std::string meta_json(const SweepMeta& meta);
+
+/// Byte sizes of a v4 file's framing and sections, read from the
+/// length prefixes without decoding the payloads (the checksum, magic
+/// and version are still validated). `divsec_sweep inspect` prints
+/// these so codec-size regressions are visible from the CLI.
+struct StateSectionSizes {
+  std::size_t header = 0;  // magic + version + JSON info header
+  std::size_t meta = 0;    // length prefix + payload, like every section
+  std::size_t tasks = 0;
+  std::size_t accumulators = 0;
+  std::size_t cost = 0;
+  std::size_t rounds = 0;  // round log + termination rounds
+  std::size_t checksum = 8;
+
+  [[nodiscard]] std::size_t total() const noexcept {
+    return header + meta + tasks + accumulators + cost + rounds + checksum;
+  }
+};
+[[nodiscard]] StateSectionSizes state_section_sizes(std::string_view bytes);
+
+/// Size of the same state in the fixed-width (pre-v4, 8-bytes-per-number)
+/// encoding — the "uncompressed equivalent" the v4 compression ratio is
+/// measured against (inspect's breakdown, the bench_e5 codec gate).
+[[nodiscard]] std::size_t uncompressed_equivalent_bytes(const ShardState& state);
 
 /// Exact JSON dump of one accumulator state (doubles at full %.17g
 /// round-trip precision) — the human-readable side of the codec, used by

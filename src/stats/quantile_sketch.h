@@ -1,0 +1,44 @@
+// quantile_sketch.h — the common contract every streaming quantile
+// sketch in this codebase satisfies.
+//
+// Two implementations exist: P2Quantile (Jain & Chlamtac's P², kept as
+// the O(1)-memory single-stream reference) and TDigest (Dunning &
+// Ertl's mergeable digest, the one the measurement engine aggregates
+// with — its merge does not accumulate the pooled-CDF bias that P²'s
+// does under deep merge trees). They differ in query surface — P² pins
+// one quantile at construction (value()/probability()), a t-digest
+// answers any quantile(q) — so the shared contract is the streaming /
+// reduction / serialization surface, expressed as a concept rather than
+// a virtual base: sketches live on the hot reduction path and in
+// serialized shard state, where static dispatch and exact state structs
+// matter.
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+
+#include "stats/p2_quantile.h"
+#include "stats/tdigest.h"
+
+namespace divsec::stats {
+
+/// A streaming quantile sketch: O(1)-amortized add, a merge that is a
+/// deterministic function of the two operand states (merge *order* is
+/// the caller's contract, per the blocked-reduction convention), and an
+/// exact state()/from_state() round-trip for the distributed-sweep
+/// serialization layer.
+template <typename S>
+concept QuantileSketch =
+    std::copyable<S> && requires(S sketch, const S& other,
+                                 const typename S::State& state) {
+      sketch.add(0.0);
+      sketch.merge(other);
+      { other.count() } -> std::convertible_to<std::size_t>;
+      { other.state() } -> std::same_as<typename S::State>;
+      { S::from_state(state) } -> std::same_as<S>;
+    };
+
+static_assert(QuantileSketch<P2Quantile>);
+static_assert(QuantileSketch<TDigest>);
+
+}  // namespace divsec::stats

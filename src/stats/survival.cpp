@@ -214,22 +214,23 @@ CensoredTimeAccumulator::CensoredTimeAccumulator(double horizon, std::size_t bin
     : survival_(horizon, bins) {}
 
 CensoredTimeAccumulator::State CensoredTimeAccumulator::state() const {
-  return {moments_.state(), censored_, q50_.state(), q90_.state(),
-          survival_.state()};
+  return {moments_.state(), censored_, times_.state(), survival_.state()};
 }
 
 CensoredTimeAccumulator CensoredTimeAccumulator::from_state(const State& s) {
-  if (s.q50.q != 0.5 || s.q90.q != 0.9)
+  if (s.times.compression != kSketchCompression)
     throw std::invalid_argument(
-        "CensoredTimeAccumulator::from_state: sketch quantile mismatch");
+        "CensoredTimeAccumulator::from_state: sketch compression mismatch");
   if (s.censored > s.moments.n)
     throw std::invalid_argument(
         "CensoredTimeAccumulator::from_state: censored > observations");
   CensoredTimeAccumulator out;
   out.moments_ = OnlineStats::from_state(s.moments);
   out.censored_ = s.censored;
-  out.q50_ = P2Quantile::from_state(s.q50);
-  out.q90_ = P2Quantile::from_state(s.q90);
+  out.times_ = TDigest::from_state(s.times);
+  if (out.times_.count() != s.moments.n)
+    throw std::invalid_argument(
+        "CensoredTimeAccumulator::from_state: sketch count != observations");
   out.survival_ = StreamingSurvival::from_state(s.survival);
   return out;
 }
@@ -237,16 +238,14 @@ CensoredTimeAccumulator CensoredTimeAccumulator::from_state(const State& s) {
 void CensoredTimeAccumulator::add(double time, bool censored) {
   moments_.add(time);
   if (censored) ++censored_;
-  q50_.add(time);
-  q90_.add(time);
+  times_.add(time);
   survival_.add(time, /*event=*/!censored);
 }
 
 void CensoredTimeAccumulator::merge(const CensoredTimeAccumulator& other) {
   moments_.merge(other.moments_);
   censored_ += other.censored_;
-  q50_.merge(other.q50_);
-  q90_.merge(other.q90_);
+  times_.merge(other.times_);
   survival_.merge(other.survival_);
 }
 
@@ -260,8 +259,8 @@ CensoredTimeSummary CensoredTimeAccumulator::summarize() const {
     s.restricted_mean = survival_.restricted_mean(curve);
     s.median = survival_.quantile(0.5, curve);
   }
-  s.q50 = q50_.value();
-  s.q90 = q90_.value();
+  s.q50 = times_.quantile(0.5);
+  s.q90 = times_.quantile(0.9);
   return s;
 }
 

@@ -16,9 +16,13 @@
 //    materialized.
 //
 // CensoredTimeAccumulator bundles StreamingSurvival with Welford moments
-// and P² quantile sketches of the censored-at-horizon values: the one
+// and a mergeable t-digest of the censored-at-horizon values: the one
 // per-indicator aggregation state shared by the campaign measurement
-// engine and the SAN first-passage estimators.
+// engine and the SAN first-passage estimators. (The digest replaced the
+// paired P² sketches once the accuracy audit showed the P² pooled-CDF
+// merge drifts +4–23% under the deep superblock × shard × round merge
+// trees; P2Quantile stays available as the single-stream reference —
+// see stats/quantile_sketch.h.)
 #pragma once
 
 #include <cstdint>
@@ -27,7 +31,7 @@
 #include <vector>
 
 #include "stats/descriptive.h"
-#include "stats/p2_quantile.h"
+#include "stats/tdigest.h"
 
 namespace divsec::stats {
 
@@ -162,8 +166,9 @@ struct CensoredTimeSummary {
   double restricted_mean = 0.0;
   /// Product-limit median; nullopt when censoring keeps S(t) above 0.5.
   std::optional<double> median;
-  /// P² sketches of the censored-at-horizon values (the same distribution
-  /// the biased mean summarizes; reported alongside for context).
+  /// t-digest quantiles of the censored-at-horizon values (the same
+  /// distribution the biased mean summarizes; reported alongside for
+  /// context).
   double q50 = 0.0;
   double q90 = 0.0;
 
@@ -175,22 +180,28 @@ struct CensoredTimeSummary {
 };
 
 /// The streaming aggregation state of one censored time indicator:
-/// Welford moments of the censored-at-horizon values, censor count, P²
-/// quantile sketches, and the binned product-limit curve. add() is O(1);
-/// merge() combines block partials (exact for moments, counts and
-/// survival bins; the P² merge is deterministic given a fixed merge
-/// order). Shared by core::IndicatorAccumulator (TTA/TTSF) and the SAN
-/// first-passage estimator.
+/// Welford moments of the censored-at-horizon values, censor count, one
+/// t-digest quantile sketch, and the binned product-limit curve. add()
+/// is amortized O(1); merge() combines block partials (exact for
+/// moments, counts and survival bins; the digest merge is deterministic
+/// given a fixed merge order and, unlike the former P² pooled-CDF merge,
+/// does not accumulate bias under deep merge trees). Shared by
+/// core::IndicatorAccumulator (TTA/TTSF) and the SAN first-passage
+/// estimator.
 class CensoredTimeAccumulator {
  public:
+  /// Compression of the bundled t-digest — one digest serves every
+  /// reported quantile (q50, q90, ...), where the P² design needed one
+  /// sketch per pinned quantile.
+  static constexpr double kSketchCompression = 100.0;
+
   /// Composite state of the bundled estimators, exposed for the
   /// distributed-sweep serialization layer. from_state(state()) restores
   /// the accumulator exactly.
   struct State {
     OnlineStats::State moments;
     std::size_t censored = 0;
-    P2Quantile::State q50;
-    P2Quantile::State q90;
+    TDigest::State times;
     StreamingSurvival::State survival;
   };
 
@@ -198,9 +209,10 @@ class CensoredTimeAccumulator {
   CensoredTimeAccumulator(double horizon, std::size_t bins);
 
   [[nodiscard]] State state() const;
-  /// Restores from exported state; validates the constituents (the P²
-  /// sketches must track q = 0.5 / 0.9, the censor count cannot exceed
-  /// the observation count) and throws std::invalid_argument otherwise.
+  /// Restores from exported state; validates the constituents (the
+  /// digest must use kSketchCompression and count exactly the
+  /// observations the moments saw, the censor count cannot exceed the
+  /// observation count) and throws std::invalid_argument otherwise.
   [[nodiscard]] static CensoredTimeAccumulator from_state(const State& s);
 
   /// `time` is the censored-at-horizon value; `censored` true when the
@@ -215,13 +227,15 @@ class CensoredTimeAccumulator {
   [[nodiscard]] const StreamingSurvival& survival() const noexcept {
     return survival_;
   }
+  /// The t-digest of the censored-at-horizon values (any quantile, not
+  /// just the q50/q90 the summary reports).
+  [[nodiscard]] const TDigest& times() const noexcept { return times_; }
   [[nodiscard]] CensoredTimeSummary summarize() const;
 
  private:
   OnlineStats moments_;
   std::size_t censored_ = 0;
-  P2Quantile q50_{0.5};
-  P2Quantile q90_{0.9};
+  TDigest times_{kSketchCompression};
   StreamingSurvival survival_;
 };
 

@@ -1,0 +1,175 @@
+#include "stats/tdigest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace divsec::stats {
+
+namespace {
+constexpr double kMinCompression = 10.0;
+}  // namespace
+
+TDigest::TDigest(double compression) : compression_(compression) {
+  if (!(std::isfinite(compression) && compression >= kMinCompression))
+    throw std::invalid_argument("TDigest: compression must be >= 10");
+}
+
+// k1 scale function (Dunning & Ertl eq. 2): k(q) = δ/(2π)·asin(2q−1).
+// Cluster sizes are bounded by one unit of k, which shrinks toward the
+// tails — that is what keeps q90 sharp while the median cluster grows.
+double TDigest::q_to_k(double q) const noexcept {
+  return compression_ * std::asin(2.0 * q - 1.0) /
+         (2.0 * std::numbers::pi);
+}
+
+double TDigest::k_to_q(double k) const noexcept {
+  const double x = 2.0 * std::numbers::pi * k / compression_;
+  if (x >= std::numbers::pi / 2.0) return 1.0;
+  if (x <= -std::numbers::pi / 2.0) return 0.0;
+  return 0.5 * (std::sin(x) + 1.0);
+}
+
+void TDigest::add(double x) {
+  if (!std::isfinite(x))
+    throw std::invalid_argument("TDigest::add: non-finite value");
+  if (n_ == 0 || x < min_) min_ = x;
+  if (n_ == 0 || x > max_) max_ = x;
+  ++n_;
+  // Insert after existing centroids with the same mean (stable), so the
+  // list stays sorted and insertion is a deterministic function of the
+  // state. The list is bounded by 2×compression, so the shift is cheap
+  // next to the simulation work that produces each observation.
+  const auto it = std::upper_bound(
+      centroids_.begin(), centroids_.end(), x,
+      [](double value, const Centroid& c) { return value < c.mean; });
+  centroids_.insert(it, Centroid{x, 1});
+  if (centroids_.size() >
+      static_cast<std::size_t>(2.0 * compression_))
+    compress();
+}
+
+void TDigest::merge(const TDigest& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    if (other.compression_ != compression_)
+      throw std::invalid_argument("TDigest::merge: compression mismatch");
+    *this = other;
+    return;
+  }
+  if (other.compression_ != compression_)
+    throw std::invalid_argument("TDigest::merge: compression mismatch");
+  // Concatenate and stable-sort: equal means keep this-before-other
+  // order, so the result is a deterministic function of the two states.
+  centroids_.insert(centroids_.end(), other.centroids_.begin(),
+                    other.centroids_.end());
+  std::stable_sort(centroids_.begin(), centroids_.end(),
+                   [](const Centroid& a, const Centroid& b) {
+                     return a.mean < b.mean;
+                   });
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  compress();
+}
+
+void TDigest::compress() {
+  if (centroids_.size() <= 1) return;
+  const double total = static_cast<double>(n_);
+  std::vector<Centroid> out;
+  out.reserve(centroids_.size());
+  double w_done = 0.0;  // weight of fully emitted clusters
+  Centroid cur = centroids_.front();
+  double q_limit = k_to_q(q_to_k(0.0) + 1.0);
+  for (std::size_t i = 1; i < centroids_.size(); ++i) {
+    const Centroid& c = centroids_[i];
+    const double q_new =
+        (w_done + static_cast<double>(cur.weight + c.weight)) / total;
+    if (q_new <= q_limit) {
+      const std::uint64_t w = cur.weight + c.weight;
+      cur.mean += (static_cast<double>(c.weight) / static_cast<double>(w)) *
+                  (c.mean - cur.mean);
+      cur.weight = w;
+    } else {
+      w_done += static_cast<double>(cur.weight);
+      out.push_back(cur);
+      q_limit = k_to_q(q_to_k(w_done / total) + 1.0);
+      cur = c;
+    }
+  }
+  out.push_back(cur);
+  centroids_ = std::move(out);
+}
+
+double TDigest::quantile(double q) const {
+  if (!(q >= 0.0 && q <= 1.0))
+    throw std::invalid_argument("TDigest::quantile: q must be in [0,1]");
+  if (n_ == 0) return 0.0;
+  if (n_ == 1 || centroids_.size() == 1) {
+    if (q <= 0.0) return min_;
+    if (q >= 1.0) return max_;
+    if (centroids_.size() == 1) return centroids_.front().mean;
+  }
+  const double index = q * static_cast<double>(n_);
+  double cum = 0.0;  // weight strictly before centroid i
+  for (std::size_t i = 0; i < centroids_.size(); ++i) {
+    const double w = static_cast<double>(centroids_[i].weight);
+    const double mid = cum + 0.5 * w;
+    if (index < mid) {
+      if (i == 0) {
+        // Below the first midpoint: interpolate up from the exact min.
+        const double t = mid > 0.0 ? index / mid : 0.0;
+        return min_ + t * (centroids_[i].mean - min_);
+      }
+      const double prev_mid =
+          cum - 0.5 * static_cast<double>(centroids_[i - 1].weight);
+      const double t = (index - prev_mid) / (mid - prev_mid);
+      return centroids_[i - 1].mean +
+             t * (centroids_[i].mean - centroids_[i - 1].mean);
+    }
+    cum += w;
+  }
+  // Past the last midpoint: interpolate toward the exact max.
+  const double last_mid =
+      static_cast<double>(n_) -
+      0.5 * static_cast<double>(centroids_.back().weight);
+  const double span = static_cast<double>(n_) - last_mid;
+  double t = span > 0.0 ? (index - last_mid) / span : 1.0;
+  if (t > 1.0) t = 1.0;
+  return centroids_.back().mean + t * (max_ - centroids_.back().mean);
+}
+
+TDigest::State TDigest::state() const {
+  return {compression_, min_, max_, centroids_};
+}
+
+TDigest TDigest::from_state(const State& s) {
+  if (!(std::isfinite(s.compression) && s.compression >= kMinCompression))
+    throw std::invalid_argument(
+        "TDigest::from_state: compression must be >= 10");
+  TDigest out(s.compression);
+  if (s.centroids.empty()) return out;  // mergeable empty state
+  double prev = s.centroids.front().mean;
+  std::uint64_t n = 0;
+  for (const Centroid& c : s.centroids) {
+    if (!std::isfinite(c.mean) || c.mean < prev)
+      throw std::invalid_argument(
+          "TDigest::from_state: centroid means must be finite and sorted");
+    if (c.weight == 0)
+      throw std::invalid_argument("TDigest::from_state: zero-weight centroid");
+    prev = c.mean;
+    n += c.weight;
+  }
+  if (!(std::isfinite(s.min) && std::isfinite(s.max)) ||
+      s.min > s.centroids.front().mean || s.max < s.centroids.back().mean)
+    throw std::invalid_argument(
+        "TDigest::from_state: min/max must bracket the centroid means");
+  out.n_ = n;
+  out.min_ = s.min;
+  out.max_ = s.max;
+  out.centroids_ = s.centroids;
+  return out;
+}
+
+}  // namespace divsec::stats

@@ -33,7 +33,8 @@ TEST_F(ReportFixture, MeasurementCsvShape) {
   EXPECT_EQ(line,
             "plc.firmware,firewall,success_prob,tta_mean,tta_censored,"
             "tta_rmean,tta_median,ttsf_mean,ttsf_censored,ttsf_rmean,"
-            "ttsf_median,final_ratio_mean,censor_warning");
+            "ttsf_median,final_ratio_mean,ratio_t25,ratio_t50,ratio_t75,"
+            "ratio_auc,censor_warning");
   std::size_t rows = 0;
   while (std::getline(is, line))
     if (!line.empty()) ++rows;

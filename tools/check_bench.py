@@ -21,6 +21,11 @@ when a metric regresses past its tolerance:
   * peak_mb   may not rise above baseline * (1 + --peak-tol) — the
               footprint ceilings (aggregation state, peak-RSS deltas).
               null baselines or null measurements skip the check.
+  * state_bytes may not rise above baseline * (1 + --state-tol) — the
+              codec-size ceiling (encoded shard-state bytes; lower is
+              better, shrinking is always fine). Encoded sizes are
+              deterministic for a fixed workload, so the tolerance is
+              tight. null baselines or measurements skip the check.
 
 A record present in the baseline but missing from the produced file is a
 failure (a gated metric silently disappeared). Produced records without
@@ -101,6 +106,16 @@ def check_file(produced_path, baseline_path, args, failures, notes):
                     f"{ceiling:.2f} (baseline {base_peak:.2f} "
                     f"+{args.peak_tol:.0%})")
 
+        base_state = num(base.get("state_bytes"))
+        got_state = num(got.get("state_bytes"))
+        if base_state is not None and got_state is not None and base_state > 0:
+            ceiling = base_state * (1.0 + args.state_tol)
+            if got_state > ceiling:
+                failures.append(
+                    f"{name}: '{key}' state_bytes {got_state:.0f} exceeds "
+                    f"{ceiling:.0f} (baseline {base_state:.0f} "
+                    f"+{args.state_tol:.0%})")
+
     for key in produced:
         if key not in baseline:
             notes.append(f"{name}: new record '{key}' has no baseline "
@@ -118,6 +133,9 @@ def main():
                         help="allowed relative speedup decrease (default 0.20)")
     parser.add_argument("--peak-tol", type=float, default=0.25,
                         help="allowed relative peak_mb increase (default 0.25)")
+    parser.add_argument("--state-tol", type=float, default=0.10,
+                        help="allowed relative state_bytes increase "
+                             "(default 0.10; encoded sizes are deterministic)")
     parser.add_argument("--wall-floor-ms", type=float, default=5.0,
                         help="skip wall comparison below this baseline wall "
                              "(timer noise; default 5 ms); a baseline "
@@ -156,7 +174,7 @@ def main():
         return 1
     print(f"perf gate passed: {len(args.files)} file(s) within tolerance "
           f"(wall +{args.wall_tol:.0%}, speedup -{args.speedup_tol:.0%}, "
-          f"peak +{args.peak_tol:.0%})")
+          f"peak +{args.peak_tol:.0%}, state +{args.state_tol:.0%})")
     return 0
 
 

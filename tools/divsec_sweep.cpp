@@ -37,10 +37,12 @@
 //           With --replay STATE, `run` re-executes exactly the recorded
 //           achieved counts — any thread count, any --shard i/K cut —
 //           and merging reproduces the adaptive CSV byte for byte.
-//   inspect print a state file's JSON header, per-cell summary lines
-//           (achieved replications, measured sec/rep, termination round
-//           for adaptive states), the adaptive round log, and the
-//           accumulator dump.
+//   inspect print a state file's JSON header, its per-section byte
+//           breakdown (framing, meta, tasks, accumulators, cost, rounds)
+//           with the compression ratio against the fixed-width
+//           equivalent, per-cell summary lines (achieved replications,
+//           measured sec/rep, termination round for adaptive states),
+//           the adaptive round log, and the accumulator dump.
 //
 // Examples:
 //   divsec_sweep run --preset enterprise1024 --replications 100000 \
@@ -141,6 +143,9 @@ void usage(std::FILE* to) {
       "                       (default: one superblock)\n"
       "\n"
       "divsec_sweep inspect STATE\n"
+      "  prints the JSON header, the per-section byte breakdown with the\n"
+      "  compression ratio vs. the fixed-width equivalent, per-cell\n"
+      "  summaries, the adaptive round log, and the accumulator dump\n"
       "\n"
       "divsec_sweep --help | --version\n",
       sim::kDefaultReductionBlock, sim::kDefaultSuperblockReps);
@@ -590,8 +595,32 @@ int cmd_inspect(int argc, char** argv) {
   }
   if (path.empty()) die("inspect wants a state file");
 
-  const dist::ShardState state = dist::read_shard_state(path);
+  std::string bytes;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (!f) die("cannot open: " + path);
+    char buf[1 << 16];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
+    std::fclose(f);
+  }
+  const dist::ShardState state = dist::decode_shard_state(bytes);
   std::printf("%s\n", dist::meta_json(state.meta).c_str());
+
+  // Where the bytes went, and what the v4 packing bought over the
+  // fixed-width encoding of the same content — the CLI view of the
+  // codec-size contract the bench_e5 codec phase gates in CI.
+  const dist::StateSectionSizes sizes = dist::state_section_sizes(bytes);
+  const std::size_t equivalent = dist::uncompressed_equivalent_bytes(state);
+  std::printf(
+      "{\"sections\": {\"header\": %zu, \"meta\": %zu, \"tasks\": %zu, "
+      "\"accumulators\": %zu, \"cost\": %zu, \"rounds\": %zu, "
+      "\"checksum\": %zu}, \"total_bytes\": %zu, "
+      "\"uncompressed_equivalent_bytes\": %zu, "
+      "\"compression_ratio\": %.2f}\n",
+      sizes.header, sizes.meta, sizes.tasks, sizes.accumulators, sizes.cost,
+      sizes.rounds, sizes.checksum, sizes.total(), equivalent,
+      static_cast<double>(equivalent) / static_cast<double>(sizes.total()));
 
   // One line per cell: the policy arm, the achieved replication count an
   // adaptive run recorded (and the round it stopped in), and the measured
