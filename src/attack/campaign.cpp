@@ -1,13 +1,16 @@
 #include "attack/campaign.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "attack/campaign_rng.h"
 #include "net/reachability_index.h"
+#include "obs/metrics.h"
 
 namespace divsec::attack {
 
@@ -343,7 +346,15 @@ struct RunState {
     result.compromised_ratio.emplace_back(0.0, 0.0);
   }
 
+  // Telemetry tallies: plain locals, flushed to the striped obs::
+  // counters once per run (run_kernel), so the event loop never touches
+  // an atomic. Observation only — results do not depend on them.
+  std::array<std::uint64_t, kEventKindCount> kind_counts{};
+  std::uint64_t scan_candidates = 0;  // thinned worm-scan firings
+  std::uint64_t scan_accepted = 0;    // ... that attempted a lateral
+
   void note(NodeId n, CampaignEventKind kind) {
+    ++kind_counts[static_cast<std::size_t>(kind)];
     if (opt.record_events) result.events.push_back({now, n, kind});
   }
 
@@ -514,8 +525,10 @@ struct RunState {
       eligible = (tb.flags[v] & CampaignTables::kFlagHostTarget) &&
                  state[v] == NodeState::kClean;
     }
+    ++scan_candidates;
     if (eligible &&
         (direct || rng.bernoulli(DrawClass::kPropagation, tb.firewall_bypass_p))) {
+      ++scan_accepted;
       if (rng.bernoulli(DrawClass::kPropagation, tb.lateral_p[v])) {
         deliver(v, CampaignEventKind::kDeliveredLateral);
       } else {
@@ -663,6 +676,35 @@ struct RunState {
   }
 };
 
+/// One striped registry add per tally per run — ~20 relaxed fetch_adds
+/// per replication, invisible next to the event loop itself (the
+/// bench_e5 obs phase gates this at <= 2% wall).
+struct CampaignCounters {
+  obs::Counter& runs = obs::counter("campaign.runs");
+  obs::Counter& events_executed = obs::counter("campaign.events.executed");
+  obs::Counter& scan_candidates = obs::counter("campaign.scan.candidates");
+  obs::Counter& scan_accepted = obs::counter("campaign.scan.accepted");
+  std::array<obs::Counter*, kEventKindCount> kinds{};
+  std::array<obs::Counter*, kDrawClassCount> rng_words{};
+
+  CampaignCounters() {
+    for (std::size_t k = 0; k < kEventKindCount; ++k)
+      kinds[k] = &obs::counter(std::string("campaign.events.") +
+                               to_string(static_cast<CampaignEventKind>(k)));
+    static constexpr const char* kClassNames[kDrawClassCount] = {
+        "entry",   "activation", "privesc",  "propagation",
+        "payload", "sabotage",   "host_ids", "alarm"};
+    for (std::size_t c = 0; c < kDrawClassCount; ++c)
+      rng_words[c] =
+          &obs::counter(std::string("campaign.rng_words.") + kClassNames[c]);
+  }
+
+  static const CampaignCounters& instance() {
+    static const CampaignCounters counters;
+    return counters;
+  }
+};
+
 template <bool kSoA>
 CampaignResult run_kernel(const Scenario& sc, const ThreatProfile& pr,
                           const CampaignTables& tb, const DetectionModel& det,
@@ -671,6 +713,17 @@ CampaignResult run_kernel(const Scenario& sc, const ThreatProfile& pr,
   st.run_until(opt.t_max_hours);
   st.result.hosts_compromised = st.hosts_owned;
   st.result.plcs_compromised = st.owned_plcs.size();
+
+  const CampaignCounters& counters = CampaignCounters::instance();
+  counters.runs.add(1);
+  counters.events_executed.add(st.result.events_executed);
+  counters.scan_candidates.add(st.scan_candidates);
+  counters.scan_accepted.add(st.scan_accepted);
+  for (std::size_t k = 0; k < kEventKindCount; ++k)
+    if (st.kind_counts[k]) counters.kinds[k]->add(st.kind_counts[k]);
+  const auto words = st.rng.words_drawn();
+  for (std::size_t c = 0; c < kDrawClassCount; ++c)
+    if (words[c]) counters.rng_words[c]->add(words[c]);
   return std::move(st.result);
 }
 

@@ -81,6 +81,8 @@ enum class CampaignEventKind : std::uint8_t {
   kPlantAlarmDetection,
 };
 
+inline constexpr std::size_t kEventKindCount = 9;
+
 [[nodiscard]] const char* to_string(CampaignEventKind k) noexcept;
 
 struct CampaignEvent {

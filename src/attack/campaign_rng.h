@@ -54,6 +54,12 @@
 
 #include "stats/rng.h"
 
+// Per-class draw accounting (telemetry only; plain members, no atomics)
+// compiles out with the rest of the obs:: hot path.
+#if !defined(DIVSEC_OBS)
+#define DIVSEC_OBS 1
+#endif
+
 namespace divsec::attack {
 
 /// Event classes of the campaign draw-order contract. The numeric values
@@ -157,7 +163,22 @@ class CampaignRng {
       for (std::size_t i = 0; i < block_; ++i) b[i] = lane.rng();
       lane.pos = 0;
     }
+#if DIVSEC_OBS
+    ++lane.drawn;
+#endif
     return buf_[static_cast<std::size_t>(c) * block_ + lane.pos++];
+  }
+
+  /// Words actually consumed per class this run (not prefetch refills) —
+  /// the obs:: correctness probe for the draw-ownership table above.
+  /// All zeros when the telemetry hot path is compiled out.
+  [[nodiscard]] std::array<std::uint64_t, kDrawClassCount> words_drawn()
+      const noexcept {
+    std::array<std::uint64_t, kDrawClassCount> out{};
+#if DIVSEC_OBS
+    for (std::size_t c = 0; c < kDrawClassCount; ++c) out[c] = lanes_[c].drawn;
+#endif
+    return out;
   }
 
   /// Uniform double in [0, 1), 53 bits (same mapping as Rng::uniform()).
@@ -195,6 +216,9 @@ class CampaignRng {
   struct Lane {
     stats::Rng rng{0, 0};
     std::size_t pos = 0;  // == block_ => empty, refill on next()
+#if DIVSEC_OBS
+    std::uint64_t drawn = 0;  // words handed out (telemetry only)
+#endif
   };
 
   std::size_t block_;

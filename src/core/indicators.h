@@ -116,22 +116,6 @@ struct IndicatorSummary {
   std::vector<IndicatorSample> samples;  // per replication, in order
 };
 
-/// Observability counters of the engine's shared-context path (see
-/// MeasurementOptions::context_stats). Written once per measurement call;
-/// tests use them to pin the lazy-construction and index-sharing
-/// behaviour without groping at internals.
-struct ContextStats {
-  /// Cell contexts constructed over the whole call (== touched cells;
-  /// a cell's context is built exactly once even across rounds).
-  std::size_t built = 0;
-  /// Maximum number of contexts alive at any instant. The lazy per-round
-  /// path keeps this far below the cell count on big sweeps.
-  std::size_t peak_live = 0;
-  /// Distinct reachability indexes built — structurally identical
-  /// topologies share one (a single-topology fleet reports 1).
-  std::size_t distinct_reach = 0;
-};
-
 /// Variance-driven adaptive replication allocation (the sweep-level
 /// Law & Kelton procedure; see MeasurementEngine::measure_scenarios_adaptive
 /// and dist::run_adaptive). The sweep runs in superblock rounds: after
@@ -246,10 +230,6 @@ struct MeasurementOptions {
   /// way, and a caller already running inside an executor job reuses its
   /// thread inline (no nested parallelism or deadlock).
   const sim::Executor* executor = nullptr;
-  /// When non-null, receives the shared-context counters of each
-  /// measurement call (overwritten per call). Observability only — has
-  /// no effect on results. Non-owning.
-  ContextStats* context_stats = nullptr;
   /// Adaptive replication allocation (campaign scenario sweeps only).
   /// When enabled, measure_scenarios() delegates to the adaptive driver;
   /// options.replications becomes the per-cell budget cap.

@@ -14,6 +14,9 @@
 
 #include "core/indicator_accumulator.h"
 #include "net/reachability_index.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
 #include "san/simulator.h"
 #include "sim/executor.h"
 #include "sim/shard_plan.h"
@@ -22,6 +25,26 @@
 namespace divsec::core {
 
 namespace {
+
+/// Shared-context telemetry (replaces the old MeasurementOptions::
+/// context_stats plumbing). Process-cumulative: tests and benches read
+/// per-call deltas via obs::reset().
+obs::Counter& contexts_built_counter() {
+  static obs::Counter& c = obs::counter("core.context.built");
+  return c;
+}
+obs::Gauge& contexts_peak_live_gauge() {
+  static obs::Gauge& g = obs::gauge("core.context.peak_live");
+  return g;
+}
+obs::Counter& reach_builds_counter() {
+  static obs::Counter& c = obs::counter("core.context.reach_builds");
+  return c;
+}
+obs::Counter& reach_dedup_counter() {
+  static obs::Counter& c = obs::counter("core.context.reach_dedup_hits");
+  return c;
+}
 
 /// Read-only per-cell state shared by that cell's replication jobs.
 /// Exactly one of `campaign` / `san` is engaged, per the options' engine.
@@ -144,10 +167,11 @@ class MeasurementEngine::ContextFactory {
     }
     {
       const std::lock_guard<std::mutex> lock(mu_);
-      ++built_;
       ++live_;
       peak_live_ = std::max(peak_live_, live_);
+      contexts_peak_live_gauge().record_max(peak_live_);
     }
+    contexts_built_counter().add(1);
     return ctx;
   }
 
@@ -155,15 +179,6 @@ class MeasurementEngine::ContextFactory {
   void note_dropped(std::size_t count) {
     const std::lock_guard<std::mutex> lock(mu_);
     live_ -= count;
-  }
-
-  /// Publish the counters to options.context_stats (if requested).
-  void flush_stats() {
-    if (!options_->context_stats) return;
-    const std::lock_guard<std::mutex> lock(mu_);
-    std::size_t distinct = 0;
-    for (const auto& [fp, bucket] : reach_cache_) distinct += bucket.size();
-    *options_->context_stats = ContextStats{built_, peak_live_, distinct};
   }
 
  private:
@@ -190,6 +205,10 @@ class MeasurementEngine::ContextFactory {
         builder = true;
       }
     }
+    if (builder)
+      reach_builds_counter().add(1);
+    else
+      reach_dedup_counter().add(1);
     if (builder) {
       try {
         promise.set_value(std::make_shared<const net::ReachabilityIndex>(topo, fw));
@@ -213,7 +232,6 @@ class MeasurementEngine::ContextFactory {
   };
   std::mutex mu_;
   std::unordered_map<std::uint64_t, std::vector<Entry>> reach_cache_;
-  std::size_t built_ = 0;
   std::size_t live_ = 0;
   std::size_t peak_live_ = 0;
 };
@@ -287,6 +305,16 @@ std::vector<IndicatorAccumulator> MeasurementEngine::run_tasks(
   std::vector<std::size_t> live;   // engaged slots, ascending cell ids
   std::vector<std::size_t> fresh;  // scratch: cells this round must build
 
+  // Heartbeat over replications actually scheduled (throttled; silent
+  // for short calls). Stderr only — never a byte of output data.
+  std::uint64_t total_reps = 0;
+  for (const std::uint64_t t : tasks) {
+    const sim::ShardPlan::Task task = shard.task(t);
+    total_reps += task.end - task.begin;
+  }
+  obs::Heartbeat heartbeat("measure", total_reps);
+  std::uint64_t done_reps = 0;
+
   std::vector<IndicatorAccumulator> out;
   out.reserve(total);
   if (task_seconds) {
@@ -295,6 +323,7 @@ std::vector<IndicatorAccumulator> MeasurementEngine::run_tasks(
   }
 
   for (std::size_t begin = 0; begin < total; begin += round_tasks) {
+    const obs::Span round_span("measure.round");
     const std::size_t end = std::min(begin + round_tasks, total);
     const std::size_t count = end - begin;
 
@@ -308,6 +337,7 @@ std::vector<IndicatorAccumulator> MeasurementEngine::run_tasks(
         fresh.push_back(cell);
     }
     executor_->parallel_for(0, fresh.size(), [&](std::size_t i) {
+      const obs::Span build_span("context.build");
       slots[fresh[i]] = factory.build(fresh[i]);
     });
     live.insert(live.end(), fresh.begin(), fresh.end());
@@ -386,9 +416,15 @@ std::vector<IndicatorAccumulator> MeasurementEngine::run_tasks(
       slots[live[dropped++]].reset();
     live.erase(live.begin(), live.begin() + static_cast<std::ptrdiff_t>(dropped));
     factory.note_dropped(dropped);
+
+    for (std::size_t t = begin; t < end; ++t) {
+      const sim::ShardPlan::Task task = shard.task(tasks[t]);
+      done_reps += task.end - task.begin;
+    }
+    heartbeat.tick(done_reps);
   }
   factory.note_dropped(live.size());
-  factory.flush_stats();
+  heartbeat.finish(done_reps);
   return out;
 }
 

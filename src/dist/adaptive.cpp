@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
 #include "sim/executor.h"
 
 namespace divsec::dist {
@@ -18,6 +22,21 @@ double timed_ms(const F& f) {
   const auto t1 = std::chrono::steady_clock::now();
   return std::chrono::duration<double, std::milli>(t1 - t0).count();
 }
+
+/// Coordinator telemetry: one add per round, nothing per replication.
+struct AdaptCounters {
+  obs::Counter& rounds = obs::counter("adapt.rounds");
+  obs::Counter& cells_retired = obs::counter("adapt.cells_retired");
+  obs::Counter& round_tasks = obs::counter("adapt.round_tasks");
+  obs::Counter& round_replications = obs::counter("adapt.round_replications");
+  obs::Counter& merge_ns = obs::counter("adapt.merge_ns");
+  obs::Histogram& deal_tasks = obs::histogram("adapt.deal_tasks");
+
+  static const AdaptCounters& instance() {
+    static const AdaptCounters counters;
+    return counters;
+  }
+};
 
 }  // namespace
 
@@ -68,8 +87,10 @@ AdaptiveResult run_adaptive(const SweepSpec& spec,
   std::uint64_t round = 0;
   std::vector<std::uint64_t> tasks;
   std::vector<std::size_t> still;
+  const AdaptCounters& counters = AdaptCounters::instance();
   meta.wall_ms = timed_ms([&] {
     while (!active.empty()) {
+      const obs::Span round_span("adapt.round");
       ++round;
       const std::size_t take =
           round == 1 ? sched.first_superblocks : sched.round_superblocks;
@@ -100,6 +121,8 @@ AdaptiveResult run_adaptive(const SweepSpec& spec,
       flushed.reserve(deal.size());
       for (std::size_t i = 0; i < deal.size(); ++i) {
         if (deal[i].empty()) continue;
+        const obs::Span shard_span("adapt.shard");
+        counters.deal_tasks.observe(deal[i].size());
         const ShardState state = run_shard_tasks(
             spec, deal[i], i, options.shards, executor);
         shard_wall = std::max(shard_wall, state.meta.wall_ms);
@@ -111,6 +134,7 @@ AdaptiveResult run_adaptive(const SweepSpec& spec,
       // merge into it: the identical left-fold merge_shards performs on a
       // replay, hence bit-identical summaries.
       const double merge_ms = timed_ms([&] {
+        const obs::Span merge_span("adapt.merge");
         std::vector<std::pair<std::uint64_t, core::IndicatorAccumulator>>
             parts;
         parts.reserve(tasks.size());
@@ -155,6 +179,22 @@ AdaptiveResult run_adaptive(const SweepSpec& spec,
           RoundLog{round, static_cast<std::uint64_t>(active.size()),
                    static_cast<std::uint64_t>(tasks.size()), round_reps,
                    shard_wall, merge_ms});
+
+      const std::size_t retired = active.size() - still.size();
+      counters.rounds.add(1);
+      counters.cells_retired.add(retired);
+      counters.round_tasks.add(tasks.size());
+      counters.round_replications.add(round_reps);
+      counters.merge_ns.add(
+          static_cast<std::uint64_t>(std::llround(merge_ms * 1e6)));
+      // The coordinator loop used to run to completion without a word;
+      // one summary line per round is the operator's convergence view
+      // (stderr only — never a byte of CSV/state output).
+      obs::progress_line("adapt round %" PRIu64
+                         ": retired %zu, active %zu, worst shard %.2fs, "
+                         "merge %.1f ms",
+                         round, retired, still.size(), shard_wall / 1000.0,
+                         merge_ms);
       active.swap(still);
     }
   });

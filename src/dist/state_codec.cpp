@@ -1,11 +1,15 @@
 #include "dist/state_codec.h"
 
+#include <array>
 #include <bit>
+#include <chrono>
 #include <cstdio>
 #include <span>
 #include <stdexcept>
+#include <string>
 
 #include "dist/fnv.h"
+#include "obs/metrics.h"
 #include "util/json.h"
 
 namespace divsec::dist {
@@ -579,6 +583,49 @@ constexpr SectionFn kSections[] = {
     put_tasks_section, put_accumulators_section, put_cost_section,
     put_rounds_section};
 
+constexpr std::size_t kSectionCount = std::size(kSections);
+constexpr const char* kSectionNames[kSectionCount] = {
+    "meta", "tasks", "accumulators", "cost", "rounds"};
+
+/// Codec telemetry: per-call totals plus per-section byte/time
+/// breakdowns — the live counterpart of state_section_sizes.
+struct CodecCounters {
+  obs::Counter& encode_calls = obs::counter("codec.encode.calls");
+  obs::Counter& encode_bytes = obs::counter("codec.encode.bytes");
+  obs::Counter& encode_ns = obs::counter("codec.encode.ns");
+  obs::Counter& decode_calls = obs::counter("codec.decode.calls");
+  obs::Counter& decode_bytes = obs::counter("codec.decode.bytes");
+  obs::Counter& decode_ns = obs::counter("codec.decode.ns");
+  std::array<obs::Counter*, kSectionCount> encode_section_bytes{};
+  std::array<obs::Counter*, kSectionCount> encode_section_ns{};
+  std::array<obs::Counter*, kSectionCount> decode_section_bytes{};
+  std::array<obs::Counter*, kSectionCount> decode_section_ns{};
+
+  CodecCounters() {
+    for (std::size_t s = 0; s < kSectionCount; ++s) {
+      const std::string name = kSectionNames[s];
+      encode_section_bytes[s] =
+          &obs::counter("codec.encode." + name + ".bytes");
+      encode_section_ns[s] = &obs::counter("codec.encode." + name + ".ns");
+      decode_section_bytes[s] =
+          &obs::counter("codec.decode." + name + ".bytes");
+      decode_section_ns[s] = &obs::counter("codec.decode." + name + ".ns");
+    }
+  }
+
+  static const CodecCounters& instance() {
+    static const CodecCounters counters;
+    return counters;
+  }
+};
+
+std::uint64_t codec_elapsed_ns(std::chrono::steady_clock::time_point since) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
 }  // namespace
 
 std::uint64_t sweep_fingerprint(const SweepMeta& meta) {
@@ -659,18 +706,26 @@ std::string meta_json(const SweepMeta& meta) {
 }
 
 std::string encode_shard_state(const ShardState& state) {
+  const CodecCounters& counters = CodecCounters::instance();
+  const auto started = std::chrono::steady_clock::now();
   validate_state(state);
   std::string out;
   out.append(kMagic, sizeof(kMagic));
   put_u32(out, kStateFormatVersion);
   put_str(out, meta_json(state.meta));
-  for (const SectionFn section : kSections) {
+  for (std::size_t s = 0; s < kSectionCount; ++s) {
+    const auto section_started = std::chrono::steady_clock::now();
     Writer w{.out = {}, .packed = true};
-    section(w, state);
+    kSections[s](w, state);
     put_var(out, w.out.size());
     out += w.out;
+    counters.encode_section_bytes[s]->add(w.out.size());
+    counters.encode_section_ns[s]->add(codec_elapsed_ns(section_started));
   }
   put_u64(out, fnv1a(out));
+  counters.encode_calls.add(1);
+  counters.encode_bytes.add(out.size());
+  counters.encode_ns.add(codec_elapsed_ns(started));
   return out;
 }
 
@@ -737,13 +792,29 @@ void read_section(Reader& r, Parse&& parse) {
 }  // namespace
 
 ShardState decode_shard_state(std::string_view bytes) {
+  const CodecCounters& counters = CodecCounters::instance();
+  const auto started = std::chrono::steady_clock::now();
   Reader r = open_state(bytes);
   ShardState state;
   SweepMeta& m = state.meta;
 
-  read_section(r, [&](Reader& sr) { get_meta(sr, m); });
+  // Per-section accounting: sections decode in kSections order, so the
+  // running index lines up with kSectionNames. Bytes include the varint
+  // length prefix (the section's on-wire footprint).
+  std::size_t section_index = 0;
+  const auto timed_section = [&](auto&& parse) {
+    const std::size_t before = r.remaining();
+    const auto section_started = std::chrono::steady_clock::now();
+    read_section(r, parse);
+    counters.decode_section_bytes[section_index]->add(before - r.remaining());
+    counters.decode_section_ns[section_index]->add(
+        codec_elapsed_ns(section_started));
+    ++section_index;
+  };
 
-  read_section(r, [&](Reader& sr) {
+  timed_section([&](Reader& sr) { get_meta(sr, m); });
+
+  timed_section([&](Reader& sr) {
     const std::uint64_t ntasks = sr.var();
     // Plausibility bound before reserving anything: every id costs at
     // least one byte, so a count the section cannot hold is corruption —
@@ -764,13 +835,13 @@ ShardState decode_shard_state(std::string_view bytes) {
     }
   });
 
-  read_section(r, [&](Reader& sr) {
+  timed_section([&](Reader& sr) {
     state.partials.reserve(state.tasks.size());
     for (std::size_t i = 0; i < state.tasks.size(); ++i)
       state.partials.push_back(get_accumulator(sr));
   });
 
-  read_section(r, [&](Reader& sr) {
+  timed_section([&](Reader& sr) {
     const std::uint64_t ncost = sr.var();
     if (ncost != 0 && ncost != m.cells)
       throw std::runtime_error(
@@ -786,7 +857,7 @@ ShardState decode_shard_state(std::string_view bytes) {
     }
   });
 
-  read_section(r, [&](Reader& sr) {
+  timed_section([&](Reader& sr) {
     const std::uint64_t nrounds = sr.var();
     if (nrounds > sr.remaining())
       throw std::runtime_error("shard state: round log exceeds input size");
@@ -810,6 +881,9 @@ ShardState decode_shard_state(std::string_view bytes) {
 
   if (r.remaining() != 0)
     throw std::runtime_error("shard state: trailing bytes after payload");
+  counters.decode_calls.add(1);
+  counters.decode_bytes.add(bytes.size());
+  counters.decode_ns.add(codec_elapsed_ns(started));
   return state;
 }
 

@@ -1,0 +1,98 @@
+// obs/trace.h — RAII scoped spans flushed as Chrome trace-event JSON.
+//
+// Usage
+//   obs::trace_start();                     // begin a session
+//   { obs::Span s("adapt.round"); ... }     // anywhere, any thread
+//   obs::trace_stop("run.trace.json");      // flush, Perfetto-loadable
+//
+// Spans record into per-thread buffers (one uncontended mutex each, so
+// the flusher can drain safely); when no session is active the Span
+// constructor is a single relaxed atomic load and records nothing.
+// Span names must be string literals (or otherwise outlive the trace
+// session) — the buffer stores the pointer, not a copy.
+//
+// Like metrics, traces are observational only: enabling a session never
+// changes any CSV/state byte. With DIVSEC_OBS=0 spans compile to empty
+// objects and trace_stop still writes a valid empty envelope so a
+// `--trace FILE` flag keeps producing a loadable file.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#if !defined(DIVSEC_OBS)
+#define DIVSEC_OBS 1
+#endif
+
+namespace divsec::obs {
+
+#if DIVSEC_OBS
+
+/// True while a trace session is collecting (one relaxed load).
+[[nodiscard]] bool trace_enabled() noexcept;
+
+/// Begin a session: clears any previously collected events and starts
+/// the clock. Idempotent while already tracing.
+void trace_start();
+
+/// End the session and render every collected span as Chrome
+/// trace-event JSON ({"traceEvents": [...]}), timestamps in
+/// microseconds since trace_start. Safe to call when no session ran
+/// (returns an empty envelope).
+[[nodiscard]] std::string trace_json();
+
+/// trace_json() written to `path`; throws std::runtime_error on I/O
+/// failure.
+void trace_stop(const std::string& path);
+
+/// Nanoseconds since the session epoch (monotonic).
+[[nodiscard]] std::uint64_t trace_now_ns() noexcept;
+
+/// Append one complete span to the calling thread's buffer. `name`
+/// must outlive the session (use string literals).
+void trace_record(const char* name, std::uint64_t begin_ns,
+                  std::uint64_t end_ns) noexcept;
+
+/// RAII complete-event span. Cheap enough for per-round and per-shard
+/// scopes; per-superblock scopes are fine for profiling runs (buffers
+/// grow unbounded while a session is active — see README).
+class Span {
+ public:
+  explicit Span(const char* name) noexcept {
+    if (trace_enabled()) {
+      name_ = name;
+      begin_ = trace_now_ns();
+    }
+  }
+  ~Span() {
+    if (name_ != nullptr) trace_record(name_, begin_, trace_now_ns());
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  std::uint64_t begin_ = 0;
+};
+
+#else  // !DIVSEC_OBS
+
+[[nodiscard]] inline bool trace_enabled() noexcept { return false; }
+inline void trace_start() {}
+[[nodiscard]] inline std::string trace_json() {
+  return "{\"traceEvents\": [], \"displayTimeUnit\": \"ms\"}\n";
+}
+void trace_stop(const std::string& path);  // still writes the empty envelope
+[[nodiscard]] inline std::uint64_t trace_now_ns() noexcept { return 0; }
+inline void trace_record(const char*, std::uint64_t, std::uint64_t) noexcept {}
+
+class Span {
+ public:
+  explicit Span(const char*) noexcept {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+};
+
+#endif  // DIVSEC_OBS
+
+}  // namespace divsec::obs

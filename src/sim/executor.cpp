@@ -1,6 +1,7 @@
 #include "sim/executor.h"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <exception>
@@ -9,9 +10,42 @@
 #include <string>
 #include <thread>
 
+#include "obs/metrics.h"
+
 namespace divsec::sim {
 
 namespace {
+
+/// Pool telemetry (serial/reentrant fallbacks are deliberately not
+/// counted — they are the absence of pool work). Handles are resolved
+/// once; every hot-path touch is a relaxed striped add.
+obs::Counter& jobs_counter() {
+  static obs::Counter& c = obs::counter("sim.executor.jobs");
+  return c;
+}
+obs::Counter& chunks_counter() {
+  static obs::Counter& c = obs::counter("sim.executor.chunks");
+  return c;
+}
+obs::Counter& idle_counter() {
+  static obs::Counter& c = obs::counter("sim.executor.idle_ns");
+  return c;
+}
+obs::Gauge& queue_depth_gauge() {
+  static obs::Gauge& g = obs::gauge("sim.executor.queue_depth_max");
+  return g;
+}
+obs::Histogram& chunk_latency_hist() {
+  static obs::Histogram& h = obs::histogram("sim.executor.chunk_ns");
+  return h;
+}
+
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point since) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
 
 /// One parallel_for invocation shared between the caller and the workers.
 struct ForJob {
@@ -36,12 +70,14 @@ struct ForJob {
 
   void run_chunk(std::size_t c) noexcept {
     std::exception_ptr err;
+    const auto started = std::chrono::steady_clock::now();
     try {
       const auto [lo, hi] = chunk(c);
       for (std::size_t i = lo; i < hi; ++i) (*body)(i);
     } catch (...) {
       err = std::current_exception();
     }
+    chunk_latency_hist().observe(elapsed_ns(started));
     // Notify under the lock: the job lives on the caller's stack, so the
     // last completing chunk must not touch it after the caller can wake.
     const std::lock_guard<std::mutex> lock(mutex);
@@ -92,7 +128,9 @@ struct Executor::Pool {
       std::size_t my_chunk = 0;
       {
         std::unique_lock<std::mutex> lock(mutex);
+        const auto wait_started = std::chrono::steady_clock::now();
         work_cv.wait(lock, [this] { return shutting_down || job != nullptr; });
+        idle_counter().add(elapsed_ns(wait_started));
         if (shutting_down) return;
         my_job = job;
         my_chunk = next_chunk++;
@@ -142,6 +180,9 @@ void Executor::parallel_for(std::size_t begin, std::size_t end,
   job.end = end;
   job.chunks = threads_ < n ? threads_ : n;
   job.chunks_remaining = job.chunks;
+  jobs_counter().add(1);
+  chunks_counter().add(job.chunks);
+  queue_depth_gauge().record_max(job.chunks);
 
   const std::lock_guard<std::mutex> submission(pool_->submission_mutex);
   const void* previous_pool = g_active_pool;

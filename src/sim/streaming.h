@@ -21,9 +21,28 @@
 #include <cstddef>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "sim/executor.h"
 
 namespace divsec::sim {
+
+namespace streaming_detail {
+/// Fold telemetry. The queued path already reads the clock per group for
+/// the dist:: cost model; the histogram reuses those numbers so the
+/// CostModel and the obs catalog can never disagree about fold cost.
+inline obs::Counter& blocks_counter() {
+  static obs::Counter& c = obs::counter("sim.streaming.blocks");
+  return c;
+}
+inline obs::Counter& groups_counter() {
+  static obs::Counter& c = obs::counter("sim.streaming.groups");
+  return c;
+}
+inline obs::Histogram& group_fold_hist() {
+  static obs::Histogram& h = obs::histogram("sim.streaming.group_fold_ns");
+  return h;
+}
+}  // namespace streaming_detail
 
 /// Default replications-per-block of the streaming backends. Small enough
 /// that round memory stays trivial, large enough that per-block overhead
@@ -58,6 +77,7 @@ template <typename Acc, typename Make, typename Fold>
   const std::size_t jobs = groups * nblocks;
   if (jobs == 0) return out;
 
+  streaming_detail::blocks_counter().add(jobs);
   const std::size_t round = blocked_round_size(executor);
   std::vector<Acc> partials;
   for (std::size_t start = 0; start < jobs; start += round) {
@@ -129,10 +149,14 @@ template <typename Acc, typename Make, typename Fold>
         for (std::size_t i = lo; i < hi; ++i) fold(partial, g, i);
         acc.merge(partial);
       }
+      const auto fold_time = std::chrono::steady_clock::now() - start;
+      streaming_detail::groups_counter().add(1);
+      streaming_detail::group_fold_hist().observe(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(fold_time)
+              .count()));
       if (group_seconds)
-        (*group_seconds)[g] = std::chrono::duration<double>(
-                                  std::chrono::steady_clock::now() - start)
-                                  .count();
+        (*group_seconds)[g] =
+            std::chrono::duration<double>(fold_time).count();
     }
   });
   return out;

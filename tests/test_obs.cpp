@@ -1,0 +1,361 @@
+// Tests for the obs:: telemetry subsystem (PR 9). Four contracts:
+//
+//  1. Lock-free counters: concurrent increments through the Executor
+//     lose nothing and merge deterministically (TSan runs this file),
+//     and a snapshot taken while writers are running never tears — the
+//     totals a reader sees are monotone non-decreasing.
+//  2. The sidecar codec: metrics_json round-trips exactly through
+//     parse_metrics_json, merge_into follows the sum/max rules, file
+//     I/O errors throw, and malformed sidecars are rejected.
+//  3. Trace spans nest, flush as balanced Chrome trace-event JSON, and
+//     record nothing when no session is active.
+//  4. The out-of-band invariant: sweep CSV bytes are identical with
+//     recording enabled or disabled, for 1/4/8 threads. (The compiled-
+//     out leg is CI's -DDIVSEC_OBS=0 build of this same test.)
+//
+// Assertions on recorded *values* are #if DIVSEC_OBS — in a compiled-
+// out build recording is a no-op and everything reads zero, but the
+// cold sidecar layer and the invariant tests still run.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/state_codec.h"
+#include "dist/sweep.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/executor.h"
+
+namespace divsec {
+namespace {
+
+// --- 1. Lock-free counters under load ---------------------------------
+
+TEST(ObsRegistry, HandlesAreStableAcrossLookups) {
+  obs::Counter& a = obs::counter("test.obs.stable");
+  obs::Counter& b = obs::counter("test.obs.stable");
+  EXPECT_EQ(&a, &b);
+  obs::Gauge& g1 = obs::gauge("test.obs.stable_gauge");
+  obs::Gauge& g2 = obs::gauge("test.obs.stable_gauge");
+  EXPECT_EQ(&g1, &g2);
+}
+
+TEST(ObsRegistry, CounterMergeIsDeterministicUnderExecutorLoad) {
+  obs::reset();
+  obs::set_enabled(true);
+  constexpr std::size_t kJobs = 100000;
+  obs::Counter& hits = obs::counter("test.obs.load_hits");
+  obs::Histogram& sizes = obs::histogram("test.obs.load_sizes");
+  const sim::Executor ex(8);
+  ex.parallel_for(0, kJobs, [&](std::size_t i) {
+    hits.add(1);
+    sizes.observe(i % 17);
+  });
+#if DIVSEC_OBS
+  EXPECT_EQ(hits.total(), kJobs);
+  const obs::Snapshot snap = obs::snapshot();
+  EXPECT_EQ(snap.counter("test.obs.load_hits"), kJobs);
+  const obs::HistogramValue* h = snap.histogram("test.obs.load_sizes");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, kJobs);
+  // Sum of i % 17 over [0, 100000) is exact and schedule-independent.
+  std::uint64_t expected_sum = 0;
+  for (std::size_t i = 0; i < kJobs; ++i) expected_sum += i % 17;
+  EXPECT_EQ(h->sum, expected_sum);
+#endif
+}
+
+TEST(ObsRegistry, SnapshotWhileIncrementingNeverTears) {
+  obs::reset();
+  obs::set_enabled(true);
+  constexpr std::size_t kWriters = 4;
+  constexpr std::uint64_t kPerWriter = 200000;
+  obs::Counter& c = obs::counter("test.obs.tear");
+  std::atomic<bool> go{false};
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (std::size_t w = 0; w < kWriters; ++w)
+    writers.emplace_back([&] {
+      while (!go.load(std::memory_order_acquire)) {}
+      for (std::uint64_t i = 0; i < kPerWriter; ++i) c.add(1);
+    });
+  go.store(true, std::memory_order_release);
+  // Each stripe is monotone and same-thread re-reads respect coherence
+  // order, so this reader's successive totals must never decrease.
+  std::uint64_t last = 0;
+  for (int probe = 0; probe < 1000; ++probe) {
+    const std::uint64_t now = c.total();
+    EXPECT_GE(now, last);
+    EXPECT_LE(now, kWriters * kPerWriter);
+    last = now;
+  }
+  for (auto& t : writers) t.join();
+#if DIVSEC_OBS
+  EXPECT_EQ(c.total(), kWriters * kPerWriter);
+#endif
+}
+
+TEST(ObsRegistry, GaugeRecordMaxIsTheMaxAcrossThreads) {
+  obs::reset();
+  obs::set_enabled(true);
+  obs::Gauge& g = obs::gauge("test.obs.max");
+  const sim::Executor ex(4);
+  ex.parallel_for(0, 10000, [&](std::size_t i) { g.record_max(i); });
+#if DIVSEC_OBS
+  EXPECT_EQ(g.value(), 9999u);
+#endif
+}
+
+TEST(ObsRegistry, DisableFreezesAndResetZeroes) {
+  obs::reset();
+  obs::set_enabled(true);
+  obs::Counter& c = obs::counter("test.obs.freeze");
+  c.add(5);
+  obs::set_enabled(false);
+  c.add(100);  // dropped: recording is off
+  obs::set_enabled(true);
+#if DIVSEC_OBS
+  EXPECT_EQ(c.total(), 5u);
+#endif
+  obs::reset();
+  EXPECT_EQ(c.total(), 0u);
+}
+
+TEST(ObsRegistry, HistogramBucketsAreLog2) {
+#if DIVSEC_OBS
+  EXPECT_EQ(obs::Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(obs::Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(obs::Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(obs::Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(obs::Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(obs::Histogram::bucket_of(~std::uint64_t{0}),
+            obs::kHistogramBuckets - 1);
+#endif
+  obs::reset();
+  obs::set_enabled(true);
+  obs::Histogram& h = obs::histogram("test.obs.log2");
+  for (std::uint64_t v : {0ull, 1ull, 1ull, 1000ull}) h.observe(v);
+#if DIVSEC_OBS
+  obs::HistogramValue hv;
+  h.fill(hv);
+  EXPECT_EQ(hv.count, 4u);
+  EXPECT_EQ(hv.sum, 1002u);
+  EXPECT_DOUBLE_EQ(hv.mean(), 1002.0 / 4.0);
+  // p25 lands in the ones, p100 in 1000's bucket: the log2 upper edge
+  // bounds the true quantile within a factor of two.
+  EXPECT_GE(hv.quantile(1.0), 1000.0);
+  EXPECT_LE(hv.quantile(1.0), 2048.0);
+#endif
+}
+
+// --- 2. The sidecar codec ---------------------------------------------
+
+TEST(ObsSidecar, JsonRoundTripsExactly) {
+  obs::Snapshot snap;
+  snap.counters.push_back({"a.count", 42});
+  snap.counters.push_back({"b.count", ~std::uint64_t{0}});  // max u64
+  snap.gauges.push_back({"a.peak", 7});
+  obs::HistogramValue h;
+  h.name = "a.hist";
+  h.count = 3;
+  h.sum = 1002;
+  h.buckets[0] = 1;
+  h.buckets[1] = 1;
+  h.buckets[10] = 1;
+  snap.histograms.push_back(h);
+
+  const std::string json = obs::metrics_json(snap);
+  const obs::Snapshot back = obs::parse_metrics_json(json);
+  ASSERT_EQ(back.counters.size(), 2u);
+  EXPECT_EQ(back.counter("a.count"), 42u);
+  EXPECT_EQ(back.counter("b.count"), ~std::uint64_t{0});
+  EXPECT_EQ(back.gauge("a.peak"), 7u);
+  const obs::HistogramValue* hb = back.histogram("a.hist");
+  ASSERT_NE(hb, nullptr);
+  EXPECT_EQ(hb->count, 3u);
+  EXPECT_EQ(hb->sum, 1002u);
+  EXPECT_EQ(hb->buckets, h.buckets);
+  // Re-emission is byte-identical: the sidecar format is canonical.
+  EXPECT_EQ(obs::metrics_json(back), json);
+}
+
+TEST(ObsSidecar, MergeSumsCountersAndMaxesGauges) {
+  obs::Snapshot a;
+  a.counters.push_back({"shared", 10});
+  a.gauges.push_back({"peak", 5});
+  obs::HistogramValue ha;
+  ha.name = "lat";
+  ha.count = 2;
+  ha.sum = 6;
+  ha.buckets[2] = 2;
+  a.histograms.push_back(ha);
+
+  obs::Snapshot b;
+  b.counters.push_back({"only_b", 1});
+  b.counters.push_back({"shared", 32});
+  b.gauges.push_back({"peak", 3});
+  obs::HistogramValue hb;
+  hb.name = "lat";
+  hb.count = 1;
+  hb.sum = 100;
+  hb.buckets[7] = 1;
+  b.histograms.push_back(hb);
+
+  obs::merge_into(a, b);
+  EXPECT_EQ(a.counter("shared"), 42u);
+  EXPECT_EQ(a.counter("only_b"), 1u);
+  EXPECT_EQ(a.gauge("peak"), 5u);  // max, not sum
+  const obs::HistogramValue* m = a.histogram("lat");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->count, 3u);
+  EXPECT_EQ(m->sum, 106u);
+  EXPECT_EQ(m->buckets[2], 2u);
+  EXPECT_EQ(m->buckets[7], 1u);
+  // Sorted-name invariant survives the insertion of only_b.
+  for (std::size_t i = 1; i < a.counters.size(); ++i)
+    EXPECT_LT(a.counters[i - 1].name, a.counters[i].name);
+}
+
+TEST(ObsSidecar, RejectsMalformedInput) {
+  EXPECT_THROW((void)obs::parse_metrics_json(""), std::runtime_error);
+  EXPECT_THROW((void)obs::parse_metrics_json("{}"), std::runtime_error);
+  EXPECT_THROW((void)obs::parse_metrics_json("{\"divsec_metrics\": 99}"),
+               std::runtime_error);
+  // Truncated mid-object.
+  EXPECT_THROW((void)obs::parse_metrics_json(
+                   "{\"divsec_metrics\": 1, \"counters\": {\"a\": "),
+               std::runtime_error);
+}
+
+TEST(ObsSidecar, FileRoundTripAndMissingFileThrows) {
+  obs::Snapshot snap;
+  snap.counters.push_back({"io.test", 123});
+  const std::string path = "test_obs_sidecar.metrics.json";
+  obs::write_metrics_file(path, snap);
+  const obs::Snapshot back = obs::read_metrics_file(path);
+  EXPECT_EQ(back.counter("io.test"), 123u);
+  std::remove(path.c_str());
+  EXPECT_THROW((void)obs::read_metrics_file(path), std::runtime_error);
+}
+
+// --- 3. Trace spans ----------------------------------------------------
+
+std::size_t count_occurrences(const std::string& text,
+                              const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size()))
+    ++n;
+  return n;
+}
+
+TEST(ObsTrace, SpansNestAndFlushBalancedJson) {
+  obs::trace_start();
+  {
+    const obs::Span outer("test.outer");
+    const obs::Span inner("test.inner");
+    (void)outer;
+    (void)inner;
+  }
+  {
+    const obs::Span solo("test.solo");
+    (void)solo;
+  }
+  const std::string path = "test_obs_trace.json";
+  obs::trace_stop(path);
+
+  std::string json;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buf[1 << 12];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) json.append(buf, n);
+    std::fclose(f);
+  }
+  std::remove(path.c_str());
+
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+#if DIVSEC_OBS
+  // Three complete events, each a "ph": "X" record with its name.
+  EXPECT_EQ(count_occurrences(json, "\"ph\": \"X\""), 3u);
+  EXPECT_EQ(count_occurrences(json, "\"test.outer\""), 1u);
+  EXPECT_EQ(count_occurrences(json, "\"test.inner\""), 1u);
+  EXPECT_EQ(count_occurrences(json, "\"test.solo\""), 1u);
+#endif
+  // Balanced braces/brackets: the file is structurally sound JSON.
+  EXPECT_EQ(count_occurrences(json, "{"), count_occurrences(json, "}"));
+  EXPECT_EQ(count_occurrences(json, "["), count_occurrences(json, "]"));
+}
+
+TEST(ObsTrace, NoSessionRecordsNothing) {
+#if DIVSEC_OBS
+  ASSERT_FALSE(obs::trace_enabled());
+  {
+    const obs::Span ignored("test.ignored");
+    (void)ignored;
+  }
+  obs::trace_start();
+  const std::string json = obs::trace_json();  // ends the session
+  EXPECT_EQ(count_occurrences(json, "\"ph\""), 0u);
+  EXPECT_EQ(count_occurrences(json, "test.ignored"), 0u);
+#endif
+}
+
+// --- 4. The out-of-band invariant --------------------------------------
+
+TEST(ObsInvariant, SweepCsvBytesIdenticalWithRecordingOnOrOff) {
+  dist::SweepSpec spec;
+  spec.preset = "plant_small";
+  spec.seed = 4242;
+  spec.replications = 24;
+  spec.replication_block = 8;
+  spec.superblock = 8;
+  const dist::SweepMeta meta = dist::make_meta(spec);
+
+  std::string reference;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4},
+                                    std::size_t{8}}) {
+    const sim::Executor ex(threads);
+    for (const bool recording : {true, false}) {
+      obs::set_enabled(recording);
+      const auto summaries = dist::run_in_process(spec, &ex);
+      const std::string csv = dist::sweep_csv(meta, summaries);
+      if (reference.empty()) reference = csv;
+      EXPECT_EQ(csv, reference)
+          << "CSV drifted: threads=" << threads
+          << " recording=" << recording;
+    }
+  }
+  obs::set_enabled(true);
+  EXPECT_FALSE(reference.empty());
+}
+
+TEST(ObsInvariant, ShardStateBytesIdenticalWithRecordingOnOrOff) {
+  dist::SweepSpec spec;
+  spec.preset = "plant_small";
+  spec.seed = 4242;
+  spec.replications = 24;
+  spec.replication_block = 8;
+  spec.superblock = 8;
+
+  obs::set_enabled(true);
+  const dist::ShardState on = dist::run_shard(spec, 0, 2);
+  obs::set_enabled(false);
+  const dist::ShardState off = dist::run_shard(spec, 0, 2);
+  obs::set_enabled(true);
+  // Wall-clock meta fields differ run to run by design; the partials —
+  // the bytes that decide every merged result — must not.
+  ASSERT_EQ(on.tasks, off.tasks);
+  ASSERT_EQ(on.partials.size(), off.partials.size());
+  for (std::size_t t = 0; t < on.partials.size(); ++t)
+    EXPECT_EQ(dist::accumulator_json(on.partials[t]),
+              dist::accumulator_json(off.partials[t]));
+}
+
+}  // namespace
+}  // namespace divsec

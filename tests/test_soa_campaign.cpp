@@ -24,6 +24,7 @@
 #include "bench/legacy_campaign.h"
 #include "core/measurement.h"
 #include "net/reachability_index.h"
+#include "obs/metrics.h"
 #include "scenario/presets.h"
 #include "sim/executor.h"
 #include "stats/rng.h"
@@ -318,20 +319,28 @@ TEST_F(SoaKernelFixture, LazyContextsShareIndexesAndBoundResidency) {
              .scenario,
          1000 + c});
   sim::Executor serial{1};
-  core::ContextStats stats;
   core::MeasurementOptions mo;
   mo.replications = 4;
   mo.executor = &serial;
   mo.keep_samples = false;
-  mo.context_stats = &stats;
+  // The bespoke ContextStats struct became the core.context.* metrics;
+  // the registry is process-cumulative, so read per-sweep deltas by
+  // zeroing it before each measured call.
+  obs::reset();
   const auto summaries =
       core::MeasurementEngine(cat, stuxnet, mo).measure_scenarios(plan);
   ASSERT_EQ(summaries.size(), 64u);
-  EXPECT_EQ(stats.built, 64u);
-  EXPECT_EQ(stats.distinct_reach, 1u);
-  // Rounds are 4 x threads tasks; with one task per cell the live set
-  // stays around a round's width — far below the 64-cell fleet.
-  EXPECT_LE(stats.peak_live, 16u);
+#if DIVSEC_OBS
+  {
+    const obs::Snapshot snap = obs::snapshot();
+    EXPECT_EQ(snap.counter("core.context.built"), 64u);
+    EXPECT_EQ(snap.counter("core.context.reach_builds"), 1u);
+    EXPECT_EQ(snap.counter("core.context.reach_dedup_hits"), 63u);
+    // Rounds are 4 x threads tasks; with one task per cell the live set
+    // stays around a round's width — far below the 64-cell fleet.
+    EXPECT_LE(snap.gauge("core.context.peak_live"), 16u);
+  }
+#endif
 
   // Two distinct topologies in one sweep: two indexes, no more.
   plan.cells.push_back(
@@ -339,11 +348,17 @@ TEST_F(SoaKernelFixture, LazyContextsShareIndexesAndBoundResidency) {
                              scenario::VariantPolicy::kMonoculture)
            .scenario,
        9999});
+  obs::reset();
   const auto with_medium =
       core::MeasurementEngine(cat, stuxnet, mo).measure_scenarios(plan);
   ASSERT_EQ(with_medium.size(), 65u);
-  EXPECT_EQ(stats.built, 65u);
-  EXPECT_EQ(stats.distinct_reach, 2u);
+#if DIVSEC_OBS
+  {
+    const obs::Snapshot snap = obs::snapshot();
+    EXPECT_EQ(snap.counter("core.context.built"), 65u);
+    EXPECT_EQ(snap.counter("core.context.reach_builds"), 2u);
+  }
+#endif
 }
 
 TEST_F(SoaKernelFixture, LazySharedPathChangesNoBits) {

@@ -67,6 +67,9 @@
 #include "core/report.h"
 #include "dist/adaptive.h"
 #include "dist/sweep.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
 #include "sim/executor.h"
 #include "util/json.h"
 #include "util/version.h"
@@ -107,6 +110,11 @@ void usage(std::FILE* to) {
       "                       i/K writes shard i's slice of the achieved\n"
       "                       task list for a later `merge`\n"
       "  --out PATH           state-file path (sharded) or artifact prefix\n"
+      "  --metrics PATH       write the obs:: metrics snapshot as JSON; a\n"
+      "                       sharded run writes <out>.metrics.json even\n"
+      "                       without the flag (merge aggregates sidecars)\n"
+      "  --trace FILE         record obs:: spans and write a Chrome\n"
+      "                       trace-event JSON (load in Perfetto)\n"
       "\n"
       "divsec_sweep plan [sweep options] --shards K [--weights STATE]...\n"
       "                  [--out PATH]\n"
@@ -116,10 +124,14 @@ void usage(std::FILE* to) {
       "  Without --weights all tasks cost the same (balanced deal). Writes\n"
       "  the task plan to PATH (default <preset>_<K>shards.tasks)\n"
       "\n"
-      "divsec_sweep merge [--out PREFIX] [--bench-json FILE] STATE...\n"
+      "divsec_sweep merge [--out PREFIX] [--bench-json FILE]\n"
+      "                   [--metrics PATH] STATE...\n"
       "  reduces shard state files to <PREFIX>_measurements.csv,\n"
       "  <PREFIX>_summary.json and <PREFIX>_merged.state; --bench-json\n"
-      "  records per-shard wall times in BENCH json format\n"
+      "  records per-shard wall times in BENCH json format. Aggregates the\n"
+      "  inputs' <STATE>.metrics.json sidecars (plus this process's own\n"
+      "  codec counters) into <PREFIX>_merged.state.metrics.json, or\n"
+      "  --metrics PATH\n"
       "\n"
       "divsec_sweep adapt [sweep options] [--shards K] [--threads T]\n"
       "                   [--out PREFIX]\n"
@@ -141,11 +153,19 @@ void usage(std::FILE* to) {
       "  --max N              per-cell cap (default: --replications)\n"
       "  --round N            replications added per round per cell\n"
       "                       (default: one superblock)\n"
+      "  --metrics PATH       write the obs:: metrics snapshot as JSON\n"
+      "  --trace FILE         record obs:: spans (adapt.round/shard/merge)\n"
+      "                       and write Chrome trace-event JSON\n"
+      "  (a per-round convergence line always goes to stderr; silence it\n"
+      "  with DIVSEC_PROGRESS=0)\n"
       "\n"
-      "divsec_sweep inspect STATE\n"
+      "divsec_sweep inspect [STATE] [--metrics FILE]\n"
       "  prints the JSON header, the per-section byte breakdown with the\n"
       "  compression ratio vs. the fixed-width equivalent, per-cell\n"
-      "  summaries, the adaptive round log, and the accumulator dump\n"
+      "  summaries, the adaptive round log, and the accumulator dump.\n"
+      "  --metrics FILE (or an existing <STATE>.metrics.json sidecar)\n"
+      "  pretty-prints the metrics catalog: counters, gauges, and\n"
+      "  histogram count/mean/p50/p99\n"
       "\n"
       "divsec_sweep --help | --version\n",
       sim::kDefaultReductionBlock, sim::kDefaultSuperblockReps);
@@ -214,6 +234,42 @@ std::pair<std::size_t, std::size_t> parse_shard(const std::string& value) {
   return {static_cast<std::size_t>(i), static_cast<std::size_t>(k)};
 }
 
+/// RAII around --trace FILE: spans record between construction and the
+/// command's (possibly early) return, then flush as Chrome trace-event
+/// JSON. A write failure warns instead of throwing (we are unwinding).
+struct TraceGuard {
+  std::string path;
+
+  explicit TraceGuard(std::string p) : path(std::move(p)) {
+    if (!path.empty()) obs::trace_start();
+  }
+  ~TraceGuard() {
+    if (path.empty()) return;
+    try {
+      obs::trace_stop(path);
+      obs::progress_line("trace -> %s", path.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "divsec_sweep: trace write failed: %s\n", e.what());
+    }
+  }
+  TraceGuard(const TraceGuard&) = delete;
+  TraceGuard& operator=(const TraceGuard&) = delete;
+};
+
+/// Flush the process's metrics snapshot as a sidecar. Out-of-band by
+/// construction: written after the CSV/state artifacts, read by nothing
+/// in the measurement pipeline.
+void write_metrics_sidecar(const std::string& path) {
+  obs::write_metrics_file(path, obs::snapshot());
+  obs::progress_line("metrics -> %s", path.c_str());
+}
+
+bool file_exists(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f) std::fclose(f);
+  return f != nullptr;
+}
+
 struct ArgReader {
   int argc;
   char** argv;
@@ -258,6 +314,8 @@ int cmd_run(int argc, char** argv) {
   std::string out;
   std::string tasks_path;
   std::string replay_path;
+  std::string metrics_path;
+  std::string trace_path;
 
   ArgReader args{argc, argv, 2};
   for (; args.i < argc; ++args.i) {
@@ -271,9 +329,19 @@ int cmd_run(int argc, char** argv) {
     } else if (flag == "--tasks") tasks_path = args.value(flag);
     else if (flag == "--replay") replay_path = args.value(flag);
     else if (flag == "--out") out = args.value(flag);
+    else if (flag == "--metrics") metrics_path = args.value(flag);
+    else if (flag == "--trace") trace_path = args.value(flag);
     else die_unknown(flag);
   }
 
+  const TraceGuard trace(trace_path);
+  // A state-producing run always flushes its metrics next to the state
+  // file (merge aggregates the sidecars); the in-process reference only
+  // writes metrics when asked.
+  const auto shard_metrics = [&](const std::string& state_path) {
+    write_metrics_sidecar(metrics_path.empty() ? state_path + ".metrics.json"
+                                               : metrics_path);
+  };
   const sim::Executor executor(threads);  // 0 = DIVSEC_THREADS default
   if (!replay_path.empty()) {
     // Replay mode: the state file, not the command line, names the sweep
@@ -306,6 +374,7 @@ int cmd_run(int argc, char** argv) {
       const dist::ShardState state = dist::run_shard_tasks(
           replay_spec, slice, shard, shard_count, &executor);
       dist::write_shard_state(out, state);
+      shard_metrics(out);
       std::printf("replay shard %zu/%zu: %zu of %zu achieved task(s) of %s "
                   "in %.1f ms -> %s\n",
                   shard, shard_count, state.tasks.size(), tasks.size(),
@@ -321,6 +390,7 @@ int cmd_run(int argc, char** argv) {
                        dist::sweep_csv(merged.meta, merged.summaries));
     core::save_to_file(out + "_summary.json",
                        dist::summary_json(merged.meta, merged.summaries));
+    if (!metrics_path.empty()) write_metrics_sidecar(metrics_path);
     std::printf("replayed %zu achieved task(s) of %s in %.1f ms -> "
                 "%s_{measurements.csv,summary.json}\n",
                 tasks.size(), replay_spec.preset.c_str(), state.meta.wall_ms,
@@ -353,6 +423,7 @@ int cmd_run(int argc, char** argv) {
     const dist::ShardState state = dist::run_shard_tasks(
         spec, plan.shards[shard], shard, plan.shards.size(), &executor);
     dist::write_shard_state(out, state);
+    shard_metrics(out);
     std::printf("shard %zu/%zu: %zu task(s) of %s (cost-weighted plan %s) "
                 "in %.1f ms -> %s\n",
                 shard, plan.shards.size(), state.tasks.size(),
@@ -373,6 +444,7 @@ int cmd_run(int argc, char** argv) {
     const unsigned long long hi =
         state.tasks.empty() ? 0 : static_cast<unsigned long long>(state.tasks.back()) + 1;
     dist::write_shard_state(out, state);
+    shard_metrics(out);
     std::printf("shard %zu/%zu: tasks [%llu, %llu) of %s in %.1f ms -> %s\n",
                 shard, shard_count, lo, hi, spec.preset.c_str(),
                 state.meta.wall_ms, out.c_str());
@@ -388,6 +460,7 @@ int cmd_run(int argc, char** argv) {
                      dist::sweep_csv(meta, summaries));
   core::save_to_file(out + "_summary.json",
                      dist::summary_json(meta, summaries));
+  if (!metrics_path.empty()) write_metrics_sidecar(metrics_path);
   std::printf("in-process sweep of %s (%llu cells x %llu reps) -> "
               "%s_{measurements.csv,summary.json}\n",
               spec.preset.c_str(), static_cast<unsigned long long>(meta.cells),
@@ -454,6 +527,7 @@ int cmd_plan(int argc, char** argv) {
 int cmd_merge(int argc, char** argv) {
   std::string out = "merged";
   std::string bench_json;
+  std::string metrics_path;
   std::vector<std::string> inputs;
 
   ArgReader args{argc, argv, 2};
@@ -461,6 +535,7 @@ int cmd_merge(int argc, char** argv) {
     const std::string flag = argv[args.i];
     if (flag == "--out") out = args.value(flag);
     else if (flag == "--bench-json") bench_json = args.value(flag);
+    else if (flag == "--metrics") metrics_path = args.value(flag);
     else if (flag.size() >= 2 && flag[0] == '-' && flag[1] == '-')
       die_unknown(flag);
     else inputs.push_back(flag);
@@ -483,6 +558,29 @@ int cmd_merge(int argc, char** argv) {
   core::save_to_file(out + "_summary.json",
                      dist::summary_json(merged.meta, merged.summaries));
   dist::write_shard_state(out + "_merged.state", dist::merged_state(merged));
+
+  // Aggregate the shards' metrics sidecars (counters sum, gauges max)
+  // plus this process's own snapshot — the codec decode/encode counters
+  // of the reduction itself — into one fleet-wide catalog.
+  {
+    obs::Snapshot fleet;
+    std::size_t sidecars = 0;
+    for (const auto& path : inputs) {
+      const std::string sidecar = path + ".metrics.json";
+      if (!file_exists(sidecar)) continue;
+      obs::merge_into(fleet, obs::read_metrics_file(sidecar));
+      ++sidecars;
+    }
+    if (sidecars > 0 || !metrics_path.empty()) {
+      obs::merge_into(fleet, obs::snapshot());
+      const std::string dest = metrics_path.empty()
+                                   ? out + "_merged.state.metrics.json"
+                                   : metrics_path;
+      obs::write_metrics_file(dest, fleet);
+      obs::progress_line("aggregated %zu metrics sidecar(s) -> %s", sidecars,
+                         dest.c_str());
+    }
+  }
 
   if (!bench_json.empty()) {
     // Per-shard wall times plus the reduction itself: the distributed
@@ -526,6 +624,8 @@ int cmd_adapt(int argc, char** argv) {
   dist::AdaptiveSweepOptions options;
   std::size_t threads = 0;
   std::string out;
+  std::string metrics_path;
+  std::string trace_path;
 
   ArgReader args{argc, argv, 2};
   for (; args.i < argc; ++args.i) {
@@ -548,11 +648,14 @@ int cmd_adapt(int argc, char** argv) {
     else if (flag == "--threads")
       threads = parse_u64(flag, args.value(flag));
     else if (flag == "--out") out = args.value(flag);
+    else if (flag == "--metrics") metrics_path = args.value(flag);
+    else if (flag == "--trace") trace_path = args.value(flag);
     else die_unknown(flag);
   }
   if (options.shards == 0) die("adapt wants --shards K >= 1");
   if (out.empty()) out = spec.preset;
 
+  const TraceGuard trace(trace_path);
   const sim::Executor executor(threads);
   const dist::AdaptiveResult result =
       dist::run_adaptive(spec, options, &executor);
@@ -563,6 +666,7 @@ int cmd_adapt(int argc, char** argv) {
                      dist::summary_json(result.meta, result.summaries));
   dist::write_shard_state(out + "_adaptive.state",
                           dist::adaptive_state(result));
+  if (!metrics_path.empty()) write_metrics_sidecar(metrics_path);
 
   const double savings =
       result.total_replications > 0
@@ -583,17 +687,55 @@ int cmd_adapt(int argc, char** argv) {
   return 0;
 }
 
+/// One JSON line per metric, sorted by name (sidecar order). Histograms
+/// get count/sum plus the triage stats (mean, p50, p99 — log2-bucket
+/// upper edges, exact within a factor of two).
+void print_metrics_catalog(const std::string& metrics_path) {
+  const obs::Snapshot snap = obs::read_metrics_file(metrics_path);
+  std::printf("{\"metrics_file\": %s, \"counters\": %zu, \"gauges\": %zu, "
+              "\"histograms\": %zu}\n",
+              util::json_string(metrics_path).c_str(), snap.counters.size(),
+              snap.gauges.size(), snap.histograms.size());
+  for (const obs::CounterValue& c : snap.counters)
+    std::printf("{\"counter\": %s, \"value\": %llu}\n",
+                util::json_string(c.name).c_str(),
+                static_cast<unsigned long long>(c.value));
+  for (const obs::GaugeValue& g : snap.gauges)
+    std::printf("{\"gauge\": %s, \"value\": %llu}\n",
+                util::json_string(g.name).c_str(),
+                static_cast<unsigned long long>(g.value));
+  for (const obs::HistogramValue& h : snap.histograms)
+    std::printf("{\"histogram\": %s, \"count\": %llu, \"sum\": %llu, "
+                "\"mean\": %s, \"p50\": %s, \"p99\": %s}\n",
+                util::json_string(h.name).c_str(),
+                static_cast<unsigned long long>(h.count),
+                static_cast<unsigned long long>(h.sum),
+                util::json_number_exact(h.mean()).c_str(),
+                util::json_number_exact(h.quantile(0.5)).c_str(),
+                util::json_number_exact(h.quantile(0.99)).c_str());
+}
+
 int cmd_inspect(int argc, char** argv) {
   std::string path;
+  std::string metrics_path;
   ArgReader args{argc, argv, 2};
   for (; args.i < argc; ++args.i) {
     const std::string flag = argv[args.i];
-    if (flag.size() >= 2 && flag[0] == '-' && flag[1] == '-')
+    if (flag == "--metrics") metrics_path = args.value(flag);
+    else if (flag.size() >= 2 && flag[0] == '-' && flag[1] == '-')
       die_unknown(flag);
-    if (!path.empty()) die("inspect wants exactly one state file");
-    path = flag;
+    else if (!path.empty()) die("inspect wants at most one state file");
+    else path = flag;
   }
-  if (path.empty()) die("inspect wants a state file");
+  if (path.empty() && metrics_path.empty())
+    die("inspect wants a state file and/or --metrics FILE");
+  // A state file's own sidecar rides along without being asked for.
+  if (metrics_path.empty() && file_exists(path + ".metrics.json"))
+    metrics_path = path + ".metrics.json";
+  if (path.empty()) {
+    print_metrics_catalog(metrics_path);
+    return 0;
+  }
 
   std::string bytes;
   {
@@ -671,6 +813,8 @@ int cmd_inspect(int argc, char** argv) {
     std::printf("{\"task\": %llu, \"state\": %s}\n",
                 static_cast<unsigned long long>(state.tasks[t]),
                 dist::accumulator_json(state.partials[t]).c_str());
+
+  if (!metrics_path.empty()) print_metrics_catalog(metrics_path);
   return 0;
 }
 
