@@ -1,5 +1,7 @@
 #include "attack/threat.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace divsec::attack {
@@ -11,7 +13,200 @@ void check_rate(double r, const char* what, const std::string& name) {
     throw std::invalid_argument(name + ": " + what + " must be > 0");
 }
 
+struct ChannelToken {
+  const char* token;
+  net::Channel channel;
+};
+
+constexpr ChannelToken kChannelTokens[net::kChannelCount] = {
+    {"usb", net::Channel::kUsb},
+    {"smb", net::Channel::kSmbShare},
+    {"spooler", net::Channel::kPrintSpooler},
+    {"project", net::Channel::kProjectFile},
+    {"modbus", net::Channel::kModbus},
+    {"http", net::Channel::kHttp},
+};
+
+std::string joined_channel_tokens() {
+  std::string out;
+  for (std::size_t i = 0; i < net::kChannelCount; ++i) {
+    if (i) out += ", ";
+    out += kChannelTokens[i].token;
+  }
+  return out;
+}
+
+std::string joined_threat_names() {
+  std::string out;
+  const auto names = threat_names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i) out += ", ";
+    out += names[i];
+  }
+  return out;
+}
+
+const char* channel_token(net::Channel c) {
+  for (const ChannelToken& t : kChannelTokens)
+    if (t.channel == c) return t.token;
+  return "?";
+}
+
+/// Shortest decimal string that round-trips to exactly `v` (canonical
+/// specs are sweep-fingerprint material; same rule as FamilySpec).
+std::string format_double(double v) {
+  char buf[64];
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+double parse_threat_double(const std::string& key, const std::string& text) {
+  char* end = nullptr;
+  const double v = text.empty() ? 0.0 : std::strtod(text.c_str(), &end);
+  if (text.empty() || end == nullptr || *end != '\0')
+    throw std::invalid_argument("ThreatTuning: parameter '" + key +
+                                "' needs a number, got '" + text + "'");
+  return v;
+}
+
+std::vector<net::Channel> parse_channel_list(const std::string& text) {
+  std::vector<net::Channel> out;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t plus = text.find('+', pos);
+    const std::string token = text.substr(
+        pos, plus == std::string::npos ? std::string::npos : plus - pos);
+    bool found = false;
+    for (const ChannelToken& t : kChannelTokens) {
+      if (token == t.token) {
+        out.push_back(t.channel);
+        found = true;
+        break;
+      }
+    }
+    if (!found)
+      throw std::invalid_argument("ThreatTuning: unknown channel '" + token +
+                                  "' (channels: " + joined_channel_tokens() + ")");
+    if (plus == std::string::npos) break;
+    pos = plus + 1;
+  }
+  if (out.empty())
+    throw std::invalid_argument("ThreatTuning: channels override must name >= 1");
+  return out;
+}
+
 }  // namespace
+
+std::vector<std::string> threat_names() { return {"stuxnet", "duqu", "flame"}; }
+
+ThreatTuning ThreatTuning::parse(const std::string& spec) {
+  ThreatTuning t;
+  const std::size_t colon = spec.find(':');
+  t.base = colon == std::string::npos ? spec : spec.substr(0, colon);
+
+  bool known_base = false;
+  for (const std::string& n : threat_names()) known_base |= t.base == n;
+  if (!known_base)
+    throw std::invalid_argument("ThreatTuning: unknown threat '" + t.base +
+                                "' (threats: " + joined_threat_names() + ")");
+
+  if (colon != std::string::npos) {
+    const std::string params = spec.substr(colon + 1);
+    std::size_t pos = 0;
+    while (pos <= params.size()) {
+      const std::size_t comma = params.find(',', pos);
+      const std::string item = params.substr(
+          pos, comma == std::string::npos ? std::string::npos : comma - pos);
+      if (!item.empty()) {
+        const std::size_t eq = item.find('=');
+        if (eq == std::string::npos)
+          throw std::invalid_argument(
+              "ThreatTuning: expected key=value, got '" + item + "'");
+        const std::string key = item.substr(0, eq);
+        const std::string value = item.substr(eq + 1);
+        if (key == "channels") {
+          t.channels = parse_channel_list(value);
+        } else if (key == "stealth") {
+          const double v = parse_threat_double(key, value);
+          if (v < 0.0 || v >= 1.0)
+            throw std::invalid_argument(
+                "ThreatTuning: stealth must be in [0,1), got " + value);
+          t.stealth = v;
+        } else {
+          const double v = parse_threat_double(key, value);
+          if (!(v > 0.0))
+            throw std::invalid_argument("ThreatTuning: parameter '" + key +
+                                        "' must be > 0, got " + value);
+          if (key == "scan") t.scan = v;
+          else if (key == "entry") t.entry = v;
+          else if (key == "payload") t.payload = v;
+          else if (key == "dwell") t.dwell = v;
+          else
+            throw std::invalid_argument(
+                "ThreatTuning: unknown parameter '" + key +
+                "' (known: scan, entry, payload, dwell, stealth, channels)");
+        }
+      }
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+  return t;
+}
+
+std::string ThreatTuning::canonical() const {
+  std::string out = base;
+  std::string params;
+  const auto add = [&params](const std::string& kv) {
+    if (!params.empty()) params += ",";
+    params += kv;
+  };
+  if (scan != 1.0) add("scan=" + format_double(scan));
+  if (entry != 1.0) add("entry=" + format_double(entry));
+  if (payload != 1.0) add("payload=" + format_double(payload));
+  if (dwell != 1.0) add("dwell=" + format_double(dwell));
+  if (stealth) add("stealth=" + format_double(*stealth));
+  if (channels) {
+    std::string list;
+    for (net::Channel c : *channels) {
+      if (!list.empty()) list += "+";
+      list += channel_token(c);
+    }
+    add("channels=" + list);
+  }
+  if (!params.empty()) out += ":" + params;
+  return out;
+}
+
+ThreatProfile ThreatTuning::profile() const {
+  ThreatProfile p;
+  if (base == "stuxnet") p = ThreatProfile::stuxnet();
+  else if (base == "duqu") p = ThreatProfile::duqu();
+  else if (base == "flame") p = ThreatProfile::flame();
+  else
+    throw std::invalid_argument("ThreatTuning: unknown threat '" + base +
+                                "' (threats: " + joined_threat_names() + ")");
+  p.propagation_rate *= scan;
+  p.entry_rate *= entry;
+  p.payload_rate *= payload;
+  p.sabotage_mean_hours *= dwell;
+  if (stealth) p.stealth = *stealth;
+  if (channels) p.channels = *channels;
+  p.name = canonical();
+  p.validate();
+  return p;
+}
+
+std::string canonical_threat_spec(const std::string& spec) {
+  return ThreatTuning::parse(spec).canonical();
+}
+
+ThreatProfile threat_profile_from_spec(const std::string& spec) {
+  return ThreatTuning::parse(spec).profile();
+}
 
 void ThreatProfile::validate() const {
   if (name.empty()) throw std::invalid_argument("ThreatProfile: empty name");

@@ -5,8 +5,17 @@
 // attacker's toolkit (exploits per component kind), propagation channels,
 // per-stage attempt rates, stealth, and — Stuxnet's signature move —
 // monitoring-signal spoofing effectiveness. Time unit: hours.
+//
+// Threat *specs* make the profile a sweep axis: "stuxnet" names the
+// canonical profile, "stuxnet:scan=2,dwell=0.5,channels=usb+http" tunes
+// it — tempo multipliers, a stealth override, a channel-set override —
+// deterministically from the string alone. canonical_threat_spec
+// renders one spelling per tuning (default parameters are omitted, so
+// "stuxnet:scan=1" and "stuxnet" fingerprint identically in the sweep
+// layer).
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -58,6 +67,46 @@ struct ThreatProfile {
   [[nodiscard]] static ThreatProfile duqu();
   [[nodiscard]] static ThreatProfile flame();
 };
+
+/// The base profile names ("stuxnet", "duqu", "flame") — what error
+/// listings and --help print.
+[[nodiscard]] std::vector<std::string> threat_names();
+
+/// One tuned point on the threat-model axis: multiplicative tempo knobs
+/// over a named base profile plus optional absolute overrides. The
+/// identity tuning (all 1.0, no overrides) is the base profile itself.
+struct ThreatTuning {
+  std::string base;            // a threat_names() entry
+  double scan = 1.0;           // × propagation_rate (worm scan tempo)
+  double entry = 1.0;          // × entry_rate (delivery opportunities)
+  double payload = 1.0;        // × payload_rate (PLC payload attempts)
+  double dwell = 1.0;          // × sabotage_mean_hours (patience)
+  std::optional<double> stealth;  // absolute override, [0,1)
+  /// Channel-set override ("channels=usb+http"): multi-channel entry /
+  /// propagation experiments. Tokens: usb, smb, spooler, project,
+  /// modbus, http.
+  std::optional<std::vector<net::Channel>> channels;
+
+  /// Parse "BASE[:k=v,...]" (k in scan, entry, payload, dwell, stealth,
+  /// channels). Throws std::invalid_argument listing bases / keys /
+  /// channel tokens on anything unknown or out of range.
+  [[nodiscard]] static ThreatTuning parse(const std::string& spec);
+
+  /// One spelling per tuning: base name, then only the non-default
+  /// parameters in fixed order (scan, entry, payload, dwell, stealth,
+  /// channels).
+  [[nodiscard]] std::string canonical() const;
+
+  /// The tuned profile; its name is the canonical spec. Revalidated, so
+  /// a tuning that drives a rate to a nonsensical value throws here.
+  [[nodiscard]] ThreatProfile profile() const;
+};
+
+/// canonical(parse(spec)) — the sweep layer's one-line normalizer.
+[[nodiscard]] std::string canonical_threat_spec(const std::string& spec);
+
+/// parse(spec).profile() — the sweep layer's one-line expander.
+[[nodiscard]] ThreatProfile threat_profile_from_spec(const std::string& spec);
 
 /// Base (undefended) detection rates of the monitored system; the
 /// campaign and SAN builders combine these with a profile's stealth.

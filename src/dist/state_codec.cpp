@@ -489,7 +489,7 @@ void get_meta(Reader& r, SweepMeta& m) {
   m.policies.reserve(static_cast<std::size_t>(npol));
   for (std::uint64_t i = 0; i < npol; ++i) {
     const std::uint8_t raw = r.u8();
-    if (raw > static_cast<std::uint8_t>(scenario::VariantPolicy::kRandomPerNode))
+    if (raw > static_cast<std::uint8_t>(scenario::VariantPolicy::kBalancedRotation))
       throw std::runtime_error("shard state: unknown variant policy");
     m.policies.push_back(static_cast<scenario::VariantPolicy>(raw));
   }

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "attack/threat.h"
 #include "core/report.h"
 #include "scenario/presets.h"
 #include "sim/executor.h"
@@ -72,13 +73,19 @@ std::vector<std::uint64_t> achieved_tasks(const SweepMeta& meta) {
 SweepMeta make_meta(const SweepSpec& spec) {
   if (spec.policies.empty())
     throw std::invalid_argument("sweep: need at least one policy arm");
-  if (!scenario::has_preset(spec.preset))
-    throw std::invalid_argument("sweep: unknown preset: " + spec.preset);
-  (void)threat_profile(spec.threat);  // validates the name
+  // Canonicalize the preset and threat spellings before they enter the
+  // meta block: the fingerprint hashes these strings, so "brownfield"
+  // and its expanded familyv1 form must land on identical bytes.
+  std::string preset;
+  try {
+    preset = scenario::resolve_preset_name(spec.preset);
+  } catch (const std::out_of_range& e) {
+    throw std::invalid_argument("sweep: " + std::string(e.what()));
+  }
   SweepMeta meta;
-  meta.preset = spec.preset;
+  meta.preset = std::move(preset);
   meta.policies = spec.policies;
-  meta.threat = spec.threat;
+  meta.threat = attack::canonical_threat_spec(spec.threat);
   meta.seed = spec.seed;
   meta.replications = spec.replications;
   const sim::ShardPlan plan =
@@ -121,10 +128,7 @@ SweepSpec spec_from_meta(const SweepMeta& meta) {
 }
 
 attack::ThreatProfile threat_profile(const std::string& name) {
-  if (name == "stuxnet") return attack::ThreatProfile::stuxnet();
-  if (name == "duqu") return attack::ThreatProfile::duqu();
-  if (name == "flame") return attack::ThreatProfile::flame();
-  throw std::invalid_argument("sweep: unknown threat: " + name);
+  return attack::threat_profile_from_spec(name);
 }
 
 core::ScenarioSweepPlan expand_plan(const SweepSpec& spec,

@@ -32,12 +32,19 @@ namespace divsec::dist {
 /// the three-arm policy sweep (monoculture control vs zone-stratified vs
 /// random-per-node) the fleet experiments use.
 struct SweepSpec {
+  /// A scenario registry name: a fixed preset, enterprise{N}, or any
+  /// family spec FamilySpec::parse accepts ("brownfield:nodes=512").
+  /// make_meta canonicalizes the spelling before it enters the
+  /// fingerprint.
   std::string preset = "enterprise256";
   std::vector<scenario::VariantPolicy> policies = {
       scenario::VariantPolicy::kMonoculture,
       scenario::VariantPolicy::kZoneStratified,
       scenario::VariantPolicy::kRandomPerNode,
   };
+  /// A threat spec: a base profile name or a tuned
+  /// "stuxnet:scan=2,channels=usb+http" form (attack::ThreatTuning).
+  /// make_meta canonicalizes it (default parameters drop out).
   std::string threat = "stuxnet";
   std::uint64_t seed = 2013;
   std::size_t replications = 1000;
@@ -61,7 +68,8 @@ struct SweepSpec {
 /// Inverse of make_meta (resolved values stay explicit).
 [[nodiscard]] SweepSpec spec_from_meta(const SweepMeta& meta);
 
-/// Threat registry lookup ("stuxnet", "duqu", "flame");
+/// Threat spec expansion: a base name ("stuxnet", "duqu", "flame") or a
+/// tuned "base:k=v,..." spec (attack::threat_profile_from_spec);
 /// std::invalid_argument otherwise.
 [[nodiscard]] attack::ThreatProfile threat_profile(const std::string& name);
 

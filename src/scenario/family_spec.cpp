@@ -1,0 +1,345 @@
+#include "scenario/family_spec.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+namespace divsec::scenario {
+namespace {
+
+constexpr const char* kFamilyNames[kTopologyFamilyCount] = {
+    "purdue-deep",
+    "mesh-flat",
+    "hub-spoke",
+    "brownfield",
+};
+
+constexpr char kVersionPrefix[] = "familyv";
+
+std::string joined_family_names() {
+  std::string out;
+  for (std::size_t i = 0; i < kTopologyFamilyCount; ++i) {
+    if (i) out += ", ";
+    out += kFamilyNames[i];
+  }
+  return out;
+}
+
+bool lookup_family(const std::string& name, TopologyFamily& out) {
+  for (std::size_t i = 0; i < kTopologyFamilyCount; ++i) {
+    if (name == kFamilyNames[i]) {
+      out = static_cast<TopologyFamily>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Shortest decimal string that round-trips to exactly `v` through
+/// strtod. Canonical strings are fingerprint material: the rendering
+/// must be a pure function of the value, with no trailing-digit noise.
+std::string format_double(double v) {
+  char buf[64];
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+std::size_t parse_size_value(const std::string& key, const std::string& text) {
+  if (text.empty() || !std::isdigit(static_cast<unsigned char>(text[0])))
+    throw std::invalid_argument("FamilySpec: parameter '" + key +
+                                "' needs a non-negative integer, got '" + text + "'");
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0')
+    throw std::invalid_argument("FamilySpec: parameter '" + key +
+                                "' needs a non-negative integer, got '" + text + "'");
+  return static_cast<std::size_t>(v);
+}
+
+double parse_double_value(const std::string& key, const std::string& text) {
+  char* end = nullptr;
+  const double v = text.empty() ? 0.0 : std::strtod(text.c_str(), &end);
+  if (text.empty() || end == nullptr || *end != '\0')
+    throw std::invalid_argument("FamilySpec: parameter '" + key +
+                                "' needs a number, got '" + text + "'");
+  return v;
+}
+
+void apply_param(FamilySpec& spec, const std::string& key, const std::string& value) {
+  if (key == "nodes") {
+    spec.nodes = parse_size_value(key, value);
+  } else if (key == "sites") {
+    spec.sites = parse_size_value(key, value);
+  } else if (key == "depth") {
+    spec.depth = parse_size_value(key, value);
+  } else if (key == "density") {
+    spec.density = parse_double_value(key, value);
+  } else if (key == "segmentation") {
+    spec.segmentation = parse_double_value(key, value);
+  } else if (key == "usb") {
+    spec.usb_fraction = parse_double_value(key, value);
+  } else {
+    throw std::invalid_argument(
+        "FamilySpec: unknown parameter '" + key +
+        "' (known: nodes, sites, depth, density, segmentation, usb)");
+  }
+}
+
+void check_fraction(const char* field, double v) {
+  if (!(v >= 0.0 && v <= 1.0))
+    throw std::invalid_argument(std::string("FamilySpec: ") + field +
+                                " must be in [0,1], got " + format_double(v));
+}
+
+}  // namespace
+
+const char* to_string(TopologyFamily f) noexcept {
+  return kFamilyNames[static_cast<std::size_t>(f)];
+}
+
+std::vector<std::string> family_names() {
+  return {kFamilyNames, kFamilyNames + kTopologyFamilyCount};
+}
+
+void FamilySpec::validate() const { (void)budget(); }
+
+FamilyBudget FamilySpec::budget() const {
+  if (nodes < kMinFamilyNodes || nodes > kMaxFamilyNodes)
+    throw std::invalid_argument(
+        "FamilySpec: nodes must be in [" + std::to_string(kMinFamilyNodes) + ", " +
+        std::to_string(kMaxFamilyNodes) + "], got " + std::to_string(nodes));
+  if (sites > kMaxFamilySites)
+    throw std::invalid_argument("FamilySpec: sites must be <= " +
+                                std::to_string(kMaxFamilySites) + ", got " +
+                                std::to_string(sites));
+  if (depth > kMaxFamilyDepth)
+    throw std::invalid_argument("FamilySpec: depth must be <= " +
+                                std::to_string(kMaxFamilyDepth) + ", got " +
+                                std::to_string(depth));
+  check_fraction("density", density);
+  check_fraction("segmentation", segmentation);
+  check_fraction("usb", usb_fraction);
+
+  FamilyBudget b;
+  b.sites = resolved_sites();
+
+  if (family == TopologyFamily::kMeshFlat) {
+    // The mesh has no backbone/site split: a 5-node named skeleton and a
+    // role-cycled fill, all wired flat. kMinFamilyNodes covers it.
+    return b;
+  }
+
+  switch (family) {
+    case TopologyFamily::kPurdueDeep:
+      // scada + eng + hmi + hist + one gateway per aggregation tier.
+      b.site_skeleton = 4 + depth;
+      break;
+    case TopologyFamily::kHubSpoke:
+      b.site_skeleton = 2;  // scada + eng; everything else lives at the hub
+      break;
+    case TopologyFamily::kBrownfield:
+      b.site_skeleton = 4;  // scada + eng + hmi + hist
+      break;
+    case TopologyFamily::kMeshFlat:
+      break;  // handled above
+  }
+
+  b.servers = nodes / 64 > 1 ? nodes / 64 : 1;
+  if (family == TopologyFamily::kHubSpoke && b.servers < 2) b.servers = 2;
+  b.dmz = (b.sites + 3) / 4;
+
+  const std::size_t fixed = b.servers + b.dmz + b.sites * b.site_skeleton;
+  // Feasibility: after the fixed skeleton there must be room for at
+  // least one workstation and one PLC per site.
+  if (nodes < fixed + b.sites + 1)
+    throw std::invalid_argument(
+        "FamilySpec: nodes=" + std::to_string(nodes) + " too small for " +
+        std::to_string(b.sites) + " " + to_string(family) + " sites (needs >= " +
+        std::to_string(fixed + b.sites + 1) + ")");
+
+  const std::size_t remaining = nodes - fixed;
+  std::size_t ws = remaining / (family == TopologyFamily::kHubSpoke ? 4 : 5);
+  if (ws == 0) ws = 1;
+  std::size_t plcs = remaining - ws;
+  if (plcs < b.sites) {  // never leave a site without a PLC target
+    ws = remaining - b.sites;
+    plcs = b.sites;
+  }
+  b.workstations = ws;
+  b.plcs = plcs;
+  return b;
+}
+
+std::string FamilySpec::canonical() const {
+  validate();
+  std::string out = kVersionPrefix + std::to_string(kFamilySpecVersion) + ":";
+  out += to_string(family);
+  out += ":nodes=" + std::to_string(nodes);
+  out += ",sites=" + std::to_string(resolved_sites());
+  out += ",depth=" + std::to_string(depth);
+  out += ",density=" + format_double(density);
+  out += ",segmentation=" + format_double(segmentation);
+  out += ",usb=" + format_double(usb_fraction);
+  return out;
+}
+
+bool FamilySpec::is_family_name(const std::string& name) {
+  const std::size_t colon = name.find(':');
+  const std::string head = colon == std::string::npos ? name : name.substr(0, colon);
+  if (head.rfind(kVersionPrefix, 0) == 0) return true;
+  TopologyFamily f;
+  return lookup_family(head, f);
+}
+
+FamilySpec FamilySpec::parse(const std::string& name) {
+  std::string rest = name;
+
+  // Optional version prefix. Unknown versions are a hard error: a newer
+  // canonical string must not be silently reinterpreted under old field
+  // semantics (it would change what the fingerprint means).
+  if (rest.rfind(kVersionPrefix, 0) == 0) {
+    const std::size_t colon = rest.find(':');
+    const std::string ver = colon == std::string::npos ? rest : rest.substr(0, colon);
+    const std::string want = kVersionPrefix + std::to_string(kFamilySpecVersion);
+    if (ver != want)
+      throw std::invalid_argument("FamilySpec: unsupported spec version '" + ver +
+                                  "' (this build speaks " + want + ")");
+    rest = colon == std::string::npos ? std::string() : rest.substr(colon + 1);
+  }
+
+  const std::size_t colon = rest.find(':');
+  const std::string fam_name =
+      colon == std::string::npos ? rest : rest.substr(0, colon);
+  FamilySpec spec;
+  if (!lookup_family(fam_name, spec.family))
+    throw std::invalid_argument("FamilySpec: unknown family '" + fam_name +
+                                "' (families: " + joined_family_names() + ")");
+
+  if (colon != std::string::npos) {
+    std::string params = rest.substr(colon + 1);
+    std::size_t pos = 0;
+    while (pos <= params.size()) {
+      const std::size_t comma = params.find(',', pos);
+      const std::string item = params.substr(
+          pos, comma == std::string::npos ? std::string::npos : comma - pos);
+      if (!item.empty()) {
+        const std::size_t eq = item.find('=');
+        if (eq == std::string::npos)
+          throw std::invalid_argument(
+              "FamilySpec: expected key=value, got '" + item + "'");
+        apply_param(spec, item.substr(0, eq), item.substr(eq + 1));
+      }
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+
+  spec.validate();
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// from_json — a deliberately minimal reader for one flat object of string
+// and number values. The repo's util/json.h is writer-only by design;
+// this is the narrow inverse the --family-json flag needs, not a general
+// JSON library.
+
+namespace {
+
+struct JsonCursor {
+  const std::string& text;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos])))
+      ++pos;
+  }
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("FamilySpec: bad JSON at offset " +
+                                std::to_string(pos) + ": " + what);
+  }
+  char peek() {
+    skip_ws();
+    if (pos >= text.size()) fail("unexpected end of input");
+    return text[pos];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos;
+  }
+  std::string string_value() {
+    expect('"');
+    std::string out;
+    while (pos < text.size() && text[pos] != '"') {
+      if (text[pos] == '\\') fail("escapes are not supported in family specs");
+      out += text[pos++];
+    }
+    if (pos >= text.size()) fail("unterminated string");
+    ++pos;  // closing quote
+    return out;
+  }
+  std::string number_token() {
+    skip_ws();
+    const std::size_t start = pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '-' || text[pos] == '+' || text[pos] == '.' ||
+            text[pos] == 'e' || text[pos] == 'E'))
+      ++pos;
+    if (pos == start) fail("expected a number");
+    return text.substr(start, pos - start);
+  }
+};
+
+}  // namespace
+
+FamilySpec FamilySpec::from_json(const std::string& text) {
+  JsonCursor c{text};
+  FamilySpec spec;
+  bool have_family = false;
+
+  c.expect('{');
+  if (c.peek() != '}') {
+    for (;;) {
+      const std::string key = c.string_value();
+      c.expect(':');
+      if (key == "family") {
+        const std::string fam = c.string_value();
+        if (!lookup_family(fam, spec.family))
+          throw std::invalid_argument("FamilySpec: unknown family '" + fam +
+                                      "' (families: " + joined_family_names() +
+                                      ")");
+        have_family = true;
+      } else {
+        apply_param(spec, key, c.number_token());
+      }
+      if (c.peek() != ',') break;
+      ++c.pos;
+    }
+  }
+  c.expect('}');
+  c.skip_ws();
+  if (c.pos != text.size()) c.fail("trailing content after object");
+  if (!have_family)
+    throw std::invalid_argument(
+        "FamilySpec: JSON spec needs a \"family\" key (families: " +
+        joined_family_names() + ")");
+
+  spec.validate();
+  return spec;
+}
+
+bool operator==(const FamilySpec& a, const FamilySpec& b) noexcept {
+  return a.family == b.family && a.nodes == b.nodes && a.sites == b.sites &&
+         a.depth == b.depth && a.density == b.density &&
+         a.segmentation == b.segmentation && a.usb_fraction == b.usb_fraction;
+}
+
+}  // namespace divsec::scenario

@@ -49,6 +49,26 @@ FleetSpec plant_small_spec() {
   return spec;  // 15 nodes
 }
 
+/// The unknown-preset message: every fixed preset, the enterprise
+/// template and every family name, so a typo at the CLI reads as a menu
+/// rather than a dead end.
+std::string unknown_preset_message(const std::string& name) {
+  std::string msg = "make_preset: unknown preset '" + name + "' (presets: ";
+  const auto presets = preset_names();
+  for (std::size_t i = 0; i < presets.size(); ++i) {
+    if (i) msg += ", ";
+    msg += presets[i];
+  }
+  msg += "; families: ";
+  const auto families = family_names();
+  for (std::size_t i = 0; i < families.size(); ++i) {
+    if (i) msg += ", ";
+    msg += families[i];
+  }
+  msg += ")";
+  return msg;
+}
+
 FleetSpec plant_medium_spec() {
   FleetSpec spec;
   spec.corporate_workstations = 12;
@@ -95,7 +115,22 @@ bool has_preset(const std::string& name) {
   if (name == "paper_two_machines" || name == "scope_cooling" ||
       name == "plant_small" || name == "plant_medium")
     return true;
-  return parse_enterprise(name) >= kMinEnterpriseNodes;
+  if (parse_enterprise(name) >= kMinEnterpriseNodes) return true;
+  if (FamilySpec::is_family_name(name)) {
+    try {
+      (void)FamilySpec::parse(name);
+      return true;
+    } catch (const std::invalid_argument&) {
+      return false;
+    }
+  }
+  return false;
+}
+
+std::string resolve_preset_name(const std::string& name) {
+  if (FamilySpec::is_family_name(name)) return FamilySpec::parse(name).canonical();
+  if (has_preset(name)) return name;
+  throw std::out_of_range(unknown_preset_message(name));
 }
 
 GeneratedScenario make_preset(const std::string& name,
@@ -117,6 +152,14 @@ GeneratedScenario make_preset(const std::string& name,
         .variant_policy(policy)
         .build(name, seed);
   }
+  if (FamilySpec::is_family_name(name)) {
+    // Build under the canonical spelling so re-expansion from a shard's
+    // recorded name reproduces the same scenario label bit-for-bit.
+    const FamilySpec fspec = FamilySpec::parse(name);
+    return ScenarioBuilder(TopologyGenerator(fspec).generate(seed), catalog)
+        .variant_policy(policy)
+        .build(fspec.canonical(), seed);
+  }
   FleetSpec spec;
   if (name == "plant_small") {
     spec = plant_small_spec();
@@ -125,7 +168,7 @@ GeneratedScenario make_preset(const std::string& name,
   } else if (const std::size_t n = parse_enterprise(name); n > 0) {
     spec = enterprise_spec(n);
   } else {
-    throw std::out_of_range("make_preset: unknown preset '" + name + "'");
+    throw std::out_of_range(unknown_preset_message(name));
   }
   return ScenarioBuilder(TopologyGenerator(spec).generate(seed), catalog)
       .variant_policy(policy)

@@ -19,6 +19,12 @@
 //     cells, a DMZ historian tier and a corporate zone that absorbs the
 //     remaining headcount. node_count() == N exactly.
 //
+// Procedural families (family_spec.h) are also preset names: any string
+// FamilySpec::parse accepts — "brownfield", "hub-spoke:nodes=512", a
+// full "familyv1:..." canonical form — expands here, and
+// resolve_preset_name canonicalizes it so the sweep layer fingerprints
+// one spelling per spec.
+//
 // Every preset is deterministic in (name, catalog, seed, policy).
 #pragma once
 
@@ -37,18 +43,27 @@ namespace divsec::scenario {
 
 inline constexpr std::size_t kMinEnterpriseNodes = 24;
 
-/// True for fixed preset names and well-formed enterprise{N} instances.
+/// True for fixed preset names, well-formed enterprise{N} instances and
+/// valid family specs.
 [[nodiscard]] bool has_preset(const std::string& name);
+
+/// Canonicalize a preset name: fixed presets and enterprise{N} pass
+/// through unchanged; family specs come back in FamilySpec::canonical()
+/// form (so two spellings of the same spec fingerprint identically).
+/// Throws std::out_of_range listing presets and families for unknown
+/// names, std::invalid_argument for malformed family parameters.
+[[nodiscard]] std::string resolve_preset_name(const std::string& name);
 
 /// The FleetSpec behind enterprise{N}: sites scale as N/32, servers as
 /// N/64, DMZ historians as sites/4; corporate workstations absorb the
 /// remainder so the total is exactly N.
 [[nodiscard]] FleetSpec enterprise_spec(std::size_t total_nodes);
 
-/// Build a preset. Throws std::out_of_range for unknown names, and
-/// std::invalid_argument for a well-formed enterprise{N} whose N is
-/// below kMinEnterpriseNodes (a recognizable-but-unsatisfiable request
-/// gets the more informative error).
+/// Build a preset. Throws std::out_of_range for unknown names (the
+/// message lists every preset and family), and std::invalid_argument
+/// for a recognizable-but-unsatisfiable request (enterprise{N} with N
+/// below kMinEnterpriseNodes, a family spec with bad parameters) — the
+/// more informative error wins.
 [[nodiscard]] GeneratedScenario make_preset(
     const std::string& name, const divers::VariantCatalog& catalog,
     std::uint64_t seed, VariantPolicy policy = VariantPolicy::kMonoculture);

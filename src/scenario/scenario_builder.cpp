@@ -19,6 +19,7 @@ const char* to_string(VariantPolicy p) noexcept {
     case VariantPolicy::kMonoculture: return "monoculture";
     case VariantPolicy::kZoneStratified: return "zone-stratified";
     case VariantPolicy::kRandomPerNode: return "random-per-node";
+    case VariantPolicy::kBalancedRotation: return "balanced-rotation";
   }
   return "?";
 }
@@ -71,6 +72,31 @@ struct ZoneTable {
   }
 };
 
+/// Seeded per-kind variant permutations plus rotation counters for
+/// kBalancedRotation. Permutations are drawn up front (kind-major,
+/// Fisher-Yates) and the counters advance once per assignment in node-id
+/// / slot order, so each kind's variants are dealt out maximally evenly
+/// and the whole assignment stays a pure function of (topology, seed).
+struct RotationTable {
+  std::array<std::vector<std::size_t>, divers::kComponentKindCount> perm;
+  std::array<std::size_t, divers::kComponentKindCount> next{};
+
+  RotationTable(const divers::VariantCatalog& cat, stats::Rng& rng) {
+    for (ComponentKind kind : divers::all_component_kinds()) {
+      std::vector<std::size_t>& p = perm[static_cast<std::size_t>(kind)];
+      p.resize(cat.count(kind));
+      for (std::size_t i = 0; i < p.size(); ++i) p[i] = i;
+      for (std::size_t i = 0; i + 1 < p.size(); ++i)
+        std::swap(p[i], p[i + rng.below(p.size() - i)]);
+    }
+  }
+
+  [[nodiscard]] std::size_t operator()(ComponentKind kind) {
+    const std::size_t k = static_cast<std::size_t>(kind);
+    return perm[k][next[k]++ % perm[k].size()];
+  }
+};
+
 }  // namespace
 
 GeneratedScenario ScenarioBuilder::build(std::string name,
@@ -94,12 +120,15 @@ GeneratedScenario ScenarioBuilder::build(std::string name,
   // so an assignment is a pure function of (topology, catalog, seed).
   std::optional<ZoneTable> zones;
   if (policy_ == VariantPolicy::kZoneStratified) zones.emplace(cat, assign_rng);
+  std::optional<RotationTable> rotation;
+  if (policy_ == VariantPolicy::kBalancedRotation) rotation.emplace(cat, assign_rng);
 
   const auto pick = [&](ComponentKind kind, Zone zone) -> std::size_t {
     switch (policy_) {
       case VariantPolicy::kMonoculture: return 0;
       case VariantPolicy::kZoneStratified: return (*zones)(kind, zone);
       case VariantPolicy::kRandomPerNode: return assign_rng.below(cat.count(kind));
+      case VariantPolicy::kBalancedRotation: return (*rotation)(kind);
     }
     return 0;
   };

@@ -29,6 +29,12 @@ enum class VariantPolicy : std::uint8_t {
   kZoneStratified,
   /// Independent seeded per-node draws: the maximum-entropy deployment.
   kRandomPerNode,
+  /// Round-robin through a seeded per-kind variant permutation, in node
+  /// id order: every variant of a kind gets an equal share (counts
+  /// differ by at most one). The procurement-quota deployment — an
+  /// operator buying equal lots of each product — and the
+  /// maximum-evenness contrast to kRandomPerNode's multinomial spread.
+  kBalancedRotation,
 };
 
 [[nodiscard]] const char* to_string(VariantPolicy p) noexcept;

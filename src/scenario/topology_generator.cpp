@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "stats/rng.h"
 
@@ -27,10 +28,22 @@ void FleetSpec::validate() const {
 }
 
 TopologyGenerator::TopologyGenerator(FleetSpec spec) : spec_(spec) {
-  spec_.validate();
+  std::get<FleetSpec>(spec_).validate();
 }
 
-net::Topology TopologyGenerator::generate(std::uint64_t seed) const {
+TopologyGenerator::TopologyGenerator(FamilySpec spec) : spec_(spec) {
+  std::get<FamilySpec>(spec_).validate();
+}
+
+namespace {
+
+// Every generator draws from the same two substreams in the same order
+// discipline the FleetSpec path established: stream(1) feeds per-node
+// USB-exposure flags, stream(2) feeds wiring choices. Draws happen in
+// node-construction order and are consumed whether or not the outcome
+// is used, so the expansion is a pure function of (spec, seed).
+
+net::Topology generate_fleet(const FleetSpec& spec, std::uint64_t seed) {
   // Independent substreams so adding a knob to one wiring stage never
   // shifts the draws of another.
   stats::Rng root(seed);
@@ -38,23 +51,23 @@ net::Topology TopologyGenerator::generate(std::uint64_t seed) const {
   stats::Rng wire_rng = root.stream(2);
 
   net::Topology t;
-  t.reserve(spec_.node_count());
+  t.reserve(spec.node_count());
 
   // --- Corporate zone -----------------------------------------------------
   std::vector<NodeId> servers;
-  servers.reserve(spec_.corporate_servers);
-  for (std::size_t i = 0; i < spec_.corporate_servers; ++i)
+  servers.reserve(spec.corporate_servers);
+  for (std::size_t i = 0; i < spec.corporate_servers; ++i)
     servers.push_back(
         t.add_node("corp.srv" + std::to_string(i), Zone::kCorporate, Role::kServer));
   for (std::size_t i = 1; i < servers.size(); ++i)  // backbone chain
     t.connect(servers[i - 1], servers[i]);
 
   std::vector<NodeId> workstations;
-  workstations.reserve(spec_.corporate_workstations);
-  for (std::size_t i = 0; i < spec_.corporate_workstations; ++i) {
+  workstations.reserve(spec.corporate_workstations);
+  for (std::size_t i = 0; i < spec.corporate_workstations; ++i) {
     // At least one workstation always carries removable media so the
     // paper's delivery channel exists on every generated fleet.
-    const bool usb = i == 0 || usb_rng.bernoulli(spec_.workstation_usb_fraction);
+    const bool usb = i == 0 || usb_rng.bernoulli(spec.workstation_usb_fraction);
     const NodeId ws = t.add_node("corp.ws" + std::to_string(i), Zone::kCorporate,
                                  Role::kWorkstation, usb);
     workstations.push_back(ws);
@@ -66,8 +79,8 @@ net::Topology TopologyGenerator::generate(std::uint64_t seed) const {
 
   // --- DMZ ------------------------------------------------------------------
   std::vector<NodeId> dmz;
-  dmz.reserve(spec_.dmz_historians);
-  for (std::size_t i = 0; i < spec_.dmz_historians; ++i) {
+  dmz.reserve(spec.dmz_historians);
+  for (std::size_t i = 0; i < spec.dmz_historians; ++i) {
     const NodeId h =
         t.add_node("dmz.hist" + std::to_string(i), Zone::kDmz, Role::kHistorian);
     dmz.push_back(h);
@@ -75,20 +88,20 @@ net::Topology TopologyGenerator::generate(std::uint64_t seed) const {
   }
 
   // --- Control sites + field cells -------------------------------------------
-  for (std::size_t s = 0; s < spec_.control_sites; ++s) {
+  for (std::size_t s = 0; s < spec.control_sites; ++s) {
     const std::string p = "site" + std::to_string(s) + ".";
     const NodeId scada = t.add_node(p + "scada", Zone::kControl, Role::kScadaServer);
     const NodeId eng =
         t.add_node(p + "eng", Zone::kControl, Role::kEngineering, /*usb=*/true);
     t.connect(scada, eng);
 
-    for (std::size_t k = 0; k < spec_.hmis_per_site; ++k) {
+    for (std::size_t k = 0; k < spec.hmis_per_site; ++k) {
       const NodeId hmi =
           t.add_node(p + "hmi" + std::to_string(k), Zone::kControl, Role::kHmi);
       t.connect(scada, hmi);
       if (k == 0) t.connect(eng, hmi);
     }
-    for (std::size_t k = 0; k < spec_.historians_per_site; ++k) {
+    for (std::size_t k = 0; k < spec.historians_per_site; ++k) {
       const NodeId hist = t.add_node(p + "hist" + std::to_string(k), Zone::kControl,
                                      Role::kHistorian);
       t.connect(scada, hist);
@@ -96,8 +109,8 @@ net::Topology TopologyGenerator::generate(std::uint64_t seed) const {
       // corporate-facing path out of the control zone.
       t.connect(hist, dmz[wire_rng.below(dmz.size())]);
     }
-    for (std::size_t c = 0; c < spec_.plc_cells_per_site; ++c) {
-      for (std::size_t k = 0; k < spec_.plcs_per_cell; ++k) {
+    for (std::size_t c = 0; c < spec.plc_cells_per_site; ++c) {
+      for (std::size_t k = 0; k < spec.plcs_per_cell; ++k) {
         const NodeId plc = t.add_node(
             p + "cell" + std::to_string(c) + ".plc" + std::to_string(k),
             Zone::kField, Role::kPlc);
@@ -105,7 +118,7 @@ net::Topology TopologyGenerator::generate(std::uint64_t seed) const {
         t.connect(eng, plc);    // engineering downloads
       }
     }
-    for (std::size_t k = 0; k < spec_.sensor_gateways_per_site; ++k) {
+    for (std::size_t k = 0; k < spec.sensor_gateways_per_site; ++k) {
       const NodeId gw = t.add_node(p + "gw" + std::to_string(k), Zone::kField,
                                    Role::kSensorGateway);
       t.connect(scada, gw);
@@ -113,6 +126,281 @@ net::Topology TopologyGenerator::generate(std::uint64_t seed) const {
   }
 
   return t;
+}
+
+/// Shared corporate backbone: server chain, workstations hooked to
+/// seeded servers (first one always USB-exposed), DMZ historians hooked
+/// to seeded servers. Used by every family except mesh-flat.
+struct Backbone {
+  std::vector<NodeId> servers;
+  std::vector<NodeId> workstations;
+  std::vector<NodeId> dmz;
+};
+
+Backbone build_backbone(net::Topology& t, const FamilyBudget& b,
+                        double usb_fraction, stats::Rng& usb_rng,
+                        stats::Rng& wire_rng) {
+  Backbone bb;
+  bb.servers.reserve(b.servers);
+  for (std::size_t i = 0; i < b.servers; ++i)
+    bb.servers.push_back(
+        t.add_node("corp.srv" + std::to_string(i), Zone::kCorporate, Role::kServer));
+  for (std::size_t i = 1; i < bb.servers.size(); ++i)
+    t.connect(bb.servers[i - 1], bb.servers[i]);
+
+  bb.workstations.reserve(b.workstations);
+  for (std::size_t i = 0; i < b.workstations; ++i) {
+    const bool usb = i == 0 || usb_rng.bernoulli(usb_fraction);
+    const NodeId ws = t.add_node("corp.ws" + std::to_string(i), Zone::kCorporate,
+                                 Role::kWorkstation, usb);
+    bb.workstations.push_back(ws);
+    t.connect(ws, bb.servers[wire_rng.below(bb.servers.size())]);
+    if (i > 0 && wire_rng.bernoulli(0.25))
+      t.connect(ws, bb.workstations[wire_rng.below(i)]);
+  }
+
+  bb.dmz.reserve(b.dmz);
+  for (std::size_t i = 0; i < b.dmz; ++i) {
+    const NodeId h =
+        t.add_node("dmz.hist" + std::to_string(i), Zone::kDmz, Role::kHistorian);
+    bb.dmz.push_back(h);
+    t.connect(h, bb.servers[wire_rng.below(bb.servers.size())]);
+  }
+  return bb;
+}
+
+/// purdue-deep: textbook zoned hierarchy with `depth` sensor-gateway
+/// aggregation tiers between each site's SCADA server and its PLC
+/// leaves. Every link is zone-adjacent (the property suite checks it).
+net::Topology generate_purdue_deep(const FamilySpec& spec, std::uint64_t seed) {
+  const FamilyBudget b = spec.budget();
+  stats::Rng root(seed);
+  stats::Rng usb_rng = root.stream(1);
+  stats::Rng wire_rng = root.stream(2);
+
+  net::Topology t;
+  t.reserve(spec.nodes);
+  const Backbone bb = build_backbone(t, b, spec.usb_fraction, usb_rng, wire_rng);
+
+  for (std::size_t s = 0; s < b.sites; ++s) {
+    const std::string p = "site" + std::to_string(s) + ".";
+    const NodeId scada = t.add_node(p + "scada", Zone::kControl, Role::kScadaServer);
+    const NodeId eng =
+        t.add_node(p + "eng", Zone::kControl, Role::kEngineering, /*usb=*/true);
+    t.connect(scada, eng);
+
+    const NodeId hmi = t.add_node(p + "hmi", Zone::kControl, Role::kHmi);
+    t.connect(scada, hmi);
+    t.connect(eng, hmi);
+
+    const NodeId hist = t.add_node(p + "hist", Zone::kControl, Role::kHistorian);
+    t.connect(scada, hist);
+    t.connect(hist, bb.dmz[wire_rng.below(bb.dmz.size())]);
+
+    // Aggregation chain: gw0 hangs off the SCADA server, gwN off gwN-1;
+    // PLCs hang off the deepest tier (or the SCADA server at depth 0).
+    NodeId plc_parent = scada;
+    for (std::size_t d = 0; d < spec.depth; ++d) {
+      const NodeId gw = t.add_node(p + "gw" + std::to_string(d), Zone::kField,
+                                   Role::kSensorGateway);
+      t.connect(gw, plc_parent);
+      plc_parent = gw;
+    }
+    for (std::size_t k = 0; k < b.plcs_for_site(s); ++k) {
+      const NodeId plc =
+          t.add_node(p + "plc" + std::to_string(k), Zone::kField, Role::kPlc);
+      t.connect(plc, plc_parent);  // polling via the aggregation chain
+      t.connect(plc, eng);         // engineering downloads
+    }
+  }
+  return t;
+}
+
+/// mesh-flat: converged IT/OT. A five-node named skeleton, a role-cycled
+/// fill, a ring over node ids for guaranteed connectivity, and
+/// density-scaled random cross-links. Zones are labelled by role (the
+/// firewall layer still cares) but the wiring ignores them — that
+/// un-segmentation is the family's point, so the zone-monotonicity
+/// property deliberately exempts it.
+net::Topology generate_mesh_flat(const FamilySpec& spec, std::uint64_t seed) {
+  spec.validate();
+  stats::Rng root(seed);
+  stats::Rng usb_rng = root.stream(1);
+  stats::Rng wire_rng = root.stream(2);
+
+  net::Topology t;
+  t.reserve(spec.nodes);
+
+  t.add_node("mesh.srv", Zone::kCorporate, Role::kServer);
+  t.add_node("mesh.scada", Zone::kControl, Role::kScadaServer);
+  t.add_node("mesh.eng", Zone::kControl, Role::kEngineering, /*usb=*/true);
+  t.add_node("mesh.hist", Zone::kControl, Role::kHistorian);
+  t.add_node("mesh.hmi", Zone::kControl, Role::kHmi);
+
+  struct Fill {
+    Role role;
+    Zone zone;
+    const char* stem;
+  };
+  static constexpr Fill kCycle[] = {
+      {Role::kWorkstation, Zone::kCorporate, "ws"},
+      {Role::kPlc, Zone::kField, "plc"},
+      {Role::kWorkstation, Zone::kCorporate, "ws"},
+      {Role::kHmi, Zone::kControl, "hmi"},
+      {Role::kPlc, Zone::kField, "plc"},
+      {Role::kServer, Zone::kCorporate, "srv"},
+      {Role::kWorkstation, Zone::kCorporate, "ws"},
+      {Role::kSensorGateway, Zone::kField, "gw"},
+  };
+  constexpr std::size_t kCycleLen = sizeof(kCycle) / sizeof(kCycle[0]);
+
+  // Name counters are per role (several cycle slots share a role).
+  std::size_t ws_n = 0, plc_n = 0, hmi_n = 0, srv_n = 0, gw_n = 0;
+  for (std::size_t i = 5; i < spec.nodes; ++i) {
+    const Fill& f = kCycle[(i - 5) % kCycleLen];
+    bool usb = false;
+    std::size_t* count = nullptr;
+    switch (f.role) {
+      case Role::kWorkstation:
+        usb = ws_n == 0 || usb_rng.bernoulli(spec.usb_fraction);
+        count = &ws_n;
+        break;
+      case Role::kPlc: count = &plc_n; break;
+      case Role::kHmi: count = &hmi_n; break;
+      case Role::kServer: count = &srv_n; break;
+      default: count = &gw_n; break;
+    }
+    t.add_node("mesh." + std::string(f.stem) + std::to_string((*count)++), f.zone,
+               f.role, usb);
+  }
+
+  // Ring over node ids: one flat broadcast domain, always connected.
+  for (std::size_t i = 1; i < spec.nodes; ++i) t.connect(i - 1, i);
+  t.connect(spec.nodes - 1, 0);
+
+  // Density-scaled chords. Both endpoint draws are consumed even when
+  // the pair is rejected, so the draw count is a function of the spec
+  // alone and later stages never shift.
+  const std::size_t extra =
+      static_cast<std::size_t>(spec.density * static_cast<double>(spec.nodes) * 3.0);
+  for (std::size_t i = 0; i < extra; ++i) {
+    const NodeId a = wire_rng.below(spec.nodes);
+    const NodeId b = wire_rng.below(spec.nodes);
+    if (a != b && !t.linked(a, b)) t.connect(a, b);
+  }
+  return t;
+}
+
+/// hub-spoke: one corporate hub (servers, workstations, DMZ historians)
+/// and `sites` remote spokes, each a minimal control room reaching the
+/// hub through exactly one SCADA-to-DMZ uplink. Zone-adjacent by
+/// construction.
+net::Topology generate_hub_spoke(const FamilySpec& spec, std::uint64_t seed) {
+  const FamilyBudget b = spec.budget();
+  stats::Rng root(seed);
+  stats::Rng usb_rng = root.stream(1);
+  stats::Rng wire_rng = root.stream(2);
+
+  net::Topology t;
+  t.reserve(spec.nodes);
+  const Backbone bb = build_backbone(t, b, spec.usb_fraction, usb_rng, wire_rng);
+
+  for (std::size_t s = 0; s < b.sites; ++s) {
+    const std::string p = "spoke" + std::to_string(s) + ".";
+    const NodeId scada = t.add_node(p + "scada", Zone::kControl, Role::kScadaServer);
+    const NodeId eng =
+        t.add_node(p + "eng", Zone::kControl, Role::kEngineering, /*usb=*/true);
+    t.connect(scada, eng);
+    // The spoke's only path home: a WAN uplink into a seeded DMZ mirror.
+    t.connect(scada, bb.dmz[wire_rng.below(bb.dmz.size())]);
+
+    for (std::size_t k = 0; k < b.plcs_for_site(s); ++k) {
+      const NodeId plc =
+          t.add_node(p + "plc" + std::to_string(k), Zone::kField, Role::kPlc);
+      t.connect(plc, scada);
+      t.connect(plc, eng);
+    }
+  }
+  return t;
+}
+
+/// brownfield: the first floor(segmentation * sites) sites are properly
+/// zoned (historian-to-DMZ mirror only); the rest keep a legacy flat
+/// uplink (SCADA wired straight into a corporate server) plus
+/// density-scaled contractor shortcuts from field PLCs to office
+/// workstations. Those legacy links are the zone violations the
+/// property suite asserts exist exactly when segmentation < 1.
+net::Topology generate_brownfield(const FamilySpec& spec, std::uint64_t seed) {
+  const FamilyBudget b = spec.budget();
+  stats::Rng root(seed);
+  stats::Rng usb_rng = root.stream(1);
+  stats::Rng wire_rng = root.stream(2);
+
+  net::Topology t;
+  t.reserve(spec.nodes);
+  const Backbone bb = build_backbone(t, b, spec.usb_fraction, usb_rng, wire_rng);
+
+  const std::size_t segmented_sites =
+      static_cast<std::size_t>(spec.segmentation * static_cast<double>(b.sites));
+
+  for (std::size_t s = 0; s < b.sites; ++s) {
+    const bool segmented = s < segmented_sites;
+    const std::string p = "site" + std::to_string(s) + ".";
+    const NodeId scada = t.add_node(p + "scada", Zone::kControl, Role::kScadaServer);
+    const NodeId eng =
+        t.add_node(p + "eng", Zone::kControl, Role::kEngineering, /*usb=*/true);
+    t.connect(scada, eng);
+
+    const NodeId hmi = t.add_node(p + "hmi", Zone::kControl, Role::kHmi);
+    t.connect(scada, hmi);
+
+    const NodeId hist = t.add_node(p + "hist", Zone::kControl, Role::kHistorian);
+    t.connect(scada, hist);
+
+    if (segmented) {
+      t.connect(hist, bb.dmz[wire_rng.below(bb.dmz.size())]);
+    } else {
+      // Legacy uplink: the control room predates the DMZ and was never
+      // migrated off the corporate backbone.
+      t.connect(scada, bb.servers[wire_rng.below(bb.servers.size())]);
+    }
+
+    for (std::size_t k = 0; k < b.plcs_for_site(s); ++k) {
+      const NodeId plc =
+          t.add_node(p + "plc" + std::to_string(k), Zone::kField, Role::kPlc);
+      t.connect(plc, scada);
+      t.connect(plc, eng);
+      // Contractor shortcut: a maintenance laptop link left in place.
+      // Draws are consumed on segmented sites too, so flipping one
+      // site's segmentation never shifts another site's wiring.
+      const bool shortcut = wire_rng.bernoulli(spec.density);
+      const NodeId ws = bb.workstations[wire_rng.below(bb.workstations.size())];
+      if (!segmented && shortcut && !t.linked(plc, ws)) t.connect(plc, ws);
+    }
+  }
+  return t;
+}
+
+net::Topology generate_family(const FamilySpec& spec, std::uint64_t seed) {
+  switch (spec.family) {
+    case TopologyFamily::kPurdueDeep:
+      return generate_purdue_deep(spec, seed);
+    case TopologyFamily::kMeshFlat:
+      return generate_mesh_flat(spec, seed);
+    case TopologyFamily::kHubSpoke:
+      return generate_hub_spoke(spec, seed);
+    case TopologyFamily::kBrownfield:
+      return generate_brownfield(spec, seed);
+  }
+  throw std::logic_error("TopologyGenerator: unhandled family");
+}
+
+}  // namespace
+
+net::Topology TopologyGenerator::generate(std::uint64_t seed) const {
+  if (const auto* fleet = std::get_if<FleetSpec>(&spec_))
+    return generate_fleet(*fleet, seed);
+  return generate_family(std::get<FamilySpec>(spec_), seed);
 }
 
 }  // namespace divsec::scenario

@@ -2,18 +2,22 @@
 //
 // The paper evaluates one hand-built 11-node cooling plant. Scaling the
 // reproduction to "as many scenarios as you can imagine" means topologies
-// must be generated, not hand-assembled: TopologyGenerator expands a
-// FleetSpec — zoned subnets in the classic Purdue shape (corporate IT,
-// DMZ historians, per-site control rooms, field cells of PLCs) — into a
-// concrete net::Topology, deterministically in a seed. Same spec + same
-// seed, same fleet, bit for bit; that determinism is what lets campaign
-// sweeps over generated fleets honour the measurement engine's
-// reproducibility contract.
+// must be generated, not hand-assembled. TopologyGenerator expands either
+// a FleetSpec — zoned subnets in the classic Purdue shape (corporate IT,
+// DMZ historians, per-site control rooms, field cells of PLCs) — or a
+// FamilySpec (family_spec.h) selecting one of four procedural topology
+// families, into a concrete net::Topology, deterministically in a seed.
+// Same spec + same seed, same fleet, bit for bit; that determinism is
+// what lets campaign sweeps over generated fleets honour the measurement
+// engine's reproducibility contract and the distributed layer's
+// named-spec re-expansion rule.
 #pragma once
 
 #include <cstdint>
+#include <variant>
 
 #include "net/topology.h"
+#include "scenario/family_spec.h"
 
 namespace divsec::scenario {
 
@@ -50,15 +54,16 @@ struct FleetSpec {
 class TopologyGenerator {
  public:
   explicit TopologyGenerator(FleetSpec spec);
-
-  [[nodiscard]] const FleetSpec& spec() const noexcept { return spec_; }
+  explicit TopologyGenerator(FamilySpec spec);
 
   /// Generate the fleet. Deterministic in `seed`: node order, names,
-  /// zones, roles, USB flags and links are all reproducible.
+  /// zones, roles, USB flags and links are all reproducible. FleetSpec
+  /// expansion is byte-for-byte what it was before families existed —
+  /// the enterprise CSV baselines in CI pin that.
   [[nodiscard]] net::Topology generate(std::uint64_t seed) const;
 
  private:
-  FleetSpec spec_;
+  std::variant<FleetSpec, FamilySpec> spec_;
 };
 
 }  // namespace divsec::scenario

@@ -168,7 +168,7 @@ TEST(AnovaTable, ToStringAndLookup) {
   EXPECT_NE(s.find("X"), std::string::npos);
   EXPECT_NE(s.find("Error"), std::string::npos);
   EXPECT_NE(s.find("Total"), std::string::npos);
-  EXPECT_THROW(t.effect("nope"), std::out_of_range);
+  EXPECT_THROW((void)t.effect("nope"), std::out_of_range);
   EXPECT_EQ(&t.effect("Error"), &t.error);
 }
 

@@ -152,7 +152,7 @@ TEST(TwoMachineSan, ZeroProbabilityEdges) {
 TEST(TwoMachineSan, InvalidArguments) {
   EXPECT_THROW(build_two_machine_san(0.0, 0.5, 0.5, 0.5), std::invalid_argument);
   EXPECT_THROW(build_two_machine_san(1.0, 1.5, 0.5, 0.5), std::invalid_argument);
-  EXPECT_THROW(two_machine_success_probability(-1.0, 0.5, 0.5, 0.5, 1.0),
+  EXPECT_THROW((void)two_machine_success_probability(-1.0, 0.5, 0.5, 0.5, 1.0),
                std::invalid_argument);
 }
 

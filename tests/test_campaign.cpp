@@ -215,8 +215,12 @@ TEST_F(CampaignFixture, HorizonIsRespected) {
   for (std::uint64_t seed = 0; seed < 10; ++seed) {
     stats::Rng rng(seed);
     const CampaignResult r = sim.run(rng);
-    if (r.time_to_attack) EXPECT_LE(*r.time_to_attack, 100.0);
-    if (r.time_to_detection) EXPECT_LE(*r.time_to_detection, 100.0);
+    if (r.time_to_attack) {
+      EXPECT_LE(*r.time_to_attack, 100.0);
+    }
+    if (r.time_to_detection) {
+      EXPECT_LE(*r.time_to_detection, 100.0);
+    }
     for (const auto& [t, ratio] : r.compromised_ratio) EXPECT_LE(t, 100.0);
   }
 }

@@ -94,10 +94,10 @@ TEST(ConfidenceInterval, CoverageIsApproximatelyNominal) {
 TEST(ConfidenceInterval, Errors) {
   OnlineStats st;
   st.add(1.0);
-  EXPECT_THROW(mean_confidence_interval(st, 0.95), std::invalid_argument);
+  EXPECT_THROW((void)mean_confidence_interval(st, 0.95), std::invalid_argument);
   st.add(2.0);
-  EXPECT_THROW(mean_confidence_interval(st, 0.0), std::invalid_argument);
-  EXPECT_THROW(mean_confidence_interval(st, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)mean_confidence_interval(st, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)mean_confidence_interval(st, 1.0), std::invalid_argument);
 }
 
 TEST(Quantile, OrderStatisticsInterpolation) {
@@ -114,9 +114,9 @@ TEST(Quantile, UnsortedInputIsHandled) {
 }
 
 TEST(Quantile, Errors) {
-  EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)quantile({}, 0.5), std::invalid_argument);
   const std::vector<double> v{1.0};
-  EXPECT_THROW(quantile(v, 1.5), std::invalid_argument);
+  EXPECT_THROW((void)quantile(v, 1.5), std::invalid_argument);
 }
 
 TEST(Summarize, FiveNumberSummary) {
@@ -165,7 +165,7 @@ TEST(BatchMeans, ReducesToBatchAverages) {
 TEST(BatchMeans, ConfidenceIntervalNeedsTwoBatches) {
   BatchMeans bm(5);
   for (int i = 0; i < 5; ++i) bm.add(1.0);
-  EXPECT_THROW(bm.confidence_interval(), std::invalid_argument);
+  EXPECT_THROW((void)bm.confidence_interval(), std::invalid_argument);
   for (int i = 0; i < 5; ++i) bm.add(3.0);
   const auto ci = bm.confidence_interval(0.95);
   EXPECT_TRUE(ci.contains(2.0));

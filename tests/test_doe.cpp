@@ -39,8 +39,8 @@ TEST(FactorSpace, Errors) {
                std::invalid_argument);
   const FactorSpace s = small_space();
   EXPECT_THROW(s.decode(12), std::out_of_range);
-  EXPECT_THROW(s.encode(std::vector<int>{0, 0}), std::invalid_argument);
-  EXPECT_THROW(s.encode(std::vector<int>{3, 0, 0}), std::out_of_range);
+  EXPECT_THROW((void)s.encode(std::vector<int>{0, 0}), std::invalid_argument);
+  EXPECT_THROW((void)s.encode(std::vector<int>{3, 0, 0}), std::out_of_range);
 }
 
 TEST(FullFactorial, EnumeratesAllDistinctConfigs) {
@@ -146,10 +146,10 @@ TEST(EffectEstimation, RecoversPlantedLinearModel) {
 TEST(EffectEstimation, Errors) {
   const auto d = full_factorial_2k({"A", "B"});
   const std::vector<double> y(4, 0.0);
-  EXPECT_THROW(estimate_effect(d, std::vector<double>(3, 0.0), "A"),
+  EXPECT_THROW((void)estimate_effect(d, std::vector<double>(3, 0.0), "A"),
                std::invalid_argument);
-  EXPECT_THROW(estimate_effect(d, y, ""), std::invalid_argument);
-  EXPECT_THROW(estimate_effect(d, y, "C"), std::invalid_argument);
+  EXPECT_THROW((void)estimate_effect(d, y, ""), std::invalid_argument);
+  EXPECT_THROW((void)estimate_effect(d, y, "C"), std::invalid_argument);
 }
 
 TEST(LatinHypercube, OnePointPerStratumInEveryDimension) {

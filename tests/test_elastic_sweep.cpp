@@ -225,7 +225,9 @@ TEST(CostWeightedPlan, ExactCoverageForAnyShardCount) {
     std::set<std::uint64_t> seen;
     for (const auto& list : assignment) {
       for (std::size_t i = 0; i < list.size(); ++i) {
-        if (i > 0) EXPECT_LT(list[i - 1], list[i]);  // strictly ascending
+        if (i > 0) {
+          EXPECT_LT(list[i - 1], list[i]);  // strictly ascending
+        }
         EXPECT_LT(list[i], plan.task_count());
         EXPECT_TRUE(seen.insert(list[i]).second) << "task assigned twice";
       }

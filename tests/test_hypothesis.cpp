@@ -61,7 +61,7 @@ TEST(WelchTest, DegenerateConstantSamples) {
   EXPECT_EQ(stats::welch_t_test(a, c).p_value, 0.0);
   OnlineStats tiny;
   tiny.add(1.0);
-  EXPECT_THROW(stats::welch_t_test(a, tiny), std::invalid_argument);
+  EXPECT_THROW((void)stats::welch_t_test(a, tiny), std::invalid_argument);
 }
 
 TEST(ProportionTest, DetectsARealDifference) {
@@ -81,8 +81,8 @@ TEST(ProportionTest, DegenerateAndErrors) {
   // All failures on both sides: pooled variance zero.
   const auto t = stats::two_proportion_z_test(0, 50, 0, 50);
   EXPECT_EQ(t.p_value, 1.0);
-  EXPECT_THROW(stats::two_proportion_z_test(5, 0, 1, 10), std::invalid_argument);
-  EXPECT_THROW(stats::two_proportion_z_test(11, 10, 1, 10), std::invalid_argument);
+  EXPECT_THROW((void)stats::two_proportion_z_test(5, 0, 1, 10), std::invalid_argument);
+  EXPECT_THROW((void)stats::two_proportion_z_test(11, 10, 1, 10), std::invalid_argument);
 }
 
 TEST(CompareIndicators, DiversifiedConfigurationIsSignificantlySafer) {

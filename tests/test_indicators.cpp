@@ -79,7 +79,9 @@ TEST_F(IndicatorsFixture, SanEngineMeasuresAllIndicators) {
   EXPECT_EQ(censored, s.tta_censored);
   // Censored values sit exactly at the horizon.
   for (const auto& smp : s.samples) {
-    if (smp.tta_censored) EXPECT_DOUBLE_EQ(smp.tta, s.horizon_hours);
+    if (smp.tta_censored) {
+      EXPECT_DOUBLE_EQ(smp.tta, s.horizon_hours);
+    }
     EXPECT_LE(smp.tta, s.horizon_hours);
   }
 }

@@ -23,7 +23,7 @@ TEST(Topology, AddAndLookup) {
   EXPECT_EQ(t.node_count(), 3u);
   EXPECT_EQ(t.link_count(), 2u);
   EXPECT_EQ(t.node_by_name("ctl"), 1u);
-  EXPECT_THROW(t.node_by_name("nope"), std::out_of_range);
+  EXPECT_THROW((void)t.node_by_name("nope"), std::out_of_range);
   EXPECT_EQ(t.node(0).zone, Zone::kCorporate);
   EXPECT_TRUE(t.node(0).usb_exposure);
 }

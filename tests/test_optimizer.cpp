@@ -61,9 +61,10 @@ TEST_F(OptimizerFixture, PlacementUpgradesExactlyK) {
     EXPECT_EQ(desc.diversity_degree(c), k);
     // Upgraded components use the last (most resilient) variant.
     for (std::size_t i = 0; i < c.variant.size(); ++i) {
-      if (c.variant[i] != 0)
+      if (c.variant[i] != 0) {
         EXPECT_EQ(c.variant[i],
                   cat.count(desc.components()[i].kind) - 1);
+      }
     }
   }
   EXPECT_THROW(place_resilient_components(desc, 8, PlacementStrategy::kRandom,

@@ -148,10 +148,13 @@ TEST_P(CampaignInvariants, TimelinesAreConsistent) {
       EXPECT_LE(ratio, 1.0);
     }
     // Success implies not detected earlier.
-    if (r.attack_succeeded() && r.time_to_detection)
+    if (r.attack_succeeded() && r.time_to_detection) {
       EXPECT_LE(*r.time_to_attack, *r.time_to_detection);
+    }
     // Espionage profiles never impair.
-    if (GetParam().profile != 0) EXPECT_FALSE(r.time_to_attack.has_value());
+    if (GetParam().profile != 0) {
+      EXPECT_FALSE(r.time_to_attack.has_value());
+    }
   }
 }
 

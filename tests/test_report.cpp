@@ -54,10 +54,11 @@ TEST_F(ReportFixture, MeasurementCsvFlagsHeavilyCensoredCells) {
   bool any_censored = false;
   for (const auto& s : result.table.summaries)
     any_censored = any_censored || s.tta_censored > 0 || s.ttsf_censored > 0;
-  if (any_censored)
+  if (any_censored) {
     EXPECT_TRUE(strict.find(",tta\n") != std::string::npos ||
                 strict.find(",ttsf\n") != std::string::npos ||
                 strict.find(",tta;ttsf\n") != std::string::npos);
+  }
 }
 
 TEST_F(ReportFixture, AnovaCsvHasAllRows) {

@@ -168,7 +168,7 @@ TEST(Plc, ProgramValidation) {
   EXPECT_THROW(plc.load_program({}, {bad}), std::invalid_argument);
   EXPECT_THROW(Plc(""), std::invalid_argument);
   EXPECT_THROW(plc.set_input(99, 0.0), std::out_of_range);
-  EXPECT_THROW(plc.output(99), std::out_of_range);
+  EXPECT_THROW((void)plc.output(99), std::out_of_range);
   EXPECT_THROW(plc.scan(-1.0), std::invalid_argument);
 }
 

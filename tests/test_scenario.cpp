@@ -122,9 +122,35 @@ TEST(PresetRegistry, NamesAndLookup) {
   EXPECT_FALSE(has_preset("enterprise12x"));
   EXPECT_FALSE(has_preset("campus"));
 
+  // Family specs are preset names too (family_spec.h).
+  EXPECT_TRUE(has_preset("brownfield"));
+  EXPECT_TRUE(has_preset("purdue-deep:nodes=128,depth=3"));
+  EXPECT_FALSE(has_preset("purdue-deep:nodes=2"));  // below kMinFamilyNodes
+
   const divers::VariantCatalog cat = divers::VariantCatalog::standard(2013);
   EXPECT_THROW(make_preset("campus", cat, 1), std::out_of_range);
   EXPECT_THROW(make_preset("enterprise16", cat, 1), std::invalid_argument);
+  // The unknown-preset message lists presets and families by name.
+  try {
+    (void)make_preset("campus", cat, 1);
+    FAIL() << "expected out_of_range";
+  } catch (const std::out_of_range& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("paper_two_machines"), std::string::npos);
+    EXPECT_NE(what.find("hub-spoke"), std::string::npos);
+  }
+}
+
+TEST(PresetRegistry, FamilyPresetsExpandDeterministically) {
+  const divers::VariantCatalog cat = divers::VariantCatalog::standard(2013);
+  const GeneratedScenario a = make_preset("mesh-flat:nodes=64", cat, 9);
+  const GeneratedScenario b = make_preset("mesh-flat:nodes=64", cat, 9);
+  expect_identical_topology(a.scenario.topology, b.scenario.topology);
+  expect_identical_software(a.scenario, b.scenario);
+  EXPECT_EQ(a.scenario.topology.node_count(), 64u);
+  // The scenario label is the canonical spelling, so sweep states and
+  // reports agree on one name per spec.
+  EXPECT_EQ(a.name, FamilySpec::parse("mesh-flat:nodes=64").canonical());
 }
 
 TEST(PresetRegistry, EnterpriseSpecHitsExactNodeCounts) {
@@ -242,7 +268,9 @@ TEST(ScenarioBuilderOptions, SabotageTargetCapAndDescription) {
   // The DoE view still spans every PLC and builds a SystemDescription.
   const core::SystemDescription desc = capped.make_description(cat);
   for (const auto& comp : desc.components())
-    if (comp.name == "plc.firmware") EXPECT_EQ(comp.nodes.size(), all_plcs);
+    if (comp.name == "plc.firmware") {
+      EXPECT_EQ(comp.nodes.size(), all_plcs);
+    }
   EXPECT_NO_THROW(desc.validate(desc.baseline_configuration()));
   EXPECT_EQ(desc.factor_space().factor_count(), desc.components().size());
 }

@@ -61,7 +61,7 @@ TEST(KaplanMeier, RestrictedMeanIntegratesTheCurve) {
   KaplanMeier km({{2, true}, {5, false}});
   EXPECT_DOUBLE_EQ(km.restricted_mean(4.0), 2.0 + 0.5 * 2.0);
   EXPECT_DOUBLE_EQ(km.restricted_mean(1.0), 1.0);
-  EXPECT_THROW(km.restricted_mean(0.0), std::invalid_argument);
+  EXPECT_THROW((void)km.restricted_mean(0.0), std::invalid_argument);
 }
 
 TEST(KaplanMeier, RecoversExponentialSurvival) {

@@ -28,7 +28,7 @@ TEST_F(StandardCatalog, EveryKindHasAtLeastTwoVariants) {
 
 TEST_F(StandardCatalog, IndexOfFindsByName) {
   EXPECT_EQ(cat.index_of(ComponentKind::kOs, "os.win_legacy"), 0u);
-  EXPECT_THROW(cat.index_of(ComponentKind::kOs, "os.nope"), std::out_of_range);
+  EXPECT_THROW((void)cat.index_of(ComponentKind::kOs, "os.nope"), std::out_of_range);
 }
 
 TEST_F(StandardCatalog, PatchedLookupUsesSortedCves) {
@@ -129,7 +129,7 @@ TEST(VariantCatalog, CustomCatalogValidation) {
   EXPECT_THROW(cat.add_variant(v), std::invalid_argument);
   v.cost = 1.0;
   EXPECT_EQ(cat.add_variant(v), 0u);
-  EXPECT_THROW(cat.survival(ComponentKind::kOs, 0, 3), std::out_of_range);
+  EXPECT_THROW((void)cat.survival(ComponentKind::kOs, 0, 3), std::out_of_range);
 }
 
 TEST(ShannonDiversity, MonocultureIsZeroUniformIsLogN) {

@@ -44,15 +44,15 @@
 //           measured sec/rep, termination round for adaptive states),
 //           the adaptive round log, and the accumulator dump.
 //
-// Examples:
-//   divsec_sweep run --preset enterprise1024 --replications 100000 \
+// Examples (long invocations wrapped for reading):
+//   divsec_sweep run --preset enterprise1024 --replications 100000
 //       --shard 0/8 --out s0.state            # ×8, one per process/host
 //   divsec_sweep merge --out fleet s*.state
-//   divsec_sweep plan --preset enterprise1024 --replications 100000 \
+//   divsec_sweep plan --preset enterprise1024 --replications 100000
 //       --shards 8 --weights fleet_merged.state --out fleet.tasks
-//   divsec_sweep run --preset enterprise1024 --replications 100000 \
+//   divsec_sweep run --preset enterprise1024 --replications 100000
 //       --tasks fleet.tasks --shard 0 --out e0.state   # ×8, elastic
-//   divsec_sweep run --preset enterprise1024 --replications 100000 \
+//   divsec_sweep run --preset enterprise1024 --replications 100000
 //       --out fleet_ref                       # the equality reference
 #include <algorithm>
 #include <chrono>
@@ -64,9 +64,11 @@
 #include <utility>
 #include <vector>
 
+#include "attack/threat.h"
 #include "core/report.h"
 #include "dist/adaptive.h"
 #include "dist/sweep.h"
+#include "scenario/presets.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
 #include "obs/trace.h"
@@ -85,11 +87,23 @@ void usage(std::FILE* to) {
       "\n"
       "divsec_sweep run [sweep options] [--shard i/K | --tasks PLAN --shard i\n"
       "                 | --replay STATE [--shard i/K]] [--out PATH]\n"
-      "  --preset NAME        scenario preset (default enterprise256)\n"
+      "  --preset NAME        scenario preset or family spec (default\n"
+      "                       enterprise256)\n"
+      "  --family SPEC        topology family spec, e.g. brownfield or\n"
+      "                       hub-spoke:nodes=512,sites=8 (families:\n"
+      "                       purdue-deep, mesh-flat, hub-spoke,\n"
+      "                       brownfield); sets the preset to the\n"
+      "                       canonical familyv1 form\n"
+      "  --family-json ARG    same, from a flat JSON object — inline if\n"
+      "                       ARG starts with '{', else a file path\n"
       "  --policies a,b,c     cell arms from {monoculture,zone-stratified,\n"
-      "                       random-per-node} (aliases mono/zone/random;\n"
-      "                       default all three)\n"
-      "  --threat NAME        stuxnet|duqu|flame (default stuxnet)\n"
+      "                       random-per-node,balanced-rotation} (aliases\n"
+      "                       mono/zone/random/rotation; default the\n"
+      "                       three-arm policy sweep)\n"
+      "  --threat SPEC        threat spec: stuxnet|duqu|flame, optionally\n"
+      "                       tuned — stuxnet:scan=2,dwell=0.5,\n"
+      "                       stealth=0.8,channels=usb+http\n"
+      "                       (default stuxnet)\n"
       "  --seed S             master seed (default 2013)\n"
       "  --replications N     replications per cell (default 1000)\n"
       "  --block B            replications per reduction block (default %zu)\n"
@@ -204,7 +218,11 @@ scenario::VariantPolicy parse_policy(const std::string& name) {
     return scenario::VariantPolicy::kZoneStratified;
   if (name == "random-per-node" || name == "random")
     return scenario::VariantPolicy::kRandomPerNode;
-  die("unknown policy: " + name);
+  if (name == "balanced-rotation" || name == "rotation")
+    return scenario::VariantPolicy::kBalancedRotation;
+  die("unknown policy: " + name +
+      " (policies: monoculture, zone-stratified, random-per-node, "
+      "balanced-rotation)");
 }
 
 std::uint64_t parse_u64(const std::string& flag, const std::string& value) {
@@ -270,6 +288,29 @@ bool file_exists(const std::string& path) {
   return f != nullptr;
 }
 
+std::string read_text_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) die("cannot open: " + path);
+  std::string bytes;
+  char buf[1 << 12];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
+  std::fclose(f);
+  return bytes;
+}
+
+/// Canonicalize --preset/--threat up front so a typo dies with the
+/// registry listing and exit code 2 (a usage error), not an unhandled
+/// exception bubbling out of plan expansion as exit 1.
+void resolve_spec(dist::SweepSpec& spec) {
+  try {
+    spec.preset = scenario::resolve_preset_name(spec.preset);
+    spec.threat = attack::canonical_threat_spec(spec.threat);
+  } catch (const std::exception& e) {
+    die(e.what());
+  }
+}
+
 struct ArgReader {
   int argc;
   char** argv;
@@ -286,7 +327,22 @@ struct ArgReader {
 bool parse_sweep_flag(ArgReader& args, const std::string& flag,
                       dist::SweepSpec& spec) {
   if (flag == "--preset") spec.preset = args.value(flag);
-  else if (flag == "--policies") {
+  else if (flag == "--family") {
+    try {
+      spec.preset = scenario::FamilySpec::parse(args.value(flag)).canonical();
+    } catch (const std::exception& e) {
+      die(e.what());
+    }
+  } else if (flag == "--family-json") {
+    const std::string arg = args.value(flag);
+    const std::string text =
+        !arg.empty() && arg[0] == '{' ? arg : read_text_file(arg);
+    try {
+      spec.preset = scenario::FamilySpec::from_json(text).canonical();
+    } catch (const std::exception& e) {
+      die(e.what());
+    }
+  } else if (flag == "--policies") {
     spec.policies.clear();
     for (const auto& p : split_csv(args.value(flag)))
       spec.policies.push_back(parse_policy(p));
@@ -333,6 +389,7 @@ int cmd_run(int argc, char** argv) {
     else if (flag == "--trace") trace_path = args.value(flag);
     else die_unknown(flag);
   }
+  resolve_spec(spec);
 
   const TraceGuard trace(trace_path);
   // A state-producing run always flushes its metrics next to the state
@@ -485,6 +542,7 @@ int cmd_plan(int argc, char** argv) {
     else die_unknown(flag);
   }
   if (shards == 0) die("plan wants --shards K (K >= 1)");
+  resolve_spec(spec);
 
   const dist::SweepMeta meta = dist::make_meta(spec);
   dist::CostModel cost;
@@ -653,6 +711,7 @@ int cmd_adapt(int argc, char** argv) {
     else die_unknown(flag);
   }
   if (options.shards == 0) die("adapt wants --shards K >= 1");
+  resolve_spec(spec);
   if (out.empty()) out = spec.preset;
 
   const TraceGuard trace(trace_path);
